@@ -1,0 +1,196 @@
+(* Benchmark harness: one Bechamel test per reproduced artifact of the
+   paper (figures 1-5, the model-checking claims, the lower bound) plus the
+   ablations called out in DESIGN.md (scheduler sensitivity, the cost of
+   the level mechanism vs the unsound double collect, real domains).
+
+   The paper is a brief announcement with no performance evaluation, so
+   these benches characterize *our* implementation; EXPERIMENTS.md records
+   the shapes (growth with N, scheduler sensitivity, state-space sizes). *)
+
+open Bechamel
+open Toolkit
+
+let rng_seed = 20240617
+
+(* --- workloads ------------------------------------------------------------ *)
+
+module Snap_sys = Anonmem.System.Make (Algorithms.Snapshot)
+module Dc_sys = Anonmem.System.Make (Algorithms.Double_collect)
+module Ren_sys = Anonmem.System.Make (Algorithms.Renaming)
+module Cons_sys = Anonmem.System.Make (Algorithms.Consensus)
+module Snap_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Snapshot)
+
+let snapshot_run ~sched_kind n () =
+  let rng = Repro_util.Rng.create ~seed:rng_seed in
+  let cfg = Algorithms.Snapshot.standard ~n in
+  let wiring = Anonmem.Wiring.random rng ~n ~m:n in
+  let inputs = Array.init n (fun i -> i + 1) in
+  let state = Snap_sys.init ~cfg ~wiring ~inputs in
+  let sched =
+    match sched_kind with
+    | `Round_robin -> Anonmem.Scheduler.round_robin ()
+    | `Random -> Anonmem.Scheduler.random (Repro_util.Rng.split rng)
+    | `Solo -> Anonmem.Scheduler.solo 0
+  in
+  let stop, steps = Snap_sys.run ~max_steps:10_000_000 ~sched state in
+  match (sched_kind, stop) with
+  | `Solo, Snap_sys.Scheduler_done | _, Snap_sys.All_halted -> steps
+  | _ -> failwith "snapshot did not terminate in bench"
+
+let fig1_stabilize n () =
+  match
+    Analysis.Stable_views.run_random ~n ~m:3
+      ~inputs:(Array.init n (fun i -> i + 1))
+      ~seed:rng_seed ()
+  with
+  | Ok r -> r.Analysis.Stable_views.stabilized_at
+  | Error e -> failwith e
+
+let fig2_trace actions () = Analysis.Figure2.generate ~actions ()
+
+let fig2_adversary cycles () =
+  let cfg = Algorithms.Write_scan.cfg ~n:5 ~m:3 in
+  Analysis.Figure2.Write_scan_ext.run ~cfg ~cycles ()
+
+let renaming_run n () =
+  let rng = Repro_util.Rng.create ~seed:rng_seed in
+  let cfg = Algorithms.Renaming.standard ~n in
+  let wiring = Anonmem.Wiring.random rng ~n ~m:n in
+  let inputs = Array.init n (fun i -> 1 + (i mod 3)) in
+  let state = Ren_sys.init ~cfg ~wiring ~inputs in
+  let sched = Anonmem.Scheduler.random (Repro_util.Rng.split rng) in
+  match Ren_sys.run ~max_steps:10_000_000 ~sched state with
+  | Ren_sys.All_halted, steps -> steps
+  | _ -> failwith "renaming did not terminate in bench"
+
+let consensus_solo n () =
+  let rng = Repro_util.Rng.create ~seed:rng_seed in
+  let cfg = Algorithms.Consensus.standard ~n in
+  let wiring = Anonmem.Wiring.random rng ~n ~m:n in
+  let inputs = Array.init n (fun i -> 1 + (i mod 2)) in
+  let state = Cons_sys.init ~cfg ~wiring ~inputs in
+  match Cons_sys.run ~max_steps:10_000_000 ~sched:(Anonmem.Scheduler.solo 0) state with
+  | Cons_sys.Scheduler_done, steps -> steps
+  | _ -> failwith "solo consensus did not decide in bench"
+
+let consensus_contended n () =
+  match
+    Core.solve_consensus ~seed:rng_seed ~contention_steps:1_000
+      ~inputs:(Array.init n (fun i -> 1 + (i mod 2)))
+      ()
+  with
+  | Ok r -> r.Core.steps
+  | Error e -> failwith e
+
+let double_collect_solo n () =
+  let cfg = Algorithms.Double_collect.standard ~n in
+  let wiring = Anonmem.Wiring.identity ~n ~m:n in
+  let inputs = Array.init n (fun i -> i + 1) in
+  let state = Dc_sys.init ~cfg ~wiring ~inputs in
+  match Dc_sys.run ~max_steps:1_000_000 ~sched:(Anonmem.Scheduler.solo 0) state with
+  | Dc_sys.Scheduler_done, steps -> steps
+  | _ -> failwith "double collect did not terminate in bench"
+
+let lower_bound n () = Analysis.Lower_bound.run ~n ()
+
+let mc_explore_n2 () =
+  let cfg = Algorithms.Snapshot.standard ~n:2 in
+  let wiring = Anonmem.Wiring.of_lists [ [ 0; 1 ]; [ 1; 0 ] ] in
+  match Snap_mc.explore ~cfg ~wiring ~inputs:[| 1; 2 |] () with
+  | Snap_mc.Explored space -> Snap_mc.state_count space
+  | _ -> failwith "mc explore failed"
+
+let mc_dfs_n2 () =
+  let cfg = Algorithms.Snapshot.standard ~n:2 in
+  let wiring = Anonmem.Wiring.of_lists [ [ 0; 1 ]; [ 1; 0 ] ] in
+  match Snap_mc.check_exhaustive ~cfg ~wiring ~inputs:[| 1; 2 |] () with
+  | Snap_mc.Dfs_ok s -> s.Snap_mc.dfs_states
+  | _ -> failwith "mc dfs failed"
+
+let mc_waitfree_n2 () =
+  let cfg = Algorithms.Snapshot.standard ~n:2 in
+  let wiring = Anonmem.Wiring.of_lists [ [ 0; 1 ]; [ 1; 0 ] ] in
+  match Snap_mc.explore ~cfg ~wiring ~inputs:[| 1; 2 |] () with
+  | Snap_mc.Explored space -> Snap_mc.is_wait_free space
+  | _ -> failwith "mc explore failed"
+
+let witness_random_burst () =
+  (* a fixed slice of the randomized non-atomicity search *)
+  Core.Snapshot_witness.find_nonatomic ~attempts:20 ~max_steps:4_000
+    ~cfg:(Algorithms.Snapshot.standard ~n:3)
+    ~inputs:[| 1; 2; 3 |]
+    ~memory_set:Core.snapshot_memory_set ~output_set:Fun.id ()
+
+let parallel_snapshot n () =
+  match
+    Runtime_shm.parallel_snapshot ~seed:rng_seed
+      ~inputs:(Array.init n (fun i -> i + 1))
+      ()
+  with
+  | Ok r -> r
+  | Error e -> failwith e
+
+(* --- test registry ---------------------------------------------------------- *)
+
+let indexed name args f =
+  Test.make_indexed ~name ~args (fun n -> Staged.stage (f n))
+
+let tests =
+  Test.make_grouped ~name:"repro"
+    [
+      indexed "fig1/write_scan_stabilize" [ 3; 5; 7 ] fig1_stabilize;
+      indexed "fig2/trace_rows" [ 13; 100 ] fig2_trace;
+      indexed "fig2/adversary_cycles" [ 10; 40 ] fig2_adversary;
+      indexed "fig3/snapshot_random_sched" [ 2; 4; 6; 8 ]
+        (fun n -> snapshot_run ~sched_kind:`Random n);
+      indexed "fig3/snapshot_solo" [ 6 ] (fun n -> snapshot_run ~sched_kind:`Solo n);
+      indexed "x1/snapshot_round_robin" [ 6 ]
+        (fun n -> snapshot_run ~sched_kind:`Round_robin n);
+      indexed "fig4/renaming" [ 4; 8 ] renaming_run;
+      indexed "fig5/consensus_solo" [ 4; 8 ] consensus_solo;
+      indexed "fig5/consensus_contended" [ 4 ] consensus_contended;
+      indexed "x3/double_collect_solo" [ 6 ] double_collect_solo;
+      indexed "lb/covering_construction" [ 5 ] lower_bound;
+      Test.make ~name:"c1/mc_explore_n2" (Staged.stage mc_explore_n2);
+      Test.make ~name:"c1/mc_dfs_n2" (Staged.stage mc_dfs_n2);
+      Test.make ~name:"c1/mc_waitfree_n2" (Staged.stage mc_waitfree_n2);
+      Test.make ~name:"c2/witness_random_burst" (Staged.stage witness_random_burst);
+      indexed "x2/parallel_snapshot_domains" [ 4 ] parallel_snapshot;
+    ]
+
+(* --- driver ---------------------------------------------------------------- *)
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let time_ns =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, time_ns, r2) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let t = Repro_util.Text_table.create ~headers:[ "benchmark"; "time/run"; "r^2" ] in
+  let pp_time ns =
+    if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, time_ns, r2) ->
+      Repro_util.Text_table.add_row t
+        [ name; pp_time time_ns; Printf.sprintf "%.4f" r2 ])
+    rows;
+  print_string (Repro_util.Text_table.render t)

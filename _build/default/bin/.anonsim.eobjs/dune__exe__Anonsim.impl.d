@@ -1,0 +1,1 @@
+bin/anonsim.ml: Algorithms Analysis Anonmem Arg Array Cmd Cmdliner Core Fmt List Modelcheck Printf Repro_util Runtime_shm String Term

@@ -1,0 +1,1 @@
+bin/experiments.ml: Algorithms Analysis Anonmem Array Core Fmt Fun List Modelcheck Printf Repro_util Runtime_shm String Sys Unix

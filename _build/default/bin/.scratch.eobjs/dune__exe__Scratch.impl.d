@@ -1,0 +1,1 @@
+bin/scratch.ml: Anonmem Array Fmt List Modelcheck Printf String Unix

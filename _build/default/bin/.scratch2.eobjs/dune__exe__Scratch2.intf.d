@@ -1,0 +1,1 @@
+bin/scratch2.mli:

@@ -1,0 +1,329 @@
+(* anonsim: command-line driver for the fully-anonymous shared-memory
+   library.  Each subcommand regenerates one of the paper's artifacts or
+   runs one of the algorithms; see DESIGN.md for the experiment index. *)
+
+open Cmdliner
+
+let iset_str = Repro_util.Iset.to_string
+
+(* Shared options *)
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let inputs_arg ~default =
+  Arg.(
+    value
+    & opt (list int) default
+    & info [ "i"; "inputs" ] ~docv:"INPUTS"
+        ~doc:"Comma-separated processor inputs (group identifiers).")
+
+let n_arg ~default =
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc:"Number of processors.")
+
+(* simulate: run an algorithm to completion and print validated outputs *)
+
+let simulate_cmd =
+  let algo_arg =
+    Arg.(
+      value
+      & opt (enum [ ("snapshot", `Snapshot); ("renaming", `Renaming); ("consensus", `Consensus) ]) `Snapshot
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:"Algorithm to run: $(b,snapshot), $(b,renaming) or $(b,consensus).")
+  in
+  let run algo seed inputs =
+    let inputs = Array.of_list inputs in
+    let report name steps pp_out outputs =
+      Printf.printf "%s solved in %d shared-memory steps\n" name steps;
+      Array.iteri
+        (fun p o -> Printf.printf "  p%d: %s\n" (p + 1) (pp_out o))
+        outputs;
+      `Ok ()
+    in
+    match algo with
+    | `Snapshot -> (
+        match Core.solve_snapshot ~seed ~inputs () with
+        | Ok r -> report "snapshot" r.Core.steps iset_str r.Core.outputs
+        | Error e -> `Error (false, e))
+    | `Renaming -> (
+        match Core.solve_renaming ~seed ~inputs () with
+        | Ok r ->
+            report "renaming" r.Core.steps
+              (fun (o : Algorithms.Renaming.output) ->
+                Printf.sprintf "name %d (snapshot %s)" o.name_out
+                  (iset_str o.snapshot))
+              r.Core.outputs
+        | Error e -> `Error (false, e))
+    | `Consensus -> (
+        match Core.solve_consensus ~seed ~inputs () with
+        | Ok r -> report "consensus" r.Core.steps string_of_int r.Core.outputs
+        | Error e -> `Error (false, e))
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run an algorithm of the paper to completion.")
+    Term.(ret (const run $ algo_arg $ seed_arg $ inputs_arg ~default:[ 1; 2; 3; 4 ]))
+
+(* figure2 *)
+
+let figure2_cmd =
+  let actions_arg =
+    Arg.(
+      value & opt int 13
+      & info [ "actions" ] ~docv:"K" ~doc:"Number of action rows to generate.")
+  in
+  let run actions =
+    print_string (Core.figure2_table ~actions ());
+    if actions >= 13 then
+      print_endline "\n(steps 5-13 repeat forever after step 13)"
+  in
+  Cmd.v
+    (Cmd.info "figure2"
+       ~doc:"Regenerate the pathological execution of Figure 2.")
+    Term.(const run $ actions_arg)
+
+(* stable-views *)
+
+let stable_views_cmd =
+  let m_arg =
+    Arg.(value & opt int 3 & info [ "m" ] ~docv:"M" ~doc:"Number of registers.")
+  in
+  let run seed n m =
+    let inputs = Array.init n (fun i -> i + 1) in
+    match Core.stable_view_analysis ~seed ~n ~m ~inputs () with
+    | Error e -> `Error (false, e)
+    | Ok r ->
+        Printf.printf
+          "views stabilized after %d steps (run of %d steps); stable views:\n"
+          r.Analysis.Stable_views.stabilized_at r.Analysis.Stable_views.total_steps;
+        List.iter
+          (fun (p, v) -> Printf.printf "  p%d: %s\n" (p + 1) (iset_str v))
+          r.Analysis.Stable_views.stable_views;
+        let g = r.Analysis.Stable_views.graph in
+        Fmt.pr "stable-view graph:@,%a@." Analysis.View_graph.pp g;
+        Printf.printf "Theorem 4.8 (DAG with unique source): %b\n"
+          (Analysis.View_graph.satisfies_theorem_4_8 g);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stable-views"
+       ~doc:
+         "Run the write-scan loop to stabilization and analyse the \
+          stable-view graph (Theorem 4.8).")
+    Term.(ret (const run $ seed_arg $ n_arg ~default:5 $ m_arg))
+
+(* lower-bound *)
+
+let lower_bound_cmd =
+  let run n =
+    let r = Core.lower_bound_demo ~n () in
+    Fmt.pr "%a@." Analysis.Lower_bound.pp r;
+    Printf.printf "p's information erased from memory: %b\n"
+      (Analysis.Lower_bound.p_erased r)
+  in
+  Cmd.v
+    (Cmd.info "lower-bound"
+       ~doc:
+         "Materialize the Section-2.1 covering execution: N processors, N-1 \
+          registers, coordination impossible.")
+    Term.(const run $ n_arg ~default:4)
+
+(* check-snapshot: the TLC claim *)
+
+let check_snapshot_cmd =
+  let max_states_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"K" ~doc:"Abort exploration beyond K states.")
+  in
+  let run n max_states =
+    match Core.verify_snapshot_model ~n ?max_states () with
+    | Ok s ->
+        Printf.printf
+          "verified: snapshot algorithm correct and wait-free for n=%d\n" n;
+        Printf.printf
+          "wirings: %d, states: %d (largest space %d), transitions: %d, \
+           terminal states: %d\n"
+          s.Core.Snapshot_mc.wirings_checked s.Core.Snapshot_mc.total_states
+          s.Core.Snapshot_mc.max_space_states s.Core.Snapshot_mc.total_transitions
+          s.Core.Snapshot_mc.terminal_states;
+        `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "check-snapshot"
+       ~doc:
+         "Exhaustively model-check the Figure-3 snapshot algorithm \
+          (containment safety + wait-freedom) over all wirings — the \
+          paper's TLC claim.")
+    Term.(ret (const run $ n_arg ~default:2 $ max_states_arg))
+
+(* check-nonatomic: the Section-8 claim *)
+
+let check_nonatomic_cmd =
+  let attempts_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "attempts" ] ~docv:"K" ~doc:"Number of random executions to try.")
+  in
+  let exhaustive_arg =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:
+            "Settle the claim by pruned-reachability search over all wirings \
+             (3 processors only); explores up to ~10^8 states per candidate.")
+  in
+  let run n attempts exhaustive =
+    if exhaustive then
+      match Core.find_nonatomic_packed () with
+      | Some (inputs, target, w) ->
+          Printf.printf
+            "exhaustive witness: with inputs (%d,%d,%d), processor %d \
+             returns %s although the memory never contains it\n"
+            inputs.(0) inputs.(1) inputs.(2)
+            (w.Modelcheck.Snapshot3.culprit + 1)
+            (iset_str target);
+          Printf.printf "wiring %s, witness execution of %d steps\n"
+            (Fmt.str "%a" Anonmem.Wiring.pp w.Modelcheck.Snapshot3.wiring)
+            (List.length w.Modelcheck.Snapshot3.path);
+          `Ok ()
+      | None ->
+          Printf.printf
+            "no witness in the candidate configurations: each candidate \
+             (inputs, target) was refuted exhaustively over all wirings\n";
+          `Ok ()
+    else
+      match Core.find_nonatomic_execution ~n ~attempts () with
+      | Some w ->
+          Printf.printf
+            "witness found (seed %d): processor %d returned %s,\n"
+            w.Core.Snapshot_witness.witness_run.Core.Snapshot_witness.seed
+            (w.Core.Snapshot_witness.culprit + 1)
+            (iset_str w.Core.Snapshot_witness.culprit_output);
+          Printf.printf "but the memory only ever contained: %s\n"
+            (String.concat " "
+               (List.map iset_str w.Core.Snapshot_witness.memory_sets_seen));
+          Printf.printf
+            "=> the algorithm solves the snapshot task but not atomic memory \
+             snapshots.\n";
+          `Ok ()
+      | None ->
+          `Error
+            ( false,
+              "no witness found by sampling (the covering patterns are rare); \
+               run with --exhaustive to settle the claim" )
+  in
+  Cmd.v
+    (Cmd.info "check-nonatomic"
+       ~doc:
+         "Search for the Section-8 witness that the snapshot algorithm does \
+          not provide atomic memory snapshots.")
+    Term.(ret (const run $ n_arg ~default:3 $ attempts_arg $ exhaustive_arg))
+
+(* check-consensus: bounded model checking of agreement (extension) *)
+
+let check_consensus_cmd =
+  let max_ts_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-ts" ] ~docv:"T" ~doc:"Timestamp bound for the exploration.")
+  in
+  let run n max_ts =
+    match Core.verify_consensus_bounded ~n ~max_ts () with
+    | Ok states ->
+        Printf.printf
+          "verified: agreement and validity hold for n=%d over all wirings \
+           and interleavings with timestamps <= %d (%d states)\n"
+          n max_ts states;
+        `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "check-consensus"
+       ~doc:
+         "Bounded model checking of the Figure-5 consensus algorithm's \
+          safety (timestamps capped).")
+    Term.(ret (const run $ n_arg ~default:2 $ max_ts_arg))
+
+(* covering: quantify the overwrite phenomenon *)
+
+let covering_cmd =
+  let steps_arg =
+    Arg.(
+      value & opt int 3_000
+      & info [ "steps" ] ~docv:"K" ~doc:"Number of steps to run.")
+  in
+  let run seed n steps =
+    let module Trace = Anonmem.Trace.Make (Algorithms.Write_scan) in
+    let module Sys = Trace.Sys in
+    let rng = Repro_util.Rng.create ~seed in
+    let cfg = Algorithms.Write_scan.cfg ~n ~m:n in
+    let wiring = Anonmem.Wiring.random rng ~n ~m:n in
+    let inputs = Array.init n (fun i -> i + 1) in
+    let st = Sys.init ~cfg ~wiring ~inputs in
+    let tr = Trace.create () in
+    let _ =
+      Sys.run ~max_steps:steps
+        ~sched:(Anonmem.Scheduler.random (Repro_util.Rng.split rng))
+        ~on_event:(Trace.on_event tr) st
+    in
+    let c = Trace.covering tr in
+    Printf.printf
+      "write-scan loop, %d processors, %d registers, %d steps (seed %d):\n" n n
+      steps seed;
+    Fmt.pr "  %a@." Trace.pp_covering c;
+    Printf.printf "  overwrite rate: %.1f%%, lost-write rate: %.1f%%\n"
+      (100. *. float_of_int c.Trace.overwrites /. float_of_int (max 1 c.Trace.writes))
+      (100. *. float_of_int c.Trace.lost_writes /. float_of_int (max 1 c.Trace.writes))
+  in
+  Cmd.v
+    (Cmd.info "covering"
+       ~doc:
+         "Quantify the covering phenomenon: overwrites and lost writes in \
+          the write-scan loop.")
+    Term.(const run $ seed_arg $ n_arg ~default:5 $ steps_arg)
+
+(* parallel *)
+
+let parallel_cmd =
+  let run seed inputs =
+    let inputs = Array.of_list inputs in
+    match Runtime_shm.parallel_snapshot ~seed ~inputs () with
+    | Ok r ->
+        Printf.printf "parallel snapshot on %d domains:\n" (Array.length inputs);
+        Array.iteri
+          (fun p -> function
+            | Some o ->
+                Printf.printf "  domain %d: %s (%d ops)\n" (p + 1) (iset_str o)
+                  r.Runtime_shm.Snapshot_run.steps.(p)
+            | None -> ())
+          r.Runtime_shm.Snapshot_run.outputs;
+        `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "parallel"
+       ~doc:"Run the snapshot algorithm on real OCaml 5 domains.")
+    Term.(ret (const run $ seed_arg $ inputs_arg ~default:[ 1; 2; 3; 4 ]))
+
+let main_cmd =
+  let doc =
+    "reproduction of Losa & Gafni, \"Understanding Read-Write Wait-Free \
+     Coverings in the Fully-Anonymous Shared-Memory Model\" (PODC 2024)"
+  in
+  Cmd.group
+    (Cmd.info "anonsim" ~version:"1.0.0" ~doc)
+    [
+      simulate_cmd;
+      figure2_cmd;
+      stable_views_cmd;
+      lower_bound_cmd;
+      check_snapshot_cmd;
+      check_consensus_cmd;
+      check_nonatomic_cmd;
+      covering_cmd;
+      parallel_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,25 @@
+(* ND-write-order witness probe: target {1,2}, inputs (1,2,3). *)
+let mask_str m =
+  let l = List.filter (fun i -> m land (1 lsl (i - 1)) <> 0) [ 1; 2; 3 ] in
+  "{" ^ String.concat "," (List.map string_of_int l) ^ "}"
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let wirings = Anonmem.Wiring.enumerate ~n:3 ~m:3 ~fix_first:true in
+  List.iter
+    (fun (inputs, target_mask) ->
+      Printf.printf "ND search: inputs (%d,%d,%d), target %s...\n%!" inputs.(0)
+        inputs.(1) inputs.(2) (mask_str target_mask);
+      match
+        Modelcheck.Snapshot3_nd.find_nonatomic ~inputs ~target_mask ~wirings ()
+      with
+      | Some (wiring, path, _) ->
+          Printf.printf "ND-WITNESS (%.1fs): wiring %s, %d steps\n%!"
+            (Unix.gettimeofday () -. t0)
+            (Fmt.str "%a" Anonmem.Wiring.pp wiring)
+            (List.length path);
+          Printf.printf "  schedule (proc,choice): %s\n%!"
+            (String.concat " "
+               (List.map (fun (p, c) -> Printf.sprintf "%d.%d" (p + 1) c) path))
+      | None -> Printf.printf "  ND: no witness (%.1fs)\n%!" (Unix.gettimeofday () -. t0))
+    [ ([| 1; 2; 3 |], 0b011); ([| 1; 1; 2 |], 0b001) ]

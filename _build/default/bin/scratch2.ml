@@ -1,0 +1,40 @@
+module S3 = Modelcheck.Snapshot3
+
+let mask_str m =
+  let l = List.filter (fun i -> m land (1 lsl (i - 1)) <> 0) [ 1; 2; 3 ] in
+  "{" ^ String.concat "," (List.map string_of_int l) ^ "}"
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let wirings = Anonmem.Wiring.enumerate ~n:3 ~m:3 ~fix_first:true in
+  let configs =
+    [ (* (inputs, target) — group configurations first: the two same-input
+         processors can climb levels together while the third covers *)
+      ([| 1; 1; 2 |], 0b001);
+      ([| 1; 2; 2 |], 0b010);
+      ([| 1; 1; 2 |], 0b011);
+      ([| 1; 2; 3 |], 0b011);
+      ([| 1; 2; 3 |], 0b001);
+    ]
+  in
+  let try_config (inputs, target_mask) =
+    Printf.printf "inputs (%d,%d,%d), target %s...\n%!" inputs.(0) inputs.(1)
+      inputs.(2) (mask_str target_mask);
+    match S3.find_nonatomic ~inputs ~target_mask ~wirings () with
+    | Some w ->
+        Printf.printf
+          "WITNESS (%.1fs): p%d returns %s, memory never contains it\n"
+          (Unix.gettimeofday () -. t0) (w.S3.culprit + 1) (mask_str w.S3.target_mask);
+        Printf.printf "  wiring %s, path length %d, states explored %d\n"
+          (Fmt.str "%a" Anonmem.Wiring.pp w.S3.wiring)
+          (List.length w.S3.path) w.S3.states_explored;
+        Printf.printf "  path: %s\n%!"
+          (String.concat ""
+             (List.map (fun p -> string_of_int (p + 1)) w.S3.path));
+        true
+    | None ->
+        Printf.printf "  no witness (%.1fs)\n%!" (Unix.gettimeofday () -. t0);
+        false
+  in
+  if not (List.exists try_config configs) then
+    print_endline "NO WITNESS in any tried configuration"

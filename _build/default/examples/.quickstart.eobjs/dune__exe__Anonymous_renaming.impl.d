@@ -1,0 +1,1 @@
+examples/anonymous_renaming.ml: Algorithms Array Core List Printf Repro_util String

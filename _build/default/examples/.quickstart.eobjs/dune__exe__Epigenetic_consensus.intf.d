@@ -1,0 +1,1 @@
+examples/epigenetic_consensus.mli:

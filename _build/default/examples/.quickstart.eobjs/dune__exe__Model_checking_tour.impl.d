@@ -1,0 +1,1 @@
+examples/model_checking_tour.ml: Algorithms Anonmem Core List Modelcheck Printf String

@@ -1,0 +1,1 @@
+examples/multicore_snapshot.ml: Array Printf Repro_util Runtime_shm

@@ -1,0 +1,1 @@
+examples/pathological_trace.ml: Algorithms Analysis Array List Printf Repro_util Snapshot_ext Write_scan_ext

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Anonmem Array Core Fmt List Printf Repro_util String

@@ -1,0 +1,64 @@
+(* Adaptive renaming among anonymous sensors (Figure 4).
+
+   A field of disposable sensors is dropped with no serial numbers; sensors
+   of the same production batch are indistinguishable (same group).  Each
+   sensor must claim a transmission slot.  Group-solving adaptive renaming
+   gives every *batch* pairwise-distinct slots in the adaptive range
+   1..M(M+1)/2 for M participating batches: sensors from different batches
+   never collide, and sensors of the same batch may share a slot — which is
+   fine, duplicates within a batch transmit identical data anyway.
+
+   Run with: dune exec examples/anonymous_renaming.exe *)
+
+let batches = [| 1; 1; 2; 3; 3; 3 |] (* six sensors from three batches *)
+
+let () =
+  let n = Array.length batches in
+  let m =
+    Repro_util.Iset.cardinal (Repro_util.Iset.of_list (Array.to_list batches))
+  in
+  Printf.printf "%d anonymous sensors from %d batches claim slots\n" n m;
+  Printf.printf "batch of each sensor: %s\n"
+    (String.concat " " (Array.to_list (Array.map string_of_int batches)));
+  Printf.printf "adaptive slot range: 1..%d\n\n"
+    (Algorithms.Renaming.max_name ~groups:m);
+  match Core.solve_renaming ~seed:5 ~inputs:batches () with
+  | Error e ->
+      prerr_endline ("renaming failed: " ^ e);
+      exit 1
+  | Ok { outputs; _ } ->
+      Array.iteri
+        (fun p (o : Algorithms.Renaming.output) ->
+          Printf.printf
+            "sensor %d (batch %d): slot %-2d  (snapshot %s, size %d, rank %d)\n"
+            (p + 1) batches.(p) o.name_out
+            (Repro_util.Iset.to_string o.snapshot)
+            o.size o.rank)
+        outputs;
+      (* Cross-batch distinctness: the guarantee Section 6 proves. *)
+      print_newline ();
+      Array.iteri
+        (fun p (op : Algorithms.Renaming.output) ->
+          Array.iteri
+            (fun q (oq : Algorithms.Renaming.output) ->
+              if p < q && batches.(p) <> batches.(q) then
+                assert (op.name_out <> oq.name_out))
+            outputs)
+        outputs;
+      Printf.printf "no two sensors of different batches share a slot.\n";
+      (* Same-batch sharing is allowed and does happen under some
+         schedules; survey a few seeds. *)
+      let shared = ref 0 and runs = 30 in
+      for seed = 1 to runs do
+        match Core.solve_renaming ~seed ~inputs:batches () with
+        | Ok { outputs; _ } ->
+            let names =
+              Array.to_list (Array.map (fun (o : Algorithms.Renaming.output) -> o.name_out) outputs)
+            in
+            let distinct = List.sort_uniq compare names in
+            if List.length distinct < List.length names then incr shared
+        | Error _ -> ()
+      done;
+      Printf.printf
+        "same-batch slot sharing (legal) occurred in %d of %d further runs.\n"
+        !shared runs

@@ -1,0 +1,51 @@
+(* The epigenetic-consensus scenario that motivates the fully-anonymous
+   model (Rashid, Taubenfeld & Bar-Joseph; cited in the paper's
+   introduction): biological agents — think cells writing epigenetic marks
+   at genome locations — have no identities and no common frame of
+   reference for the locations they touch.  Reaching a common decision
+   (e.g. a shared expression level) in that setting is exactly
+   obstruction-free consensus in the fully-anonymous model (Figure 5).
+
+   We simulate a colony of cells, each starting with its own proposed
+   expression level; the colony converges on a single level.  The decision
+   is reached despite the cells being wired to the marks arbitrarily.
+
+   Run with: dune exec examples/epigenetic_consensus.exe *)
+
+let levels = [| 3; 7; 7; 2; 7; 5; 3; 7 |]
+
+let () =
+  let n = Array.length levels in
+  Printf.printf
+    "A colony of %d anonymous cells proposes expression levels:\n  %s\n\n" n
+    (String.concat " " (Array.to_list (Array.map string_of_int levels)));
+  Printf.printf
+    "Each cell runs the same program over %d anonymous shared marks\n" n;
+  Printf.printf "(obstruction-free consensus over a long-lived group snapshot).\n\n";
+  match Core.solve_consensus ~seed:99 ~inputs:levels () with
+  | Error e ->
+      prerr_endline ("consensus failed: " ^ e);
+      exit 1
+  | Ok { outputs; steps; _ } ->
+      let decided = outputs.(0) in
+      Printf.printf "after %d shared-memory operations, every cell decided: %d\n"
+        steps decided;
+      assert (Array.for_all (Int.equal decided) outputs);
+      assert (Array.exists (Int.equal decided) levels);
+      Printf.printf
+        "agreement and validity hold: %d was proposed and is now unanimous.\n"
+        decided;
+      (* Contrast: under heavy contention the algorithm may not decide —
+         it is obstruction-free, not wait-free.  Give the colony an
+         adversarial interleaving budget and observe progress stalls are
+         possible but safety never breaks. *)
+      let trials = 20 in
+      let stalls = ref 0 in
+      for seed = 1 to trials do
+        match Core.solve_consensus ~seed ~contention_steps:200 ~inputs:levels () with
+        | Ok r -> assert (Array.for_all (Int.equal r.Core.outputs.(0)) r.Core.outputs)
+        | Error _ -> incr stalls
+      done;
+      Printf.printf
+        "\n%d/%d contended trials decided (agreement held in every one).\n"
+        (trials - !stalls) trials

@@ -1,0 +1,1 @@
+lib/algorithms/consensus.ml: Fmt Int List Long_lived_snapshot Repro_util Sorted_set

@@ -1,0 +1,1 @@
+lib/algorithms/consensus.mli: Anonmem Fmt Long_lived_snapshot Repro_util Sorted_set

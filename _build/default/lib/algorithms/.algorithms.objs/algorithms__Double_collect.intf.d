@@ -1,0 +1,1 @@
+lib/algorithms/double_collect.mli: Anonmem Fmt Iset Repro_util

@@ -1,0 +1,1 @@
+lib/algorithms/long_lived_snapshot.ml: Fmt Iset Repro_util Snapshot_core Sorted_set

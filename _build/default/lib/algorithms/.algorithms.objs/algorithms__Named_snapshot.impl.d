@@ -1,0 +1,1 @@
+lib/algorithms/named_snapshot.ml: Anonmem Fmt Iset List Repro_util

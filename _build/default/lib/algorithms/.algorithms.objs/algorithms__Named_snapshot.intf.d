@@ -1,0 +1,1 @@
+lib/algorithms/named_snapshot.mli: Anonmem Fmt Iset Repro_util

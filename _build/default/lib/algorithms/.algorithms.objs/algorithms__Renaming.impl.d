@@ -1,0 +1,1 @@
+lib/algorithms/renaming.ml: Fmt Iset Repro_util Snapshot

@@ -1,0 +1,1 @@
+lib/algorithms/renaming.mli: Anonmem Fmt Iset Repro_util Snapshot

@@ -1,0 +1,1 @@
+lib/algorithms/snapshot.ml: Fmt Iset Repro_util Snapshot_core

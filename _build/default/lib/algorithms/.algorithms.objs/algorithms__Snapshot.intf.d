@@ -1,0 +1,1 @@
+lib/algorithms/snapshot.mli: Anonmem Fmt Iset Repro_util Snapshot_core

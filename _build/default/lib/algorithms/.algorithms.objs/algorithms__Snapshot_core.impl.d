@@ -1,0 +1,1 @@
+lib/algorithms/snapshot_core.ml: Anonmem Fmt Repro_util Sorted_set

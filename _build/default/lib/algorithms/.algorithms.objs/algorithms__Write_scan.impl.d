@@ -1,0 +1,1 @@
+lib/algorithms/write_scan.ml: Anonmem Fmt Iset Repro_util

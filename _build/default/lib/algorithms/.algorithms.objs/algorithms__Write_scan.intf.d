@@ -1,0 +1,1 @@
+lib/algorithms/write_scan.mli: Anonmem Fmt Iset Repro_util

@@ -1,0 +1,130 @@
+(** Figure 5: obstruction-free consensus, by derandomizing Chandra's
+    shared-coin algorithm (Chandra 1996) on top of the long-lived snapshot,
+    following Guerraoui and Ruppert (2005).
+
+    Each processor maintains a preference (initially its input) and a
+    monotonically increasing timestamp (initially 0).  It repeatedly invokes
+    the long-lived snapshot with the pair [(preference, timestamp)] as
+    input.  Upon obtaining a snapshot it decides a value [v] if [v] appears
+    with a timestamp at least 2 greater than the timestamp of any other
+    value; otherwise it adopts the value with the highest timestamp and
+    re-invokes with that timestamp plus one.
+
+    All communication goes through the long-lived snapshot — the consensus
+    layer never touches a register directly — so its steps cannot interfere
+    with the snapshot protocol.  A processor running solo first adopts the
+    leading value and then raises its timestamp twice, so the algorithm is
+    obstruction-free; agreement holds in every execution
+    ({!Tasks.Consensus_task} checks it). *)
+
+open Repro_util
+
+(** View elements: [(value, timestamp)] pairs. *)
+module Pref = struct
+  type t = int * int
+
+  let compare (v1, t1) (v2, t2) =
+    match Int.compare v1 v2 with 0 -> Int.compare t1 t2 | c -> c
+end
+
+module Pset = Sorted_set.Make (Pref)
+
+module Pref_pp = struct
+  let pp_elt ppf ((v, t) : Pref.t) = Fmt.pf ppf "%d@%d" v t
+end
+
+module Snap = Long_lived_snapshot.Make (Pset) (Pref_pp)
+
+type cfg = Snap.cfg = { n : int; m : int }
+
+let cfg = Snap.cfg
+let standard ~n = Snap.standard ~n
+
+type value = Snap.value
+type input = int
+type output = int
+
+type local = {
+  input : int;
+  pref : int;
+  ts : int;
+  decided : int option;
+  rounds : int;  (** completed snapshot invocations, for the benchmarks *)
+  snap : Snap.local;
+}
+
+let name = "consensus(fig5)"
+let processors = Snap.processors
+let registers = Snap.registers
+let register_init = Snap.register_init
+
+let init c input =
+  { input; pref = input; ts = 0; decided = None; rounds = 0; snap = Snap.init c (input, 0) }
+
+let next c l =
+  match l.decided with None -> Snap.next c l.snap | Some _ -> None
+
+let apply_write c l = { l with snap = Snap.apply_write c l.snap }
+
+(** Highest timestamp carried by each value in a snapshot, as an
+    association list sorted by value. *)
+let leaders view =
+  Pset.fold
+    (fun (v, t) acc ->
+      match List.assoc_opt v acc with
+      | Some t' when t' >= t -> acc
+      | _ -> (v, t) :: List.remove_assoc v acc)
+    view []
+
+(** The decision rule of Figure 5 applied to a completed snapshot: either
+    [`Decide v] or [`Adopt (pref, ts)] for the next invocation.
+
+    A value absent from the snapshot counts as having timestamp 0 — in
+    Chandra's racing formulation both counters exist from the start at 0,
+    and a decision requires being two {e ahead}, not merely unopposed.
+    This reading is load-bearing: treating absent rivals as [-oo] (decide
+    the moment your snapshot contains no other value) is falsified by our
+    bounded model checker with a 60-step two-processor disagreement — a
+    covering pattern keeps one processor's snapshot at its own singleton
+    while the other pumps its timestamp in a parallel universe; see
+    test_consensus.ml and EXPERIMENTS.md.  Requiring a lead of 2 over the
+    implicit 0 forces a solo decider to raise its timestamp to 2 first,
+    and the containment of snapshot outputs then prevents the split. *)
+let resolve view =
+  let l = leaders view in
+  let v1, t1 =
+    List.fold_left
+      (fun (bv, bt) (v, t) ->
+        if t > bt || (t = bt && v < bv) then (v, t) else (bv, bt))
+      (max_int, min_int) l
+  in
+  let rival_ts =
+    List.fold_left (fun acc (v, t) -> if v = v1 then acc else max acc t) 0 l
+  in
+  if t1 >= rival_ts + 2 then `Decide v1 else `Adopt (v1, t1 + 1)
+
+let apply_read c l ~reg v =
+  let snap = Snap.apply_read c l.snap ~reg v in
+  if not (Snap.ready c snap) then { l with snap }
+  else
+    (* The invocation just completed: consume the snapshot and either
+       decide or immediately re-invoke, all within this atomic step (local
+       computation folds into the adjacent read, as in PlusCal). *)
+    let l = { l with rounds = l.rounds + 1 } in
+    match resolve (Snap.output_view snap) with
+    | `Decide value -> { l with decided = Some value; snap }
+    | `Adopt (pref, ts) ->
+        { l with pref; ts; snap = Snap.invoke c snap (pref, ts) }
+
+let output _ l = l.decided
+let rounds_of_local l = l.rounds
+let preference_of_local l = (l.pref, l.ts)
+let pp_value = Snap.pp_value
+
+let pp_local c ppf l =
+  Fmt.pf ppf "{pref=%d ts=%d %a snap=%a}" l.pref l.ts
+    (Fmt.option ~none:(Fmt.any "undecided") (fun ppf d ->
+         Fmt.pf ppf "decided=%d" d))
+    l.decided (Snap.pp_local c) l.snap
+
+let pp_output _ = Fmt.int

@@ -1,0 +1,94 @@
+(** Baseline: the natural-but-wrong "double collect" termination rule for
+    the fully-anonymous model.
+
+    Section 4 of the paper observes that a processor cannot safely output
+    its view as a snapshot merely because it read the same set of values in
+    every register — not even twice in a row.  This protocol implements
+    exactly that rule: write the view, scan, and terminate after two
+    consecutive scans that read exactly the current view in every register.
+
+    Under benign schedules it terminates quickly with correct-looking
+    output, but under the Figure-2 adversary (see {!Analysis.Figure2}) two
+    processors with the same input can be fed the incomparable sets {1,2}
+    and {1,3} forever and will both terminate, violating the containment
+    property of the snapshot task.  The test-suite exhibits the violation;
+    the level mechanism of Figure 3 exists precisely to rule it out. *)
+
+open Repro_util
+
+type cfg = { n : int; m : int }
+
+let cfg ~n ~m =
+  if n < 1 || m < 1 then invalid_arg "Double_collect.cfg";
+  { n; m }
+
+let standard ~n = cfg ~n ~m:n
+
+type value = Iset.t
+type input = int
+type output = Iset.t
+(* As in {!Snapshot_core}, reads fold into the view immediately instead of
+   through a separate accumulator — observably equivalent and cheaper to
+   model-check. *)
+type scan = { pos : int; all_own : bool }
+type phase = Writing | Scanning of scan
+
+type local = {
+  view : Iset.t;
+  next_write : int;
+  streak : int;  (** consecutive scans that read exactly [view] everywhere *)
+  phase : phase;
+}
+
+let name = "double-collect(broken)"
+let processors c = c.n
+let registers c = c.m
+let register_init _ = Iset.empty
+
+let init _ input =
+  { view = Iset.singleton input; next_write = 0; streak = 0; phase = Writing }
+
+let terminated l = l.streak >= 2 && l.phase = Writing
+
+let next _ l =
+  if terminated l then None
+  else
+    match l.phase with
+    | Writing -> Some (Anonmem.Protocol.Write (l.next_write, l.view))
+    | Scanning { pos; _ } -> Some (Anonmem.Protocol.Read pos)
+
+let apply_write c l =
+  match l.phase with
+  | Scanning _ -> invalid_arg "Double_collect.apply_write: not writing"
+  | Writing ->
+      {
+        l with
+        next_write = (l.next_write + 1) mod c.m;
+        phase = Scanning { pos = 0; all_own = true };
+      }
+
+let apply_read c l ~reg v =
+  match l.phase with
+  | Writing -> invalid_arg "Double_collect.apply_read: not scanning"
+  | Scanning s ->
+      if reg <> s.pos then invalid_arg "Double_collect.apply_read: wrong register";
+      let all_own = s.all_own && Iset.equal v l.view in
+      let view = if all_own then l.view else Iset.union l.view v in
+      let s = { pos = s.pos + 1; all_own } in
+      if s.pos < c.m then { l with view; phase = Scanning s }
+      else
+        {
+          l with
+          view;
+          streak = (if s.all_own then l.streak + 1 else 0);
+          phase = Writing;
+        }
+
+let output _ l = if terminated l then Some l.view else None
+let view_of_local l = l.view
+let pp_value _ = Iset.pp_set
+
+let pp_local _ ppf l =
+  Fmt.pf ppf "{view=%a streak=%d}" Iset.pp_set l.view l.streak
+
+let pp_output _ = Iset.pp_set

@@ -1,0 +1,47 @@
+(** Baseline: the natural-but-wrong "double collect" termination rule.
+
+    Write the view, scan, and terminate after two consecutive scans that
+    read exactly the current view in every register.  Section 4 of the
+    paper shows why no such bounded rule can be a sound snapshot detector
+    in the fully-anonymous model: the Figure-2 adversary feeds two
+    processors the incomparable sets [{1,2}] and [{1,3}] in every scan,
+    forever.  The test-suite exhibits the attack; the benchmarks record
+    how much cheaper this unsound rule is than the Figure-3 levels — the
+    price of correctness.
+
+    Implements {!Anonmem.Protocol.S}. *)
+
+open Repro_util
+
+type cfg = { n : int; m : int }
+
+val cfg : n:int -> m:int -> cfg
+val standard : n:int -> cfg
+
+type value = Iset.t
+type input = int
+type output = Iset.t
+type scan = { pos : int; all_own : bool }
+type phase = Writing | Scanning of scan
+
+type local = {
+  view : Iset.t;
+  next_write : int;
+  streak : int;  (** consecutive scans that read exactly [view] everywhere *)
+  phase : phase;
+}
+
+val name : string
+val processors : cfg -> int
+val registers : cfg -> int
+val register_init : cfg -> value
+val init : cfg -> input -> local
+val terminated : local -> bool
+val next : cfg -> local -> value Anonmem.Protocol.operation option
+val apply_read : cfg -> local -> reg:int -> value -> local
+val apply_write : cfg -> local -> local
+val output : cfg -> local -> output option
+val view_of_local : local -> Iset.t
+val pp_value : cfg -> value Fmt.t
+val pp_local : cfg -> local Fmt.t
+val pp_output : cfg -> output Fmt.t

@@ -1,0 +1,108 @@
+(** Baseline: a collect-based snapshot for {e named} memory (wiring fixed to
+    the identity), in the style of the single-writer constructions of Afek
+    et al. (1993) that the paper contrasts with.
+
+    Processors are de-anonymized through their inputs: each receives a
+    unique identity in [1..N] and uses it to claim register [id - 1] as its
+    single-writer register — exactly the kind of pre-agreed naming that the
+    fully-anonymous model forbids.  The processor writes its identity once
+    and then repeatedly collects all registers until two consecutive
+    collects are identical, outputting the set of identities seen (plus its
+    own).
+
+    On named memory (identity wiring) the double collect really is a valid
+    snapshot here, because every processor writes exactly once: a repeated
+    identical collect proves the memory did not change in between.  On
+    anonymous memory (random wirings) two processors may be wired to the
+    same physical register; writes get lost and collects started after all
+    writes completed can miss participants — the completeness violation
+    demonstrated in the test-suite.  This baseline makes concrete why the
+    paper needs an entirely different construction. *)
+
+open Repro_util
+
+type cfg = { n : int }
+
+let cfg ~n =
+  if n < 1 then invalid_arg "Named_snapshot.cfg";
+  { n }
+
+type slot = { id : int; seq : int }
+type value = slot option
+type input = int
+type output = Iset.t
+
+type phase =
+  | Announce  (** about to write the single-writer register *)
+  | Collecting of { pos : int; acc : value list }
+      (** [acc] holds the values read so far, most recent first *)
+  | Compare of { last : value list }
+      (** a full collect just completed; compare with the next one *)
+
+type local = {
+  id : int;
+  prev : value list option;  (** previous full collect, oldest-first *)
+  phase : phase;
+  result : Iset.t option;
+}
+
+let name = "named-snapshot(baseline)"
+let processors c = c.n
+let registers c = c.n
+let register_init _ = None
+let init _ id = { id; prev = None; phase = Announce; result = None }
+
+let next c l =
+  match l.result with
+  | Some _ -> None
+  | None -> (
+      match l.phase with
+      | Announce ->
+          Some (Anonmem.Protocol.Write (l.id - 1, Some { id = l.id; seq = 1 }))
+      | Collecting { pos; _ } -> Some (Anonmem.Protocol.Read pos)
+      | Compare _ ->
+          (* Never reached: Compare is resolved eagerly in [apply_read]. *)
+          Some (Anonmem.Protocol.Read (c.n - 1)))
+
+let start_collect = Collecting { pos = 0; acc = [] }
+
+let apply_write _ l =
+  match l.phase with
+  | Announce -> { l with phase = start_collect }
+  | Collecting _ | Compare _ ->
+      invalid_arg "Named_snapshot.apply_write: not announcing"
+
+let ids_of_collect l (collect : value list) =
+  List.fold_left
+    (fun acc (slot : value) ->
+      match slot with None -> acc | Some { id; _ } -> Iset.add id acc)
+    (Iset.singleton l.id) collect
+
+let apply_read c l ~reg v =
+  match l.phase with
+  | Announce | Compare _ -> invalid_arg "Named_snapshot.apply_read: not collecting"
+  | Collecting { pos; acc } ->
+      if reg <> pos then invalid_arg "Named_snapshot.apply_read: wrong register";
+      let acc = v :: acc in
+      if pos + 1 < c.n then { l with phase = Collecting { pos = pos + 1; acc } }
+      else
+        let collect = List.rev acc in
+        let stable =
+          match l.prev with Some p -> p = collect | None -> false
+        in
+        if stable then
+          { l with result = Some (ids_of_collect l collect); phase = start_collect }
+        else { l with prev = Some collect; phase = start_collect }
+
+let output _ l = l.result
+
+let pp_value _ ppf = function
+  | None -> Fmt.string ppf "-"
+  | Some { id; seq } -> Fmt.pf ppf "%d#%d" id seq
+
+let pp_local _ ppf l =
+  Fmt.pf ppf "{id=%d %a}" l.id
+    (Fmt.option ~none:(Fmt.any "collecting") Iset.pp_set)
+    l.result
+
+let pp_output _ = Iset.pp_set

@@ -1,0 +1,52 @@
+(** Baseline: a collect-based snapshot for {e named} memory, in the style
+    of the single-writer constructions (Afek et al. 1993) that the paper
+    contrasts with.
+
+    Processors are de-anonymized through their inputs (a unique identity
+    in [1..N]) and claim register [id - 1] as a single-writer register —
+    exactly the pre-agreed naming the fully-anonymous model forbids.
+    After announcing its identity once, a processor repeatedly collects
+    all registers until two consecutive collects agree and outputs the
+    identities seen.
+
+    Under the identity wiring this is a valid snapshot (every processor
+    writes once, so a repeated collect certifies quiescence); under
+    anonymous (random) wirings two processors may share a physical
+    register and completeness breaks — the test-suite quantifies how
+    often.  Implements {!Anonmem.Protocol.S}. *)
+
+open Repro_util
+
+type cfg = { n : int }
+
+val cfg : n:int -> cfg
+
+type slot = { id : int; seq : int }
+type value = slot option
+type input = int
+type output = Iset.t
+
+type phase =
+  | Announce
+  | Collecting of { pos : int; acc : value list }
+  | Compare of { last : value list }
+
+type local = {
+  id : int;
+  prev : value list option;
+  phase : phase;
+  result : Iset.t option;
+}
+
+val name : string
+val processors : cfg -> int
+val registers : cfg -> int
+val register_init : cfg -> value
+val init : cfg -> input -> local
+val next : cfg -> local -> value Anonmem.Protocol.operation option
+val apply_read : cfg -> local -> reg:int -> value -> local
+val apply_write : cfg -> local -> local
+val output : cfg -> local -> output option
+val pp_value : cfg -> value Fmt.t
+val pp_local : cfg -> local Fmt.t
+val pp_output : cfg -> output Fmt.t

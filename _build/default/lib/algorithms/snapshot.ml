@@ -1,0 +1,44 @@
+(** Figure 3: the wait-free solution to the snapshot task in the
+    fully-anonymous model.
+
+    Registers hold [(view, level)] records.  A processor raises its level
+    only across scans in which it read exactly its own view in every
+    register — and then only to one more than the minimum level it read —
+    and resets it to 0 otherwise.  It terminates, outputting its view as
+    snapshot, upon completing a scan with level [N].
+
+    The algorithm group-solves the snapshot task (Definition 3.4) and in
+    fact guarantees the stronger property that {e all} outputs are related
+    by containment (Section 5.3.2), which {!Tasks.Snapshot_task} checks. *)
+
+open Repro_util
+module Core = Snapshot_core.Make (Iset)
+
+type cfg = Core.cfg = { n : int; m : int }
+
+let cfg = Core.cfg
+
+let standard ~n = Core.cfg ~n ~m:n
+(** The paper's instantiation: as many registers as processors. *)
+
+type value = Core.value = { view : Iset.t; level : int }
+type input = int
+type output = Iset.t
+type local = Core.local
+
+let name = "snapshot(fig3)"
+let processors (c : cfg) = c.n
+let registers (c : cfg) = c.m
+let register_init = Core.register_init
+let init = Core.init
+
+let terminated c (l : local) = Core.reached_level c l
+let next c l = if terminated c l then None else Some (Core.next c l)
+let apply_read = Core.apply_read
+let apply_write = Core.apply_write
+let output c (l : local) = if terminated c l then Some l.Core.view else None
+let level_of_local (l : local) = l.Core.level
+let view_of_local (l : local) = l.Core.view
+let pp_value _ = Core.pp_velt Fmt.int
+let pp_local _ = Core.pp_local Fmt.int
+let pp_output _ = Iset.pp_set

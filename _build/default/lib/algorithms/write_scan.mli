@@ -1,0 +1,45 @@
+(** Figure 1: the plain write–scan loop.
+
+    Each processor forever alternates between writing its view (the set of
+    inputs it knows) to the next register of a private fair cyclic order
+    and scanning all registers, folding what it reads into its view.  No
+    processor ever terminates; the protocol exists to study which view
+    patterns can survive forever — the eventual-pattern question of
+    Section 4, answered by {!Analysis.Stable_views} (Theorem 4.8: stable
+    views form a DAG with a unique source).
+
+    Implements {!Anonmem.Protocol.S} with an uninhabited output type. *)
+
+open Repro_util
+
+type cfg = { n : int; m : int }
+
+val cfg : n:int -> m:int -> cfg
+
+type value = Iset.t
+type input = int
+
+type output = |
+(** This protocol produces no outputs. *)
+
+type scan = { pos : int }
+type phase = Writing | Scanning of scan
+type local = { view : Iset.t; next_write : int; phase : phase }
+
+val name : string
+val processors : cfg -> int
+val registers : cfg -> int
+val register_init : cfg -> value
+val init : cfg -> input -> local
+val next : cfg -> local -> value Anonmem.Protocol.operation option
+val apply_read : cfg -> local -> reg:int -> value -> local
+val apply_write : cfg -> local -> local
+val output : cfg -> local -> output option
+
+val view_of_local : local -> Iset.t
+val at_round_boundary : local -> bool
+(** Between rounds: the processor's next operation is a write. *)
+
+val pp_value : cfg -> value Fmt.t
+val pp_local : cfg -> local Fmt.t
+val pp_output : cfg -> output Fmt.t

@@ -1,0 +1,1 @@
+lib/analysis/figure2.ml: Algorithms Anonmem Array Iset List Repro_util Text_table

@@ -1,0 +1,1 @@
+lib/analysis/lower_bound.ml: Algorithms Anonmem Array Fmt Iset List Option Permutation Repro_util Tasks

@@ -1,0 +1,1 @@
+lib/analysis/stable_views.ml: Algorithms Anonmem Array Fun Iset List Repro_util Rng View_graph

@@ -1,0 +1,1 @@
+lib/analysis/sweep.ml: Algorithms Anonmem Array Fun List Printf Repro_util Rng Stats Text_table

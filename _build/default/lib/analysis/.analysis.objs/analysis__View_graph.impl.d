@@ -1,0 +1,1 @@
+lib/analysis/view_graph.ml: Array Digraph Fmt Iset List Repro_util

@@ -1,0 +1,270 @@
+(** Figure 2: the pathological infinite execution of Section 4.1, and its
+    5-processor extension.
+
+    Three processors with inputs 1, 2, 3 run the write–scan loop over three
+    registers.  Processor 1 is wired through the permutation (2 3 1) while
+    processors 2 and 3 are wired straight through; under the cyclic
+    schedule below they overwrite each other forever so that the views
+    [{1}], [{1,2}] and [{1,3}] — the last two incomparable — are all
+    maintained ad infinitum.  Steps 5–13 repeat forever after step 13.
+
+    The extension adds two processors [p] and [p'] with input 1 whose reads
+    and writes are timed (by an omniscient adversary scheduler) so that [p]
+    only ever sees [{1,2}] and [p'] only ever sees [{1,3}] in {e every}
+    register of {e every} scan, without perturbing the base execution.
+    This kills naive termination rules: running the write–scan loop, [p]
+    and [p'] accumulate unboundedly many consecutive "clean" scans (reading
+    exactly their own view everywhere), so any rule that outputs after a
+    bounded number of clean scans — single collect, double collect, any
+    [k]-collect — would emit the incomparable sets [{1,2}] and [{1,3}].
+    Under {!Algorithms.Snapshot}, by contrast, the levels of [p] and [p']
+    stay pinned at 1 (they read level-0 values from the churners) and only
+    processor 1 — whose view [{1}] is the unique source of the stable-view
+    graph — reaches level [N] and terminates, breaking the pattern exactly
+    as Section 5.1 describes. *)
+
+open Repro_util
+module Protocol = Anonmem.Protocol
+module Wiring = Anonmem.Wiring
+module Write_scan = Algorithms.Write_scan
+
+(* Processor 1's wiring: private register i is physical register (i+1) mod 3,
+   i.e. the paper's sigma_1 = (2 3 1).  This makes its fair write order
+   r2, r3, r1, matching steps 1, 4, 7, 10, 13 of the figure. *)
+let sigma1 = [ 1; 2; 0 ]
+let id3 = [ 0; 1; 2 ]
+let base_wiring () = Wiring.of_lists [ sigma1; id3; id3 ]
+let base_inputs = [| 1; 2; 3 |]
+
+(** [(pid, iterations)] of each action row: one iteration is one write
+    followed by a full scan (4 steps with 3 registers).  Action 1 is
+    processor 1's double write; actions 5–13 form the repeating cycle
+    p2, p3, p1. *)
+let action_schedule k =
+  if k = 0 then (0, 2) else ([| 1; 2; 0 |].((k - 1) mod 3), 1)
+
+let action_label k =
+  if k = 0 then "p1 writes twice and ends with a scan"
+  else
+    match (k - 1) mod 3 with
+    | 0 -> "p2 writes then scans"
+    | 1 -> "p3 overwrites p2 then scans"
+    | _ -> "p1 overwrites p3 then scans"
+
+type row = { action : string; registers : Iset.t list; views : Iset.t list }
+
+(** The execution as a step-level ultimately-periodic schedule: an action
+    is one write followed by a 3-register scan (4 steps).  Feed these to
+    {!Anonmem.Scheduler.script_then_cycle} to drive the execution through
+    a generic runner (e.g. the stable-view analysis). *)
+let step_prefix =
+  List.concat_map
+    (fun (pid, iters) -> List.init (4 * iters) (fun _ -> pid))
+    [ (0, 2); (1, 1); (2, 1); (0, 1) ]
+
+let step_cycle =
+  List.concat_map (fun pid -> [ pid; pid; pid; pid ]) [ 1; 2; 0; 1; 2; 0; 1; 2; 0 ]
+
+let iset = Iset.of_list
+
+(** The thirteen post-states printed in Figure 2 of the paper, used as the
+    reference the generated execution is checked against. *)
+let expected_rows : row list =
+  let r regs views action =
+    {
+      action;
+      registers = List.map iset regs;
+      views = List.map iset views;
+    }
+  in
+  [
+    r [ []; [ 1 ]; [ 1 ] ] [ [ 1 ]; [ 2 ]; [ 3 ] ] (action_label 0);
+    r [ [ 2 ]; [ 1 ]; [ 1 ] ] [ [ 1 ]; [ 1; 2 ]; [ 3 ] ] (action_label 1);
+    r [ [ 3 ]; [ 1 ]; [ 1 ] ] [ [ 1 ]; [ 1; 2 ]; [ 1; 3 ] ] (action_label 2);
+    r [ [ 1 ]; [ 1 ]; [ 1 ] ] [ [ 1 ]; [ 1; 2 ]; [ 1; 3 ] ] (action_label 3);
+    r [ [ 1 ]; [ 1; 2 ]; [ 1 ] ] [ [ 1 ]; [ 1; 2 ]; [ 1; 3 ] ] (action_label 4);
+    r [ [ 1 ]; [ 1; 3 ]; [ 1 ] ] [ [ 1 ]; [ 1; 2 ]; [ 1; 3 ] ] (action_label 5);
+    r [ [ 1 ]; [ 1 ]; [ 1 ] ] [ [ 1 ]; [ 1; 2 ]; [ 1; 3 ] ] (action_label 6);
+    r [ [ 1 ]; [ 1 ]; [ 1; 2 ] ] [ [ 1 ]; [ 1; 2 ]; [ 1; 3 ] ] (action_label 7);
+    r [ [ 1 ]; [ 1 ]; [ 1; 3 ] ] [ [ 1 ]; [ 1; 2 ]; [ 1; 3 ] ] (action_label 8);
+    r [ [ 1 ]; [ 1 ]; [ 1 ] ] [ [ 1 ]; [ 1; 2 ]; [ 1; 3 ] ] (action_label 9);
+    r [ [ 1; 2 ]; [ 1 ]; [ 1 ] ] [ [ 1 ]; [ 1; 2 ]; [ 1; 3 ] ] (action_label 10);
+    r [ [ 1; 3 ]; [ 1 ]; [ 1 ] ] [ [ 1 ]; [ 1; 2 ]; [ 1; 3 ] ] (action_label 11);
+    r [ [ 1 ]; [ 1 ]; [ 1 ] ] [ [ 1 ]; [ 1; 2 ]; [ 1; 3 ] ] (action_label 12);
+  ]
+
+module Sys = Anonmem.System.Make (Write_scan)
+
+(** Replay the base execution for [actions] action rows (default 13, the
+    figure; more rows continue the repeating cycle). *)
+let generate ?(actions = 13) () =
+  let cfg = Write_scan.cfg ~n:3 ~m:3 in
+  let state = Sys.init ~cfg ~wiring:(base_wiring ()) ~inputs:base_inputs in
+  let snapshot_row k =
+    {
+      action = action_label k;
+      registers = Array.to_list state.Sys.registers;
+      views =
+        Array.to_list (Array.map Write_scan.view_of_local state.Sys.locals);
+    }
+  in
+  List.init actions (fun k ->
+      let pid, iters = action_schedule k in
+      for _ = 1 to iters * 4 do
+        ignore (Sys.step_in_place state pid)
+      done;
+      snapshot_row k)
+
+let to_table rows =
+  let t =
+    Text_table.create
+      ~headers:[ "#"; "Actions"; "r1"; "r2"; "r3"; "view[p1]"; "view[p2]"; "view[p3]" ]
+  in
+  List.iteri
+    (fun i { action; registers; views } ->
+      Text_table.add_row t
+        (string_of_int (i + 1) :: action
+        :: List.map Iset.to_string registers
+        @ List.map Iset.to_string views))
+    rows;
+  t
+
+(** {1 The 5-processor extension}
+
+    Generic over the protocol run by the two extra processors so that the
+    same adversary demonstrates both the double-collect failure and the
+    snapshot algorithm's resistance.  All five processors run the same
+    protocol [P] (full anonymity: one program); the adversary only controls
+    timing. *)
+
+module Extension (P : sig
+  include Anonmem.Protocol.S with type input = int
+
+  val view_of_value : value -> Iset.t
+  (** The set-of-inputs component of a register value, used by the
+      adversary to time the steps of [p] and [p']. *)
+end) =
+struct
+  module Sys = Anonmem.System.Make (P)
+
+  let p_id = 3
+  let p'_id = 4
+  let target = function 3 -> iset [ 1; 2 ] | 4 -> iset [ 1; 3 ] | _ -> assert false
+
+  (* p and p' share processor 1's scan order r2, r3, r1: the {1,2} (resp.
+     {1,3}) windows rotate through the physical registers in exactly that
+     order, one window per base action triple. *)
+  let wiring () = Wiring.of_lists [ sigma1; id3; id3; sigma1; sigma1 ]
+  let inputs = [| 1; 2; 3; 1; 1 |]
+
+  (** A step of an extra processor is safe when it cannot perturb the base
+      execution nor the processor's own illusion: a read must return
+      exactly the target set (or, before the illusion is established, any
+      set it already knows), a write must not change the register's set. *)
+  let safe state q =
+    match Sys.event_of state q with
+    | None -> false
+    | Some (Sys.Read_ev { value; _ }) ->
+        Iset.equal (P.view_of_value value) (target q)
+    | Some (Sys.Write_ev { value; previous; _ }) ->
+        Iset.equal (P.view_of_value value) (P.view_of_value previous)
+
+  type result = {
+    state : Sys.state;
+    base_actions : int;
+    extra_steps : int array;  (** steps taken by p and p' (indices 3, 4) *)
+    extra_events : Sys.event list array;
+        (** chronological shared-memory events of p and p', for the
+            clean-scan analysis *)
+  }
+
+  (** Run the base schedule for [cycles] full 9-action periods (after the
+      4-action prologue), interleaving every safe step of [p] and [p'].
+      Base processors that terminate (possible when [P] is the snapshot
+      algorithm) are skipped, which is exactly the paper's observation that
+      a terminating source breaks the pattern. *)
+  let run ~cfg ~cycles () =
+    if P.processors cfg <> 5 || P.registers cfg <> 3 then
+      invalid_arg "Figure2.Extension.run: cfg must be 5 processors, 3 registers";
+    let state = Sys.init ~cfg ~wiring:(wiring ()) ~inputs in
+    let extra_steps = Array.make 5 0 in
+    let extra_events = Array.make 5 [] in
+    let drain () =
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        List.iter
+          (fun q ->
+            if safe state q then begin
+              let ev = Sys.step_in_place state q in
+              extra_steps.(q) <- extra_steps.(q) + 1;
+              extra_events.(q) <- ev :: extra_events.(q);
+              progress := true
+            end)
+          [ p_id; p'_id ]
+      done
+    in
+    let base_actions = 4 + (9 * cycles) in
+    for k = 0 to base_actions - 1 do
+      let pid, iters = action_schedule k in
+      for _ = 1 to iters * 4 do
+        drain ();
+        if not (Sys.is_halted state pid) then
+          ignore (Sys.step_in_place state pid)
+      done
+    done;
+    drain ();
+    {
+      state;
+      base_actions;
+      extra_steps;
+      extra_events = Array.map List.rev extra_events;
+    }
+
+  (** Scans of one processor reconstructed from its event stream: each is
+      [(view_written, reads)] for one write–scan round; [clean] means every
+      read returned exactly the view written (the view at scan start). *)
+  type scan_summary = { total_scans : int; final_clean_streak : int }
+
+  let scan_summary events =
+    let finish (total, streak) written reads =
+      let clean =
+        List.length reads = 3
+        && List.for_all (fun v -> Iset.equal v written) reads
+      in
+      (total + 1, if clean then streak + 1 else 0)
+    in
+    let rec go acc current events =
+      match (events, current) with
+      | [], None -> acc
+      | [], Some (written, reads) ->
+          (* Ignore a trailing incomplete scan. *)
+          if List.length reads = 3 then finish acc written reads else acc
+      | Sys.Write_ev { value; _ } :: rest, None ->
+          go acc (Some (P.view_of_value value, [])) rest
+      | Sys.Write_ev { value; _ } :: rest, Some (written, reads) ->
+          let acc =
+            if List.length reads = 3 then finish acc written reads else acc
+          in
+          go acc (Some (P.view_of_value value, [])) rest
+      | Sys.Read_ev { value; _ } :: rest, Some (written, reads) ->
+          go acc (Some (written, reads @ [ P.view_of_value value ])) rest
+      | Sys.Read_ev _ :: rest, None ->
+          (* Reads before the first write belong to no scan here. *)
+          go acc None rest
+    in
+    let total_scans, final_clean_streak = go (0, 0) None events in
+    { total_scans; final_clean_streak }
+end
+
+module Write_scan_ext = Extension (struct
+  include Write_scan
+
+  let view_of_value v = v
+end)
+
+module Snapshot_ext = Extension (struct
+  include Algorithms.Snapshot
+
+  let view_of_value (v : Algorithms.Snapshot.value) = v.view
+end)

@@ -1,0 +1,137 @@
+(** Section 2.1: with fewer than [N] registers, no non-trivial read-write
+    coordination is possible in the fully-anonymous model.
+
+    This module materializes the covering execution from the proof, running
+    the Figure-3 snapshot algorithm in a system of [N] processors but only
+    [N-1] registers:
+
+    {ol
+    {- the [N-1] processors of [Q] are wired so that their first writes
+       cover the [N-1] registers pairwise-differently, and are held poised
+       before that first write (they have taken no steps);}
+    {- a distinguished processor [p] runs solo until it terminates — with
+       nobody interfering its level rises freely and it outputs its own
+       singleton;}
+    {- every member of [Q] performs its covering write: afterwards no
+       register carries any trace of [p]'s input;}
+    {- [Q] then runs fairly to completion, oblivious of [p].}}
+
+    The combined outcome violates the snapshot task — [p]'s output and the
+    outputs of [Q] are not related by containment — which demonstrates the
+    covering phenomenon behind the [≥ N] register lower bound.  (The paper's
+    argument is algorithm-agnostic; this construction instantiates it
+    against our concrete algorithm.) *)
+
+open Repro_util
+module Protocol = Anonmem.Protocol
+module Wiring = Anonmem.Wiring
+module Scheduler = Anonmem.Scheduler
+module Snapshot = Algorithms.Snapshot
+module Sys = Anonmem.System.Make (Snapshot)
+
+type result = {
+  n : int;
+  p_solo_steps : int;
+  p_output : Iset.t;
+  memory_after_covering : Iset.t list;
+      (** register views right after the covering writes — none contains
+          [p]'s input *)
+  q_outputs : (int * Iset.t) list;
+  outcome : Iset.t Tasks.Outcome.t;
+  violation : string;  (** why the outcome violates the snapshot task *)
+}
+
+(** Wirings such that the first write of [q = 1..n-1] lands on physical
+    register [q - 1]: processor [q] is wired through the rotation
+    [i ↦ (i + q - 1) mod m].  Processor 0 ([p]) is wired through the
+    identity. *)
+let covering_wiring ~n =
+  let m = n - 1 in
+  Wiring.make
+    (Array.init n (fun q ->
+         if q = 0 then Permutation.identity m
+         else Permutation.of_list (List.init m (fun i -> (i + q - 1) mod m))))
+
+let run ?(inputs = None) ~n () =
+  if n < 2 then invalid_arg "Lower_bound.run: need at least 2 processors";
+  let m = n - 1 in
+  let cfg = Snapshot.cfg ~n ~m in
+  let inputs =
+    match inputs with Some a -> a | None -> Array.init n (fun i -> i + 1)
+  in
+  let wiring = covering_wiring ~n in
+  let state = Sys.init ~cfg ~wiring ~inputs in
+  (* Phase 1: p (processor 0) runs solo to completion. *)
+  let budget = 20 * n * m * (m + 2) in
+  let stop, p_solo_steps =
+    Sys.run ~max_steps:budget ~sched:(Scheduler.solo 0) state
+  in
+  if stop <> Sys.All_halted && not (Sys.is_halted state 0) then
+    failwith "Lower_bound.run: p did not terminate solo within budget";
+  let p_output =
+    match Sys.output state 0 with Some o -> o | None -> assert false
+  in
+  (* Phase 2: the covering writes.  Each q in Q is poised at its very first
+     write (the write-scan loop starts with a write); their targets cover
+     all m registers. *)
+  for q = 1 to n - 1 do
+    match Sys.step_in_place state q with
+    | Sys.Write_ev _ -> ()
+    | Sys.Read_ev _ -> assert false
+  done;
+  let memory_after_covering =
+    Array.to_list (Array.map (fun (v : Snapshot.value) -> v.view) state.Sys.registers)
+  in
+  (* Phase 3: Q runs fairly to completion. *)
+  let stop, _ =
+    Sys.run ~max_steps:(200 * n * n * m * (m + 2))
+      ~sched:(Scheduler.round_robin ()) state
+  in
+  if stop <> Sys.All_halted then
+    failwith "Lower_bound.run: Q did not terminate within budget";
+  let q_outputs =
+    List.filter_map
+      (fun q -> Option.map (fun o -> (q, o)) (Sys.output state q))
+      (List.init (n - 1) (fun i -> i + 1))
+  in
+  let outcome =
+    Tasks.Outcome.make ~inputs ~outputs:(Sys.outputs state) ()
+  in
+  let violation =
+    match Tasks.Snapshot_task.check_group_solution outcome with
+    | Error e -> e
+    | Ok () ->
+        failwith
+          "Lower_bound.run: expected a snapshot-task violation but the \
+           outcome is valid"
+  in
+  {
+    n;
+    p_solo_steps;
+    p_output;
+    memory_after_covering;
+    q_outputs;
+    outcome;
+    violation;
+  }
+
+(** The covering writes really erase [p]: true iff no register view
+    contains [p]'s input. *)
+let p_erased r =
+  let p_input = r.outcome.Tasks.Outcome.inputs.(0) in
+  List.for_all (fun v -> not (Iset.mem p_input v)) r.memory_after_covering
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>N=%d processors, %d registers@,\
+     p terminated solo in %d steps with output %a@,\
+     memory after covering writes: %a@,\
+     Q outputs: %a@,\
+     violation: %s@]"
+    r.n (r.n - 1) r.p_solo_steps Iset.pp_set r.p_output
+    Fmt.(list ~sep:(any " ") Iset.pp_set)
+    r.memory_after_covering
+    Fmt.(
+      list ~sep:(any "; ") (fun ppf (q, o) ->
+          pf ppf "p%d:%a" (q + 1) Iset.pp_set o))
+    r.q_outputs r.violation

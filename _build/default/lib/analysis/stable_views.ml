@@ -1,0 +1,86 @@
+(** The eventual pattern (Section 4): run the write–scan loop of Figure 1
+    until the views stabilize and analyse the resulting stable-view graph.
+
+    In an infinite execution views are monotone and bounded above by the
+    set of participating inputs, so they reach a fixpoint after finitely
+    many steps; a finite run has reached the pattern of its (ultimately
+    periodic) schedule once no view has changed for a window of steps
+    covering at least one full period.  The caller chooses the window; the
+    default covers several complete write–scan rounds of every processor.
+
+    The stable views are the views of the {e live} processors — those the
+    schedule keeps scheduling (Definition 4.2 explicitly excludes the final
+    views of processors that merely stop taking steps). *)
+
+open Repro_util
+module Write_scan = Algorithms.Write_scan
+module Scheduler = Anonmem.Scheduler
+module Sys = Anonmem.System.Make (Write_scan)
+
+type result = {
+  stabilized_at : int;
+      (** step index after which no view of a live processor changed — an
+          upper estimate of the GST of Definition 4.1 *)
+  total_steps : int;
+  stable_views : (int * Iset.t) list;  (** live processor -> stable view *)
+  graph : View_graph.t;
+}
+
+let default_window ~n ~m = 8 * n * (m + 1)
+
+(** Run [Write_scan] under [sched] until every live processor's view has
+    been unchanged for [window] consecutive steps (or [max_steps] ran out —
+    [Error] in that case, which for a fair scheduler indicates the window
+    was shorter than the schedule's period). *)
+let run ?window ?(max_steps = 1_000_000) ~cfg ~wiring ~inputs ~live ~sched () =
+  let { Write_scan.n; m } = cfg in
+  let window = match window with Some w -> w | None -> default_window ~n ~m in
+  let state = Sys.init ~cfg ~wiring ~inputs in
+  let views () =
+    List.map (fun p -> (p, Write_scan.view_of_local state.Sys.locals.(p))) live
+  in
+  let last_views = ref (views ()) in
+  let last_change = ref 0 in
+  let time = ref 0 in
+  let stopped = ref None in
+  while !stopped = None do
+    if !time - !last_change >= window then stopped := Some `Stable
+    else if !time >= max_steps then stopped := Some `Out_of_steps
+    else
+      match Scheduler.pick sched ~time:!time ~enabled:(Sys.enabled state) with
+      | None -> stopped := Some `Sched_done
+      | Some p ->
+          let _ev = Sys.step_in_place state p in
+          incr time;
+          let now = views () in
+          if
+            not
+              (List.for_all2
+                 (fun (_, a) (_, b) -> Iset.equal a b)
+                 !last_views now)
+          then begin
+            last_views := now;
+            last_change := !time
+          end
+  done;
+  match !stopped with
+  | Some `Stable ->
+      let stable_views = views () in
+      Ok
+        {
+          stabilized_at = !last_change;
+          total_steps = !time;
+          stable_views;
+          graph = View_graph.of_views (List.map snd stable_views);
+        }
+  | _ -> Error "stable_views: views did not stabilize within max_steps"
+
+(** Convenience wrapper: random wiring and a fair scheduler, all processors
+    live.  This is the workhorse of the Theorem 4.8 property tests. *)
+let run_random ?window ?max_steps ~n ~m ~inputs ~seed () =
+  let rng = Rng.create ~seed in
+  let cfg = Write_scan.cfg ~n ~m in
+  let wiring = Anonmem.Wiring.random rng ~n ~m in
+  let sched = Scheduler.random (Rng.split rng) in
+  run ?window ?max_steps ~cfg ~wiring ~inputs
+    ~live:(List.init n Fun.id) ~sched ()

@@ -1,0 +1,53 @@
+(** The stable-view graph of Definition 4.3: vertices are (distinct) stable
+    views, with an edge from [V1] to [V2] whenever [V1 ⊂ V2].
+
+    Because strict containment is transitive and irreflexive the graph is
+    always a DAG; the substance of Theorem 4.8 is that it has a {e unique
+    source} (a unique minimal view), which moreover is contained in every
+    other stable view.  {!unique_source} decides this. *)
+
+open Repro_util
+
+type t = { views : Iset.t array; graph : Digraph.t }
+
+let of_views views =
+  let distinct =
+    List.fold_left
+      (fun acc v -> if List.exists (Iset.equal v) acc then acc else v :: acc)
+      [] views
+    |> List.rev |> Array.of_list
+  in
+  let g = Digraph.create (Array.length distinct) in
+  Array.iteri
+    (fun i vi ->
+      Array.iteri
+        (fun j vj -> if i <> j && Iset.strict_subset vi vj then Digraph.add_edge g i j)
+        distinct)
+    distinct;
+  { views = distinct; graph = g }
+
+let views t = Array.to_list t.views
+let vertex_count t = Array.length t.views
+let edge_count t = Digraph.edge_count t.graph
+let is_dag t = Digraph.is_acyclic t.graph
+
+let sources t = List.map (fun i -> t.views.(i)) (Digraph.sources t.graph)
+
+(** [Some v] when the graph has exactly one source [v]; Theorem 4.8
+    guarantees this for the stable views of any infinite execution of the
+    write–scan loop.  The companion fact — the source is contained in every
+    stable view — follows from uniqueness and is rechecked here
+    defensively. *)
+let unique_source t =
+  match sources t with
+  | [ v ] when Array.for_all (fun w -> Iset.subset v w) t.views -> Some v
+  | _ -> None
+
+let satisfies_theorem_4_8 t = is_dag t && unique_source t <> None
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>vertices:@,%a@,edges: %d, sources: %a@]"
+    Fmt.(list ~sep:cut (fun ppf v -> Fmt.pf ppf "  %a" Iset.pp_set v))
+    (views t) (edge_count t)
+    Fmt.(list ~sep:comma Iset.pp_set)
+    (sources t)

@@ -1,0 +1,1 @@
+lib/anonmem/scheduler.ml: List Printf Repro_util Rng

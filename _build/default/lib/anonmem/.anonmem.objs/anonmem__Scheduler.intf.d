@@ -1,0 +1,1 @@
+lib/anonmem/scheduler.mli: Repro_util Rng

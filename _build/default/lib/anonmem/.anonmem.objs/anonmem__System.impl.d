@@ -1,0 +1,1 @@
+lib/anonmem/system.ml: Array Fmt Fun List Protocol Scheduler Wiring

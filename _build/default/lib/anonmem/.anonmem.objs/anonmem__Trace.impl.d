@@ -1,0 +1,1 @@
+lib/anonmem/trace.ml: Array Fmt List Printf Protocol Repro_util System

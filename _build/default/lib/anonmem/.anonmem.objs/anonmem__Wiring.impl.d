@@ -1,0 +1,1 @@
+lib/anonmem/wiring.ml: Array Fmt List Permutation Repro_util

@@ -1,0 +1,1 @@
+lib/anonmem/wiring.mli: Fmt Permutation Repro_util Rng

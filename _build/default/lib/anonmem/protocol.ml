@@ -1,0 +1,71 @@
+(** Protocols for the fully-anonymous shared-memory model.
+
+    A protocol is the "same program" that every anonymous processor runs
+    (Section 2 of the paper).  It is expressed as a first-order step
+    machine: the local state determines the next shared-memory operation via
+    {!S.next}, and pure transition functions describe the state after the
+    operation completes.  This mirrors the atomicity grain of the paper's
+    PlusCal specifications — each label encloses exactly one read or one
+    write of a single register, with local computation folded in.
+
+    Register indices appearing in operations are {e local} (private) indices
+    in [0..M-1]: the simulator routes them through the processor's hidden
+    wiring permutation, which is precisely what makes the memory anonymous.
+
+    Local states must be first-order, canonical values (no closures, no
+    non-canonical sets): the model checker compares and hashes them
+    structurally. *)
+
+(** A pending shared-memory instruction of a processor.  [Read i] and
+    [Write (i, v)] address the processor's private register index [i]. *)
+type 'v operation = Read of int | Write of int * 'v
+
+module type S = sig
+  type cfg
+  (** Static parameters of an instance — at minimum the number of
+      processors [N] (which processors know) and of registers [M]. *)
+
+  type value
+  (** Contents of a shared register. *)
+
+  type input
+  type output
+
+  type local
+  (** Private state of one processor.  Must be canonical: structural
+      equality must coincide with semantic equality. *)
+
+  val name : string
+
+  val processors : cfg -> int
+  (** [N], the number of processors, known to the program. *)
+
+  val registers : cfg -> int
+  (** [M], the number of shared registers. *)
+
+  val register_init : cfg -> value
+  (** The known default value every register initially holds. *)
+
+  val init : cfg -> input -> local
+  (** The designated initial local state.  Anonymity: this function is the
+      same for all processors and never sees a processor identifier. *)
+
+  val next : cfg -> local -> value operation option
+  (** The pending operation, or [None] when the processor has terminated
+      (takes no further steps). *)
+
+  val apply_read : cfg -> local -> reg:int -> value -> local
+  (** State after the pending [Read reg] returned [value]. *)
+
+  val apply_write : cfg -> local -> local
+  (** State after the pending [Write] took effect. *)
+
+  val output : cfg -> local -> output option
+  (** The processor's write-once output, if it has produced one.  For
+      single-shot tasks this becomes non-[None] exactly when {!next}
+      becomes [None]. *)
+
+  val pp_value : cfg -> value Fmt.t
+  val pp_local : cfg -> local Fmt.t
+  val pp_output : cfg -> output Fmt.t
+end

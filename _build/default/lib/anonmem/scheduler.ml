@@ -1,0 +1,76 @@
+open Repro_util
+
+type t = { name : string; pick : time:int -> enabled:int list -> int option }
+
+let name t = t.name
+let pick t ~time ~enabled = t.pick ~time ~enabled
+
+let round_robin () =
+  let cursor = ref 0 in
+  let pick ~time:_ ~enabled =
+    match enabled with
+    | [] -> None
+    | _ ->
+        (* Step the first enabled processor at or after the cursor,
+           wrapping; then advance past it.  This is fair: every enabled
+           processor is chosen at least once every full turn of the
+           cursor. *)
+        let after = List.filter (fun p -> p >= !cursor) enabled in
+        let chosen = match after with p :: _ -> p | [] -> List.hd enabled in
+        cursor := chosen + 1;
+        Some chosen
+  in
+  { name = "round-robin"; pick }
+
+let random rng =
+  let pick ~time:_ ~enabled =
+    match enabled with [] -> None | l -> Some (Rng.pick rng l)
+  in
+  { name = "random"; pick }
+
+let solo p =
+  let pick ~time:_ ~enabled = if List.mem p enabled then Some p else None in
+  { name = Printf.sprintf "solo(%d)" p; pick }
+
+let script ?(cycle = false) pids =
+  let len = List.length pids in
+  let remaining = ref pids in
+  let pick ~time:_ ~enabled =
+    (* Bound the scan so a cyclic script whose processors have all halted
+       terminates the run instead of spinning. *)
+    let scanned = ref 0 in
+    let rec go () =
+      if !scanned > len then None
+      else
+        match !remaining with
+        | [] ->
+            if cycle && pids <> [] then begin
+              remaining := pids;
+              go ()
+            end
+            else None
+        | p :: rest ->
+            remaining := rest;
+            incr scanned;
+            if List.mem p enabled then Some p else go ()
+    in
+    go ()
+  in
+  { name = (if cycle then "script(cyclic)" else "script"); pick }
+
+let script_then_cycle ~prefix ~cycle =
+  let head = script prefix in
+  let tail = script ~cycle:true cycle in
+  let in_prefix = ref true in
+  let pick ~time ~enabled =
+    if !in_prefix then
+      match head.pick ~time ~enabled with
+      | Some p -> Some p
+      | None ->
+          in_prefix := false;
+          tail.pick ~time ~enabled
+    else tail.pick ~time ~enabled
+  in
+  { name = "script-then-cycle"; pick }
+
+let fn ~name pick = { name; pick }

@@ -1,0 +1,44 @@
+(** Schedulers: the asynchronous adversary deciding which processor takes
+    the next step.
+
+    A scheduler is a (possibly stateful) choice function receiving the
+    current time and the list of enabled (non-terminated) processors.
+    Returning [None] ends the run.  All randomness comes from {!Repro_util.Rng},
+    so every schedule is reproducible from a seed. *)
+
+open Repro_util
+
+type t
+
+val name : t -> string
+
+val pick : t -> time:int -> enabled:int list -> int option
+(** The processor to step next.  Must be a member of [enabled] (checked by
+    the runner).  [enabled] is non-empty and sorted. *)
+
+val round_robin : unit -> t
+(** Fair cyclic order over enabled processors.  Guarantees every live
+    processor takes infinitely many steps. *)
+
+val random : Rng.t -> t
+(** Uniform among enabled processors — fair with probability 1. *)
+
+val solo : int -> t
+(** Only processor [p] ever runs (obstruction-free executions). *)
+
+val script : ?cycle:bool -> int list -> t
+(** Follows the given processor sequence exactly; scripted processors that
+    are no longer enabled are skipped.  With [~cycle:true] the script
+    repeats forever — this is how the ultimately-periodic executions of
+    Section 4 (e.g. Figure 2's steps 5–13 loop) are driven.  Without it the
+    run ends when the script is exhausted. *)
+
+val script_then_cycle : prefix:int list -> cycle:int list -> t
+(** Follows [prefix] once, then repeats [cycle] forever (skipping halted
+    processors, like {!script}).  This is the shape of the paper's
+    ultimately-periodic executions: Figure 2 is a 4-action prologue
+    followed by the steps 5–13 cycle. *)
+
+val fn : name:string -> (time:int -> enabled:int list -> int option) -> t
+(** Custom (possibly protocol-aware) scheduler; used by the covering
+    adversary of {!Analysis.Lower_bound}. *)

@@ -1,0 +1,174 @@
+(** Operational semantics of the fully-anonymous model: system states and
+    atomic steps for a given protocol.
+
+    A system state records the contents of the [M] physical registers, who
+    last wrote each of them (bookkeeping used by the analyses, invisible to
+    processors), each processor's local state, and the fixed hidden wiring.
+    A step executes the pending operation of one processor, routing its
+    private register index through the wiring — reads and writes are atomic,
+    one register at a time, exactly as in Section 2 of the paper. *)
+
+module Make (P : Protocol.S) = struct
+  type state = {
+    cfg : P.cfg;
+    wiring : Wiring.t;
+    registers : P.value array;  (** indexed by physical register *)
+    last_writer : int option array;
+        (** physical register -> last writing processor; [None] = initial
+            value still in place.  Ghost state for the analyses. *)
+    locals : P.local array;
+  }
+
+  type event =
+    | Read_ev of {
+        p : int;
+        local_reg : int;
+        phys_reg : int;
+        value : P.value;
+        writer : int option;  (** whom [p] "reads from" (Section 2) *)
+      }
+    | Write_ev of {
+        p : int;
+        local_reg : int;
+        phys_reg : int;
+        value : P.value;
+        previous : P.value;
+        overwrote : int option;  (** previous last writer, if any *)
+      }
+
+  let init ~cfg ~wiring ~inputs =
+    let n = P.processors cfg and m = P.registers cfg in
+    if Wiring.processors wiring <> n then
+      invalid_arg "System.init: wiring has wrong number of processors";
+    if Wiring.registers wiring <> m then
+      invalid_arg "System.init: wiring has wrong number of registers";
+    if Array.length inputs <> n then
+      invalid_arg "System.init: wrong number of inputs";
+    {
+      cfg;
+      wiring;
+      registers = Array.make m (P.register_init cfg);
+      last_writer = Array.make m None;
+      locals = Array.map (P.init cfg) inputs;
+    }
+
+  let processors s = P.processors s.cfg
+  let is_halted s p = P.next s.cfg s.locals.(p) = None
+
+  let enabled s =
+    List.filter (fun p -> not (is_halted s p)) (List.init (processors s) Fun.id)
+
+  let all_halted s = enabled s = []
+  let output s p = P.output s.cfg s.locals.(p)
+  let outputs s = Array.init (processors s) (output s)
+
+  let event_of s p =
+    match P.next s.cfg s.locals.(p) with
+    | None -> None
+    | Some (Protocol.Read i) ->
+        let r = Wiring.phys s.wiring ~p i in
+        Some
+          (Read_ev
+             {
+               p;
+               local_reg = i;
+               phys_reg = r;
+               value = s.registers.(r);
+               writer = s.last_writer.(r);
+             })
+    | Some (Protocol.Write (i, v)) ->
+        let r = Wiring.phys s.wiring ~p i in
+        Some
+          (Write_ev
+             {
+               p;
+               local_reg = i;
+               phys_reg = r;
+               value = v;
+               previous = s.registers.(r);
+               overwrote = s.last_writer.(r);
+             })
+
+  (* In-place transition; callers owning [s] exclusively use this for
+     speed. *)
+  let step_in_place s p =
+    match event_of s p with
+    | None -> invalid_arg "System.step: processor has terminated"
+    | Some (Read_ev { local_reg; phys_reg; value; _ } as ev) ->
+        s.locals.(p) <- P.apply_read s.cfg s.locals.(p) ~reg:local_reg value;
+        let _ = phys_reg in
+        ev
+    | Some (Write_ev { phys_reg; value; _ } as ev) ->
+        s.registers.(phys_reg) <- value;
+        s.last_writer.(phys_reg) <- Some p;
+        s.locals.(p) <- P.apply_write s.cfg s.locals.(p);
+        ev
+
+  let copy s =
+    {
+      s with
+      registers = Array.copy s.registers;
+      last_writer = Array.copy s.last_writer;
+      locals = Array.copy s.locals;
+    }
+
+  (* Pure transition: never mutates [s]. *)
+  let step s p =
+    let s' = copy s in
+    let ev = step_in_place s' p in
+    (s', ev)
+
+  type stop_reason = All_halted | Scheduler_done | Max_steps
+
+  (** Drive [state] under [sched] for at most [max_steps] steps, mutating it
+      in place.  [on_event] observes each step (time is the 0-based step
+      index).  Returns why the run stopped and the number of steps taken. *)
+  let run ?(max_steps = 100_000) ~sched ?on_event state =
+    let rec go time =
+      if time >= max_steps then (Max_steps, time)
+      else
+        match enabled state with
+        | [] -> (All_halted, time)
+        | en -> (
+            match Scheduler.pick sched ~time ~enabled:en with
+            | None -> (Scheduler_done, time)
+            | Some p ->
+                if not (List.mem p en) then
+                  invalid_arg "System.run: scheduler picked a halted processor";
+                let ev = step_in_place state p in
+                (match on_event with Some f -> f ~time ev | None -> ());
+                go (time + 1))
+    in
+    go 0
+
+  let pp_event cfg ppf = function
+    | Read_ev { p; local_reg; phys_reg; value; writer } ->
+        Fmt.pf ppf "p%d reads r%d (own #%d) = %a%a" (p + 1) (phys_reg + 1)
+          (local_reg + 1) (P.pp_value cfg) value
+          (fun ppf -> function
+            | None -> ()
+            | Some q -> Fmt.pf ppf " [from p%d]" (q + 1))
+          writer
+    | Write_ev { p; local_reg; phys_reg; value; overwrote; _ } ->
+        Fmt.pf ppf "p%d writes r%d (own #%d) := %a%a" (p + 1) (phys_reg + 1)
+          (local_reg + 1) (P.pp_value cfg) value
+          (fun ppf -> function
+            | None -> ()
+            | Some q -> Fmt.pf ppf " [overwrites p%d]" (q + 1))
+          overwrote
+
+  let pp_state ppf s =
+    let m = Array.length s.registers in
+    Fmt.pf ppf "@[<v>";
+    for r = 0 to m - 1 do
+      Fmt.pf ppf "r%d = %a%a@," (r + 1) (P.pp_value s.cfg) s.registers.(r)
+        (fun ppf -> function
+          | None -> ()
+          | Some q -> Fmt.pf ppf "  (last writer p%d)" (q + 1))
+        s.last_writer.(r)
+    done;
+    Array.iteri
+      (fun p l -> Fmt.pf ppf "p%d: %a@," (p + 1) (P.pp_local s.cfg) l)
+      s.locals;
+    Fmt.pf ppf "@]"
+end

@@ -1,0 +1,113 @@
+(** Execution traces and covering metrics.
+
+    The central difficulty of the fully-anonymous model is that processors
+    cover and overwrite each other ("write-stepping", Section 2.1).  This
+    module records the events of a run and derives quantitative covering
+    metrics:
+
+    - {e overwrites}: writes landing on a register whose last writer was a
+      different processor;
+    - {e lost writes}: writes that were overwritten before any processor
+      read them — information that left no trace in the computation.
+
+    It also renders executions as step tables in the style of the paper's
+    Figure 2 (one row per shared-memory step).
+
+    Because {!System.Make} is applicative, [Trace.Make(P).Sys] is the same
+    module type as the caller's [System.Make(P)] — recorders plug directly
+    into [Sys.run ~on_event]. *)
+
+module Make (P : Protocol.S) = struct
+  module Sys = System.Make (P)
+
+  type t = {
+    mutable events : (int * Sys.event) list;  (** reversed *)
+    mutable count : int;
+  }
+
+  let create () = { events = []; count = 0 }
+
+  let on_event t ~time ev =
+    t.events <- (time, ev) :: t.events;
+    t.count <- t.count + 1
+
+  let events t = List.rev t.events
+  let length t = t.count
+
+  type covering = {
+    writes : int;
+    reads : int;
+    overwrites : int;
+        (** writes replacing a value last written by a {e different}
+            processor *)
+    lost_writes : int;
+        (** writes overwritten before any read returned them: their
+            information never reached anyone *)
+  }
+
+  let covering t =
+    let m = 64 in
+    (* last write per physical register: (writer, read_since) *)
+    let last : (int * bool ref) option array = Array.make m None in
+    let writes = ref 0 and reads = ref 0 and overwrites = ref 0 and lost = ref 0 in
+    List.iter
+      (fun (_, ev) ->
+        match ev with
+        | Sys.Read_ev { phys_reg; _ } -> (
+            incr reads;
+            match last.(phys_reg) with
+            | Some (_, read_since) -> read_since := true
+            | None -> ())
+        | Sys.Write_ev { p; phys_reg; _ } ->
+            incr writes;
+            (match last.(phys_reg) with
+            | Some (q, read_since) ->
+                if q <> p then incr overwrites;
+                if not !read_since then incr lost
+            | None -> ());
+            last.(phys_reg) <- Some (p, ref false))
+      (events t);
+    { writes = !writes; reads = !reads; overwrites = !overwrites; lost_writes = !lost }
+
+  (** One row per step: time, processor, operation, physical register,
+      value written or read. *)
+  let to_table cfg t =
+    let tbl =
+      Repro_util.Text_table.create
+        ~headers:[ "step"; "proc"; "op"; "reg"; "value"; "note" ]
+    in
+    List.iter
+      (fun (time, ev) ->
+        let row =
+          match ev with
+          | Sys.Read_ev { p; phys_reg; value; writer; _ } ->
+              [
+                string_of_int (time + 1);
+                Printf.sprintf "p%d" (p + 1);
+                "read";
+                Printf.sprintf "r%d" (phys_reg + 1);
+                Fmt.str "%a" (P.pp_value cfg) value;
+                (match writer with
+                | Some q -> Printf.sprintf "from p%d" (q + 1)
+                | None -> "initial");
+              ]
+          | Sys.Write_ev { p; phys_reg; value; overwrote; _ } ->
+              [
+                string_of_int (time + 1);
+                Printf.sprintf "p%d" (p + 1);
+                "write";
+                Printf.sprintf "r%d" (phys_reg + 1);
+                Fmt.str "%a" (P.pp_value cfg) value;
+                (match overwrote with
+                | Some q when q <> p -> Printf.sprintf "overwrites p%d" (q + 1)
+                | _ -> "");
+              ]
+        in
+        Repro_util.Text_table.add_row tbl row)
+      (events t);
+    tbl
+
+  let pp_covering ppf c =
+    Fmt.pf ppf "%d writes (%d overwrites, %d lost), %d reads" c.writes
+      c.overwrites c.lost_writes c.reads
+end

@@ -1,0 +1,44 @@
+open Repro_util
+
+type t = { perms : Permutation.t array; inverses : Permutation.t array }
+
+let make perms =
+  let n = Array.length perms in
+  if n = 0 then invalid_arg "Wiring.make: no processors";
+  let m = Permutation.size perms.(0) in
+  Array.iter
+    (fun p ->
+      if Permutation.size p <> m then
+        invalid_arg "Wiring.make: permutations of unequal size")
+    perms;
+  { perms = Array.copy perms; inverses = Array.map Permutation.inverse perms }
+
+let identity ~n ~m = make (Array.init n (fun _ -> Permutation.identity m))
+let random rng ~n ~m = make (Array.init n (fun _ -> Permutation.random rng m))
+let of_lists lists = make (Array.of_list (List.map Permutation.of_list lists))
+let processors t = Array.length t.perms
+let registers t = Permutation.size t.perms.(0)
+let phys t ~p i = Permutation.apply t.perms.(p) i
+let local_of_phys t ~p r = Permutation.apply t.inverses.(p) r
+let perm t ~p = t.perms.(p)
+
+let enumerate ~n ~m ~fix_first =
+  let all = Permutation.enumerate m in
+  let choices p = if fix_first && p = 0 then [ Permutation.identity m ] else all in
+  let rec go p =
+    if p = n then [ [] ]
+    else
+      List.concat_map
+        (fun perm -> List.map (fun rest -> perm :: rest) (go (p + 1)))
+        (choices p)
+  in
+  List.map (fun perms -> make (Array.of_list perms)) (go 0)
+
+let equal a b =
+  Array.length a.perms = Array.length b.perms
+  && Array.for_all2 Permutation.equal a.perms b.perms
+
+let pp ppf t =
+  Fmt.pf ppf "[%a]"
+    Fmt.(array ~sep:(any "; ") Permutation.pp)
+    t.perms

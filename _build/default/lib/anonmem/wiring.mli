@@ -1,0 +1,48 @@
+(** Wirings: the hidden per-processor register permutations of the
+    fully-anonymous model.
+
+    A wiring assigns to each processor [p] a permutation [σ_p] of the [M]
+    registers; when the program of [p] addresses its private register index
+    [i], the physical register [σ_p(i)] is accessed (Section 2 of the
+    paper).  Processors never observe their own wiring. *)
+
+open Repro_util
+
+type t
+
+val make : Permutation.t array -> t
+(** One permutation per processor; all must have the same size [M].
+    Raises [Invalid_argument] otherwise, or when the array is empty. *)
+
+val identity : n:int -> m:int -> t
+(** Every processor wired straight through — the non-anonymous-memory
+    special case used by the named-memory baseline. *)
+
+val random : Rng.t -> n:int -> m:int -> t
+
+val of_lists : int list list -> t
+(** 0-based images; convenience for tests and for the Figure-2 wiring. *)
+
+val processors : t -> int
+val registers : t -> int
+
+val phys : t -> p:int -> int -> int
+(** [phys w ~p i] is the physical register that processor [p]'s private
+    index [i] denotes, i.e. [σ_p(i)]. *)
+
+val local_of_phys : t -> p:int -> int -> int
+(** Inverse direction: which private index of [p] denotes physical register
+    [r]; this is the [σ_p⁻¹(r)] used by the paper when saying "[p] reads
+    register [r]". *)
+
+val perm : t -> p:int -> Permutation.t
+
+val enumerate : n:int -> m:int -> fix_first:bool -> t list
+(** All wirings for [n] processors and [m] registers.  With [~fix_first:true]
+    processor 0's permutation is pinned to the identity: since the registers
+    are anonymous, every execution is isomorphic to one in such a wiring
+    (global register renaming), which shrinks the model checker's wiring
+    space from [(m!)^n] to [(m!)^(n-1)] without losing behaviours. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

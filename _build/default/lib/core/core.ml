@@ -1,0 +1,336 @@
+(** High-level entry points to the fully-anonymous shared-memory library.
+
+    This module is the one-stop API used by the examples, the CLI and the
+    benchmarks.  It wires the algorithms of the paper to concrete wirings
+    and schedulers and returns validated results:
+
+    - {!solve_snapshot} — the wait-free snapshot task (Figure 3);
+    - {!solve_renaming} — adaptive [M(M+1)/2]-renaming (Figure 4);
+    - {!solve_consensus} — obstruction-free consensus (Figure 5), driven to
+      termination by granting solo time to undecided processors;
+    - {!stable_view_analysis} — the eventual pattern of Section 4;
+    - {!figure2_table} — the paper's Figure 2 execution table;
+    - {!lower_bound_demo} — the Section 2.1 covering construction;
+    - {!verify_snapshot_model} / {!find_nonatomic_execution} — the
+      model-checking claims about the Figure-3 algorithm.
+
+    Lower-level control (custom wirings, schedulers, protocols) lives in
+    the [Anonmem], [Algorithms], [Tasks], [Modelcheck] and [Analysis]
+    libraries, all re-exported here. *)
+
+module Iset = Repro_util.Iset
+module Rng = Repro_util.Rng
+module Wiring = Anonmem.Wiring
+module Scheduler = Anonmem.Scheduler
+module Protocol = Anonmem.Protocol
+
+type scheduler_kind = [ `Random | `Round_robin ]
+
+let scheduler_of_kind rng = function
+  | `Random -> Scheduler.random rng
+  | `Round_robin -> Scheduler.round_robin ()
+
+(** {1 Snapshot} *)
+
+module Snapshot_sys = Anonmem.System.Make (Algorithms.Snapshot)
+
+type 'o solved = {
+  outputs : 'o array;
+  steps : int;
+  wiring : Wiring.t;
+  seed : int;
+}
+
+(** Solve the snapshot task for [inputs] (group identifiers).  The wiring
+    is drawn at random from [seed]; the schedule is fair.  Returns the
+    snapshot of each processor, validated against the snapshot task (both
+    the group-solvability definition and the stronger all-outputs
+    containment the algorithm guarantees). *)
+let solve_snapshot ?(seed = 0) ?(scheduler = `Random) ?(max_steps = 2_000_000)
+    ~inputs () =
+  let n = Array.length inputs in
+  let rng = Rng.create ~seed in
+  let cfg = Algorithms.Snapshot.standard ~n in
+  let wiring = Wiring.random rng ~n ~m:n in
+  let state = Snapshot_sys.init ~cfg ~wiring ~inputs in
+  let sched = scheduler_of_kind (Rng.split rng) scheduler in
+  let stop, steps = Snapshot_sys.run ~max_steps ~sched state in
+  match stop with
+  | Snapshot_sys.All_halted -> (
+      let outputs =
+        Array.map
+          (function Some o -> o | None -> assert false)
+          (Snapshot_sys.outputs state)
+      in
+      let outcome =
+        Tasks.Outcome.make ~inputs ~outputs:(Snapshot_sys.outputs state) ()
+      in
+      match
+        ( Tasks.Snapshot_task.check_group_solution outcome,
+          Tasks.Snapshot_task.check_strong outcome )
+      with
+      | Ok (), Ok () -> Ok { outputs; steps; wiring; seed }
+      | Error e, _ | _, Error e ->
+          Error (Fmt.str "snapshot outputs failed validation: %s" e))
+  | Snapshot_sys.Max_steps ->
+      Error (Fmt.str "snapshot did not terminate within %d steps" max_steps)
+  | Snapshot_sys.Scheduler_done -> Error "scheduler gave up"
+
+(** {1 Renaming} *)
+
+module Renaming_sys = Anonmem.System.Make (Algorithms.Renaming)
+
+let solve_renaming ?(seed = 0) ?(scheduler = `Random) ?(max_steps = 2_000_000)
+    ~inputs () =
+  let n = Array.length inputs in
+  let rng = Rng.create ~seed in
+  let cfg = Algorithms.Renaming.standard ~n in
+  let wiring = Wiring.random rng ~n ~m:n in
+  let state = Renaming_sys.init ~cfg ~wiring ~inputs in
+  let sched = scheduler_of_kind (Rng.split rng) scheduler in
+  let stop, steps = Renaming_sys.run ~max_steps ~sched state in
+  match stop with
+  | Renaming_sys.All_halted -> (
+      let outputs =
+        Array.map
+          (function Some o -> o | None -> assert false)
+          (Renaming_sys.outputs state)
+      in
+      let outcome =
+        Tasks.Outcome.make ~inputs
+          ~outputs:
+            (Array.map
+               (Option.map (fun o -> o.Algorithms.Renaming.name_out))
+               (Renaming_sys.outputs state))
+          ()
+      in
+      match Tasks.Renaming_task.check outcome with
+      | Ok () -> Ok { outputs; steps; wiring; seed }
+      | Error e -> Error (Fmt.str "renaming outputs failed validation: %s" e))
+  | Renaming_sys.Max_steps ->
+      Error (Fmt.str "renaming did not terminate within %d steps" max_steps)
+  | Renaming_sys.Scheduler_done -> Error "scheduler gave up"
+
+(** {1 Consensus} *)
+
+module Consensus_sys = Anonmem.System.Make (Algorithms.Consensus)
+
+(** Solve consensus on [inputs].  The algorithm is obstruction-free, so a
+    fully adversarial scheduler could livelock it; this driver runs a fair
+    contention phase of [contention_steps] steps and then grants each
+    still-undecided processor solo time, which the obstruction-freedom
+    guarantee turns into termination.  The decided values are validated
+    for agreement and validity. *)
+let solve_consensus ?(seed = 0) ?(contention_steps = 5_000)
+    ?(max_steps = 5_000_000) ~inputs () =
+  let n = Array.length inputs in
+  let rng = Rng.create ~seed in
+  let cfg = Algorithms.Consensus.standard ~n in
+  let wiring = Wiring.random rng ~n ~m:n in
+  let state = Consensus_sys.init ~cfg ~wiring ~inputs in
+  let sched = Scheduler.random (Rng.split rng) in
+  let _, contention = Consensus_sys.run ~max_steps:contention_steps ~sched state in
+  let solo_budget = max_steps - contention in
+  let rec finish p steps =
+    if p >= n then Ok steps
+    else if Consensus_sys.is_halted state p then finish (p + 1) steps
+    else
+      let stop, s =
+        Consensus_sys.run ~max_steps:solo_budget ~sched:(Scheduler.solo p) state
+      in
+      match stop with
+      | Consensus_sys.Max_steps -> Error "solo run did not decide within budget"
+      | Consensus_sys.All_halted | Consensus_sys.Scheduler_done ->
+          if Consensus_sys.is_halted state p then finish (p + 1) (steps + s)
+          else Error "solo run stalled without deciding"
+  in
+  match finish 0 contention with
+  | Error e -> Error e
+  | Ok steps -> (
+      let outputs =
+        Array.map
+          (function Some o -> o | None -> assert false)
+          (Consensus_sys.outputs state)
+      in
+      let outcome =
+        Tasks.Outcome.make ~inputs ~outputs:(Consensus_sys.outputs state) ()
+      in
+      match Tasks.Consensus_task.check outcome with
+      | Ok () -> Ok { outputs; steps; wiring; seed }
+      | Error e -> Error (Fmt.str "consensus outputs failed validation: %s" e))
+
+(** {1 Analyses and reproductions} *)
+
+let stable_view_analysis ?(seed = 0) ~n ~m ~inputs () =
+  Analysis.Stable_views.run_random ~n ~m ~inputs ~seed ()
+
+let figure2_table ?actions () =
+  Repro_util.Text_table.render
+    (Analysis.Figure2.to_table (Analysis.Figure2.generate ?actions ()))
+
+let lower_bound_demo ~n () = Analysis.Lower_bound.run ~n ()
+
+module Snapshot_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Snapshot)
+
+(** The strong snapshot invariant checked during model checking: every
+    pair of outputs produced so far is related by containment, every
+    output contains the owner's input and only participating inputs. *)
+let snapshot_invariant cfg inputs (st : Snapshot_mc.state) =
+  let participating = Iset.of_list (Array.to_list inputs) in
+  let outs =
+    Array.to_list st.Snapshot_mc.locals
+    |> List.mapi (fun p l -> (p, Algorithms.Snapshot.output cfg l))
+    |> List.filter_map (fun (p, o) -> Option.map (fun o -> (p, o)) o)
+  in
+  let rec check = function
+    | [] -> Ok ()
+    | (p, o) :: rest ->
+        if not (Iset.mem inputs.(p) o) then
+          Error (Fmt.str "output of p%d misses its own input" (p + 1))
+        else if not (Iset.subset o participating) then
+          Error (Fmt.str "output of p%d contains non-participants" (p + 1))
+        else if
+          List.exists (fun (_, o') -> not (Iset.comparable o o')) rest
+        then Error (Fmt.str "incomparable outputs (p%d)" (p + 1))
+        else check rest
+  in
+  check outs
+
+(** Exhaustively verify the Figure-3 algorithm for [n] processors: for the
+    given inputs and {e every} wiring (processor 0 pinned to the identity —
+    lossless by register anonymity), explore all interleavings, check the
+    strong snapshot invariant and wait-freedom.  [n = 3] reproduces the
+    paper's TLC claim. *)
+let verify_snapshot_model ?(n = 3) ?(inputs = None) ?max_states () =
+  let inputs = match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1) in
+  let cfg = Algorithms.Snapshot.standard ~n in
+  Snapshot_mc.check_all_wirings ?max_states
+    ~invariant:(snapshot_invariant cfg inputs)
+    ~cfg ~inputs ()
+
+module Consensus_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Consensus)
+
+(** Bounded model checking of the Figure-5 consensus algorithm (an
+    extension beyond the paper's verification): explore every interleaving
+    for [n] processors until some timestamp would exceed [max_ts], checking
+    agreement and validity of all decisions along the way.  The timestamp
+    bound makes the otherwise-infinite state space finite; safety holds for
+    the full algorithm iff it holds for every bound, so each run is a
+    genuine bounded-safety certificate. *)
+let verify_consensus_bounded ?(n = 2) ?(inputs = None) ?(max_ts = 5)
+    ?max_states () =
+  let inputs =
+    match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1)
+  in
+  let cfg = Algorithms.Consensus.standard ~n in
+  let participating = Iset.of_list (Array.to_list inputs) in
+  let invariant (st : Consensus_mc.state) =
+    let decided =
+      Array.to_list st.Consensus_mc.locals
+      |> List.filter_map (fun l -> l.Algorithms.Consensus.decided)
+    in
+    match decided with
+    | [] -> Ok ()
+    | v :: rest ->
+        if not (List.for_all (Int.equal v) rest) then
+          Error (Fmt.str "agreement violated: %a" Fmt.(list ~sep:comma int) decided)
+        else if not (Iset.mem v participating) then
+          Error (Fmt.str "validity violated: decided %d" v)
+        else Ok ()
+  in
+  let stop_expansion (st : Consensus_mc.state) =
+    Array.exists
+      (fun l -> l.Algorithms.Consensus.ts >= max_ts)
+      st.Consensus_mc.locals
+  in
+  let wirings = Anonmem.Wiring.enumerate ~n ~m:n ~fix_first:true in
+  let rec go total = function
+    | [] -> Ok total
+    | wiring :: rest -> (
+        match
+          Consensus_mc.check_exhaustive ?max_states ~fail_on_cycle:false
+            ~invariant ~stop_expansion ~cfg ~wiring ~inputs ()
+        with
+        | Consensus_mc.Dfs_ok s -> go (total + s.Consensus_mc.dfs_states) rest
+        | Consensus_mc.Dfs_cycle _ -> assert false
+        | Consensus_mc.Dfs_invariant_failed { message; _ } ->
+            Error
+              (Fmt.str "under wiring %a: %s" Anonmem.Wiring.pp wiring message)
+        | Consensus_mc.Dfs_state_limit k ->
+            Error (Fmt.str "state limit at %d" k))
+  in
+  go 0 wirings
+
+module Snapshot_witness = Modelcheck.Witness.Search (Algorithms.Snapshot)
+module Snapshot_exhaustive_witness =
+  Modelcheck.Witness.Exhaustive (Modelcheck.Codecs.Snapshot)
+
+let snapshot_memory_set regs =
+  Array.fold_left
+    (fun acc (v : Algorithms.Snapshot.value) -> Iset.union acc v.view)
+    Iset.empty regs
+
+(** Exhaustively search for the Section-8 non-atomicity witness: for each
+    candidate set [target] and each wiring, explore the sub-state-space in
+    which the memory content set never equals [target] and look for a
+    reachable state where a processor has output [target].  A hit is a
+    complete proof of the claim, with a shortest witness execution. *)
+let find_nonatomic_exhaustive ?(n = 3) ?max_states
+    ?(targets = [ [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ]; [ 1 ]; [ 2 ]; [ 3 ] ]) () =
+  let inputs = Array.init n (fun i -> i + 1) in
+  let cfg = Algorithms.Snapshot.standard ~n in
+  let wirings = Anonmem.Wiring.enumerate ~n ~m:n ~fix_first:true in
+  let rec try_targets = function
+    | [] -> None
+    | t :: rest -> (
+        match
+          Snapshot_exhaustive_witness.find_nonatomic_exhaustive ?max_states
+            ~cfg ~inputs ~memory_set:snapshot_memory_set ~output_set:Fun.id
+            ~target:(Iset.of_list t) ~wirings ()
+        with
+        | Some w -> Some w
+        | None -> try_targets rest)
+  in
+  try_targets targets
+
+(** Exhaustive non-atomicity witness search for the paper's 3-processor
+    configuration using the bit-packed checker: for each (inputs, target)
+    candidate, decide by pruned reachability whether some execution makes
+    a processor return [target] although the memory never contains it.
+    Candidates start with group assignments, where two same-input
+    processors can raise each other's levels while the third keeps
+    covering. *)
+let find_nonatomic_packed
+    ?(candidates =
+      [
+        ([| 1; 1; 2 |], [ 1 ]);
+        ([| 1; 2; 2 |], [ 2 ]);
+        ([| 1; 1; 2 |], [ 1; 2 ]);
+        ([| 1; 2; 3 |], [ 1; 2 ]);
+      ]) ?log2_capacity () =
+  let wirings = Anonmem.Wiring.enumerate ~n:3 ~m:3 ~fix_first:true in
+  let rec go = function
+    | [] -> None
+    | (inputs, target) :: rest -> (
+        let target_mask = Iset.to_bits (Iset.map (fun i -> i - 1) (Iset.of_list target)) in
+        match
+          Modelcheck.Snapshot3.find_nonatomic ?log2_capacity ~inputs
+            ~target_mask ~wirings ()
+        with
+        | Some w -> Some (inputs, Iset.of_list target, w)
+        | None -> go rest)
+  in
+  go candidates
+
+(** Search for the Section-8 non-atomicity witness: an execution in which
+    some processor's snapshot never equalled the set of inputs present in
+    memory at any time. *)
+let find_nonatomic_execution ?(n = 3) ?(attempts = 2_000) () =
+  let inputs = Array.init n (fun i -> i + 1) in
+  let cfg = Algorithms.Snapshot.standard ~n in
+  Snapshot_witness.find_nonatomic ~cfg ~inputs
+    ~memory_set:(fun regs ->
+      Array.fold_left
+        (fun acc (v : Algorithms.Snapshot.value) -> Iset.union acc v.view)
+        Iset.empty regs)
+    ~output_set:Fun.id ~attempts ()

@@ -1,0 +1,1 @@
+lib/modelcheck/codecs.ml: Algorithms Bytes Char Iset Repro_util

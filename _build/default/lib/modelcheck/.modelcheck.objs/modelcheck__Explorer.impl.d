@@ -1,0 +1,1 @@
+lib/modelcheck/explorer.ml: Anonmem Array Bytes Fmt Fun Hashtbl List Option Queue Repro_util Tasks Vec

@@ -1,0 +1,1 @@
+lib/modelcheck/snapshot3.ml: Algorithms Anonmem Array Iset List Printf Repro_util Rng Seq Vec

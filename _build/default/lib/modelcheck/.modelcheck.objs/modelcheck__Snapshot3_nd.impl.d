@@ -1,0 +1,1 @@
+lib/modelcheck/snapshot3_nd.ml: Anonmem Array List Repro_util Seq Snapshot3 Vec

@@ -1,0 +1,1 @@
+lib/modelcheck/witness.ml: Anonmem Array Explorer Iset List Option Repro_util Rng Tasks

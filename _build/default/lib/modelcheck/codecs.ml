@@ -1,0 +1,250 @@
+(** {!Explorer.CHECKABLE} instances: fixed-width byte codecs for the
+    finite-state protocols of the library.
+
+    The codecs pack views as bitmasks, so they support input values in
+    [0..7] — ample for exhaustive exploration, which is only feasible for a
+    handful of processors anyway.  All fields of the protocols' local
+    states are small non-negative integers; each occupies one byte. *)
+
+open Repro_util
+
+let put b off x =
+  if x < 0 || x > 255 then invalid_arg "Codecs: field out of byte range";
+  Bytes.set b off (Char.chr x)
+
+let get b off = Char.code (Bytes.get b off)
+
+(** The Figure-3 snapshot algorithm. *)
+module Snapshot = struct
+  include Algorithms.Snapshot
+  module C = Algorithms.Snapshot.Core
+
+  let value_width _ = 2
+
+  let encode_value _ (v : value) b off =
+    put b off (Iset.to_bits v.view);
+    put b (off + 1) v.level
+
+  let decode_value _ b off : value =
+    { view = Iset.of_bits (get b off); level = get b (off + 1) }
+
+  let local_width _ = 5
+
+  let encode_local _ (l : local) b off =
+    put b off (Iset.to_bits l.C.view);
+    put b (off + 1) l.C.level;
+    put b (off + 2) l.C.next_write;
+    match l.C.phase with
+    | C.Writing ->
+        put b (off + 3) 0;
+        put b (off + 4) 0
+    | C.Scanning s ->
+        put b (off + 3) (1 + (s.C.pos * 2) + (if s.C.all_own then 1 else 0));
+        put b (off + 4) s.C.min_level
+
+  let decode_local _ b off : local =
+    let phase =
+      match get b (off + 3) with
+      | 0 -> C.Writing
+      | k ->
+          C.Scanning
+            {
+              C.pos = (k - 1) / 2;
+              all_own = (k - 1) land 1 = 1;
+              min_level = get b (off + 4);
+            }
+    in
+    {
+      C.view = Iset.of_bits (get b off);
+      level = get b (off + 1);
+      next_write = get b (off + 2);
+      phase;
+    }
+end
+
+(** The Figure-1 write–scan loop (no outputs; explored for its cycle
+    structure). *)
+module Write_scan = struct
+  include Algorithms.Write_scan
+  module W = Algorithms.Write_scan
+
+  let value_width _ = 1
+  let encode_value _ v b off = put b off (Iset.to_bits v)
+  let decode_value _ b off = Iset.of_bits (get b off)
+  let local_width _ = 3
+
+  let encode_local _ (l : local) b off =
+    put b off (Iset.to_bits l.W.view);
+    put b (off + 1) l.W.next_write;
+    match l.W.phase with
+    | W.Writing -> put b (off + 2) 0
+    | W.Scanning s -> put b (off + 2) (1 + s.W.pos)
+
+  let decode_local _ b off : local =
+    let phase =
+      match get b (off + 2) with
+      | 0 -> W.Writing
+      | k -> W.Scanning { W.pos = k - 1 }
+    in
+    {
+      W.view = Iset.of_bits (get b off);
+      next_write = get b (off + 1);
+      phase;
+    }
+end
+
+(** The broken double-collect baseline, explored to hunt for task
+    violations mechanically. *)
+module Double_collect = struct
+  include Algorithms.Double_collect
+  module D = Algorithms.Double_collect
+
+  let value_width _ = 1
+  let encode_value _ v b off = put b off (Iset.to_bits v)
+  let decode_value _ b off = Iset.of_bits (get b off)
+  let local_width _ = 4
+
+  let encode_local _ (l : local) b off =
+    put b off (Iset.to_bits l.D.view);
+    put b (off + 1) l.D.next_write;
+    put b (off + 2) l.D.streak;
+    match l.D.phase with
+    | D.Writing -> put b (off + 3) 0
+    | D.Scanning s ->
+        put b (off + 3) (1 + (s.D.pos * 2) + (if s.D.all_own then 1 else 0))
+
+  let decode_local _ b off : local =
+    let phase =
+      match get b (off + 3) with
+      | 0 -> D.Writing
+      | k ->
+          D.Scanning { D.pos = (k - 1) / 2; all_own = (k - 1) land 1 = 1 }
+    in
+    {
+      D.view = Iset.of_bits (get b off);
+      next_write = get b (off + 1);
+      streak = get b (off + 2);
+      phase;
+    }
+end
+
+(** The Figure-5 consensus algorithm, for {e bounded} exploration: the
+    state space is infinite (timestamps grow without bound), so exploration
+    must be cut off with [stop_expansion] once a timestamp exceeds a bound;
+    the codec supports values in [1..max_value] and timestamps in
+    [0..max_ts] with [max_value * (max_ts + 1) <= 24].
+
+    The [rounds] diagnostic counter is deliberately {e not} encoded (it
+    never influences behaviour); decoding yields [rounds = 0], which
+    quotients the state space by a ghost variable. *)
+module Consensus = struct
+  include Algorithms.Consensus
+  module C = Algorithms.Consensus
+  module SC = Algorithms.Consensus.Snap.Core
+
+  let max_value = 3
+  let max_ts = 7
+
+  let pair_index (v, t) =
+    if v < 1 || v > max_value || t < 0 || t > max_ts then
+      invalid_arg "Codecs.Consensus: (value, timestamp) out of bounds";
+    ((v - 1) * (max_ts + 1)) + t
+
+  let pair_of_index i = ((i / (max_ts + 1)) + 1, i mod (max_ts + 1))
+
+  let pset_bits s =
+    C.Pset.fold (fun p acc -> acc lor (1 lsl pair_index p)) s 0
+
+  let pset_of_bits bits =
+    let rec go i acc =
+      if i >= max_value * (max_ts + 1) then acc
+      else
+        go (i + 1)
+          (if bits land (1 lsl i) <> 0 then C.Pset.add (pair_of_index i) acc
+           else acc)
+    in
+    go 0 C.Pset.empty
+
+  let put3 b off x =
+    put b off (x land 0xff);
+    put b (off + 1) ((x lsr 8) land 0xff);
+    put b (off + 2) ((x lsr 16) land 0xff)
+
+  let get3 b off = get b off lor (get b (off + 1) lsl 8) lor (get b (off + 2) lsl 16)
+
+  let value_width _ = 4
+
+  let encode_value _ (v : value) b off =
+    put3 b off (pset_bits v.SC.view);
+    put b (off + 3) v.SC.level
+
+  let decode_value _ b off : value =
+    { SC.view = pset_of_bits (get3 b off); level = get b (off + 3) }
+
+  (* pref, ts, decided(+1, 0 = none), snap: view(3) level nw phase min *)
+  let local_width _ = 10
+
+  let encode_local _ (l : local) b off =
+    put b off l.C.pref;
+    put b (off + 1) l.C.ts;
+    put b (off + 2) (match l.C.decided with None -> 0 | Some v -> v + 1);
+    let s = l.C.snap in
+    put3 b (off + 3) (pset_bits s.SC.view);
+    put b (off + 6) s.SC.level;
+    put b (off + 7) s.SC.next_write;
+    (match s.SC.phase with
+    | SC.Writing ->
+        put b (off + 8) 0;
+        put b (off + 9) 0
+    | SC.Scanning sc ->
+        put b (off + 8) (1 + (sc.SC.pos * 2) + (if sc.SC.all_own then 1 else 0));
+        put b (off + 9) sc.SC.min_level)
+
+  let decode_local _ b off : local =
+    let phase =
+      match get b (off + 8) with
+      | 0 -> SC.Writing
+      | k ->
+          SC.Scanning
+            {
+              SC.pos = (k - 1) / 2;
+              all_own = (k - 1) land 1 = 1;
+              min_level = get b (off + 9);
+            }
+    in
+    {
+      C.input = get b off;
+      (* the original input is immaterial after initialization; decode it
+         as the current preference, which keeps the codec total *)
+      pref = get b off;
+      ts = get b (off + 1);
+      decided = (match get b (off + 2) with 0 -> None | v -> Some (v - 1));
+      rounds = 0;
+      snap =
+        {
+          SC.view = pset_of_bits (get3 b (off + 3));
+          level = get b (off + 6);
+          next_write = get b (off + 7);
+          phase;
+        };
+    }
+end
+
+(** The Figure-4 renaming algorithm: the snapshot core plus the immutable
+    group identifier. *)
+module Renaming = struct
+  include Algorithms.Renaming
+  module R = Algorithms.Renaming
+
+  let value_width = Snapshot.value_width
+  let encode_value = Snapshot.encode_value
+  let decode_value = Snapshot.decode_value
+  let local_width cfg = 1 + Snapshot.local_width cfg
+
+  let encode_local cfg (l : local) b off =
+    put b off l.R.group;
+    Snapshot.encode_local cfg l.R.core b (off + 1)
+
+  let decode_local cfg b off : local =
+    { R.group = get b off; core = Snapshot.decode_local cfg b (off + 1) }
+end

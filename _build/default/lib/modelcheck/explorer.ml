@@ -1,0 +1,568 @@
+(** Explicit-state model checker for fully-anonymous protocols — the
+    stand-in for the TLC runs reported in the paper (Figure 3 and the
+    claims of Sections 5.2 and 8).
+
+    For a fixed configuration, wiring and input assignment, the checker
+    enumerates by breadth-first search every state reachable under every
+    interleaving of processor steps (the scheduler's nondeterminism is the
+    only nondeterminism: protocols are deterministic step machines).  It
+    checks a state invariant as states are discovered, reconstructs
+    counterexample traces from BFS parents, and decides wait-freedom as a
+    graph property:
+
+    a processor [p] can take infinitely many steps without terminating iff
+    the finite transition graph contains a cycle traversing a [p]-labelled
+    edge — equivalently, an edge [u --p--> v] with [u] and [v] in the same
+    strongly connected component.  (In our protocols a processor that has
+    output takes no further steps, so a [p]-edge inside an SCC is exactly a
+    divergence of a never-terminating [p].)
+
+    The state spaces reach tens of millions of states for 3 processors, so
+    states are stored only as compact byte strings: checkable protocols
+    supply fixed-width codecs ({!CHECKABLE}, instances in {!Codecs}), the
+    visited set maps key bytes to dense ids, edges are packed into integer
+    vectors, and the SCC pass runs over a CSR image of the graph.  To cover
+    {e all} executions of the anonymous model the caller iterates
+    exploration over {!Anonmem.Wiring.enumerate} (with register-symmetry
+    reduction) and the relevant input assignments; see
+    {!Make.check_all_wirings}. *)
+
+open Repro_util
+
+(** A protocol whose states can be exhaustively explored: local states and
+    register values serialize to fixed-width byte strings.  Codecs must be
+    exact inverses; widths may depend on the configuration. *)
+module type CHECKABLE = sig
+  include Anonmem.Protocol.S
+
+  val value_width : cfg -> int
+  val encode_value : cfg -> value -> Bytes.t -> int -> unit
+  val decode_value : cfg -> Bytes.t -> int -> value
+  val local_width : cfg -> int
+  val encode_local : cfg -> local -> Bytes.t -> int -> unit
+  val decode_local : cfg -> Bytes.t -> int -> local
+end
+
+(* Edges are packed as (src lsl 4) lor pid in one int vector and the
+   destination in a parallel one; dense state ids stay well below 2^59 and
+   processor counts below 16 in any feasible exploration. *)
+let max_processors = 16
+
+module Make (P : CHECKABLE) = struct
+  type state = { locals : P.local array; registers : P.value array }
+
+  let init_state ~cfg ~inputs =
+    {
+      locals = Array.map (P.init cfg) inputs;
+      registers = Array.make (P.registers cfg) (P.register_init cfg);
+    }
+
+  let encode_state cfg st =
+    let n = Array.length st.locals and m = Array.length st.registers in
+    let lw = P.local_width cfg and vw = P.value_width cfg in
+    let b = Bytes.create ((n * lw) + (m * vw)) in
+    Array.iteri (fun p l -> P.encode_local cfg l b (p * lw)) st.locals;
+    Array.iteri
+      (fun r v -> P.encode_value cfg v b ((n * lw) + (r * vw)))
+      st.registers;
+    Bytes.unsafe_to_string b
+
+  let decode_state cfg key =
+    let b = Bytes.unsafe_of_string key in
+    let n = P.processors cfg and m = P.registers cfg in
+    let lw = P.local_width cfg and vw = P.value_width cfg in
+    {
+      locals = Array.init n (fun p -> P.decode_local cfg b (p * lw));
+      registers =
+        Array.init m (fun r -> P.decode_value cfg b ((n * lw) + (r * vw)));
+    }
+
+  let enabled cfg st =
+    List.filter
+      (fun p -> P.next cfg st.locals.(p) <> None)
+      (List.init (Array.length st.locals) Fun.id)
+
+  (** Successor of [st] when processor [p] takes its pending step. *)
+  let successor cfg wiring st p =
+    match P.next cfg st.locals.(p) with
+    | None -> invalid_arg "Explorer.successor: processor halted"
+    | Some (Anonmem.Protocol.Read i) ->
+        let r = Anonmem.Wiring.phys wiring ~p i in
+        let locals = Array.copy st.locals in
+        locals.(p) <- P.apply_read cfg st.locals.(p) ~reg:i st.registers.(r);
+        { st with locals }
+    | Some (Anonmem.Protocol.Write (i, v)) ->
+        let r = Anonmem.Wiring.phys wiring ~p i in
+        let locals = Array.copy st.locals in
+        let registers = Array.copy st.registers in
+        locals.(p) <- P.apply_write cfg st.locals.(p);
+        registers.(r) <- v;
+        { locals; registers }
+
+  let outputs cfg st = Array.map (P.output cfg) st.locals
+
+  type space = {
+    cfg : P.cfg;
+    wiring : Anonmem.Wiring.t;
+    inputs : P.input array;
+    keys : string Vec.t;  (** id -> encoded state; id 0 is initial *)
+    parent : int Vec.t;  (** id -> (parent_id lsl 4) lor pid; -1 at root *)
+    edge_src : int Vec.t;  (** (src lsl 4) lor pid *)
+    edge_dst : int Vec.t;
+    terminal : int list;  (** ids of states where all processors halted *)
+  }
+
+  let state_count space = Vec.length space.keys
+  let transition_count space = Vec.length space.edge_dst
+  let state_of space id = decode_state space.cfg (Vec.get space.keys id)
+
+  type violation = {
+    state_id : int;
+    message : string;
+    trace : (int * state) list;
+        (** steps [(pid, post-state)] from the initial state to the
+            violating state *)
+  }
+
+  type result =
+    | Explored of space
+    | Invariant_failed of space * violation
+    | State_limit of int  (** exploration aborted at this many states *)
+
+  let trace_to space id =
+    let rec up id acc =
+      let packed = Vec.get space.parent id in
+      if packed < 0 then acc
+      else
+        let parent = packed asr 4 and pid = packed land 15 in
+        up parent ((pid, state_of space id) :: acc)
+    in
+    up id []
+
+  (** Breadth-first exploration.  [invariant] is checked on every state as
+      it is discovered; the first failure aborts with a minimal-length
+      counterexample trace.  [stop_expansion] (default: never) marks states
+      whose successors should not be explored — used to bound protocols
+      with unbounded state.  [progress] is called every [2^20] states. *)
+  let explore ?(max_states = 50_000_000) ?invariant ?stop_expansion ?progress
+      ~cfg ~wiring ~inputs () =
+    if P.processors cfg >= max_processors then
+      invalid_arg "Explorer.explore: too many processors to pack edges";
+    let table : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 16) in
+    let keys : string Vec.t = Vec.create () in
+    let parent : int Vec.t = Vec.create () in
+    let edge_src : int Vec.t = Vec.create () in
+    let edge_dst : int Vec.t = Vec.create () in
+    let terminal = ref [] in
+    let queue = Queue.create () in
+    let violation = ref None in
+    let add_state st ~from =
+      let key = encode_state cfg st in
+      match Hashtbl.find_opt table key with
+      | Some id -> id
+      | None ->
+          let id = Vec.push keys key in
+          Hashtbl.add table key id;
+          ignore (Vec.push parent from);
+          (match invariant with
+          | Some check -> (
+              match check st with
+              | Ok () -> ()
+              | Error message ->
+                  if !violation = None then violation := Some (id, message))
+          | None -> ());
+          (match progress with
+          | Some f when id land ((1 lsl 20) - 1) = 0 -> f id
+          | _ -> ());
+          Queue.add id queue;
+          id
+    in
+    ignore (add_state (init_state ~cfg ~inputs) ~from:(-1));
+    let limit_hit = ref false in
+    while (not (Queue.is_empty queue)) && !violation = None && not !limit_hit do
+      let id = Queue.pop queue in
+      let st = decode_state cfg (Vec.get keys id) in
+      let expand =
+        match stop_expansion with Some f -> not (f st) | None -> true
+      in
+      if expand then begin
+        match enabled cfg st with
+        | [] -> terminal := id :: !terminal
+        | en ->
+            List.iter
+              (fun p ->
+                if Vec.length keys >= max_states then limit_hit := true
+                else begin
+                  let st' = successor cfg wiring st p in
+                  let id' = add_state st' ~from:((id lsl 4) lor p) in
+                  ignore (Vec.push edge_src ((id lsl 4) lor p));
+                  ignore (Vec.push edge_dst id')
+                end)
+              en
+      end
+    done;
+    if !limit_hit then State_limit (Vec.length keys)
+    else begin
+      let space =
+        {
+          cfg;
+          wiring;
+          inputs;
+          keys;
+          parent;
+          edge_src;
+          edge_dst;
+          terminal = List.rev !terminal;
+        }
+      in
+      match !violation with
+      | Some (state_id, message) ->
+          Invariant_failed
+            (space, { state_id; message; trace = trace_to space state_id })
+      | None -> Explored space
+    end
+
+  (* CSR image of the transition graph for the SCC pass. *)
+  let csr space =
+    let n = state_count space and e = transition_count space in
+    let deg = Array.make (n + 1) 0 in
+    for i = 0 to e - 1 do
+      let u = Vec.get space.edge_src i asr 4 in
+      deg.(u + 1) <- deg.(u + 1) + 1
+    done;
+    for i = 1 to n do
+      deg.(i) <- deg.(i) + deg.(i - 1)
+    done;
+    let adj = Array.make e 0 in
+    let cursor = Array.copy deg in
+    for i = 0 to e - 1 do
+      let u = Vec.get space.edge_src i asr 4 in
+      adj.(cursor.(u)) <- Vec.get space.edge_dst i;
+      cursor.(u) <- cursor.(u) + 1
+    done;
+    (deg, adj)
+
+  (* Iterative Tarjan over the CSR graph. *)
+  let scc_ids space =
+    let n = state_count space in
+    let off, adj = csr space in
+    let index = Array.make n (-1) in
+    let lowlink = Array.make n 0 in
+    let on_stack = Bytes.make n '\000' in
+    let comp = Array.make n (-1) in
+    let stack = ref [] in
+    let next_index = ref 0 in
+    let comp_count = ref 0 in
+    let visit root =
+      let frames = ref [ (root, ref off.(root)) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      Bytes.set on_stack root '\001';
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, cursor) :: parent_frames -> (
+            if !cursor < off.(v + 1) then begin
+              let w = adj.(!cursor) in
+              incr cursor;
+              if index.(w) = -1 then begin
+                index.(w) <- !next_index;
+                lowlink.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                Bytes.set on_stack w '\001';
+                frames := (w, ref off.(w)) :: !frames
+              end
+              else if Bytes.get on_stack w = '\001' then
+                lowlink.(v) <- min lowlink.(v) index.(w)
+            end
+            else begin
+              if lowlink.(v) = index.(v) then begin
+                let continue = ref true in
+                while !continue do
+                  match !stack with
+                  | [] -> continue := false
+                  | w :: tl ->
+                      stack := tl;
+                      Bytes.set on_stack w '\000';
+                      comp.(w) <- !comp_count;
+                      if w = v then continue := false
+                done;
+                incr comp_count
+              end;
+              frames := parent_frames;
+              match parent_frames with
+              | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+              | [] -> ()
+            end)
+      done
+    in
+    for v = 0 to n - 1 do
+      if index.(v) = -1 then visit v
+    done;
+    (comp, !comp_count)
+
+  (** Processors that can take infinitely many steps without terminating:
+      those with an edge inside a strongly connected component of the
+      transition graph.  Empty result = the protocol is wait-free for this
+      wiring and input assignment. *)
+  let divergent_processors space =
+    let comp, _ = scc_ids space in
+    let bad = Hashtbl.create 8 in
+    for i = 0 to transition_count space - 1 do
+      let packed = Vec.get space.edge_src i in
+      let u = packed asr 4 and p = packed land 15 in
+      let v = Vec.get space.edge_dst i in
+      if comp.(u) = comp.(v) then Hashtbl.replace bad p ()
+    done;
+    List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) bad [])
+
+  let is_wait_free space = divergent_processors space = []
+
+  (** Terminal outcomes: the task outcome at every all-halted state.
+      [to_task_output] converts protocol outputs for the task checkers. *)
+  let terminal_outcomes space ~group_of_input ~to_task_output =
+    List.map
+      (fun id ->
+        let outs = outputs space.cfg (state_of space id) in
+        Tasks.Outcome.make
+          ~inputs:(Array.map group_of_input space.inputs)
+          ~outputs:(Array.map (Option.map to_task_output) outs)
+          ())
+      space.terminal
+
+  (** {1 Exhaustive depth-first checking}
+
+      The BFS {!explore} materializes the transition graph (needed for
+      terminal-outcome analyses and shortest counterexamples) but costs
+      ~130 bytes per state; the 3-processor snapshot spaces run to tens of
+      millions of states per wiring, which calls for a leaner pass.  This
+      DFS checks the same two properties — a state invariant, and
+      wait-freedom — without storing any edges:
+
+      wait-freedom for {e every} processor is equivalent to the transition
+      graph being acyclic (any cycle contains an edge, and that edge's
+      processor can then take infinitely many steps without terminating),
+      and acyclicity is exactly the absence of back edges in a DFS.  The
+      DFS keeps only the visited table (key → id), one color byte per
+      state, and the current path. *)
+
+  type dfs_stats = {
+    dfs_states : int;
+    dfs_transitions : int;
+    dfs_terminals : int;
+    dfs_max_depth : int;
+  }
+
+  type dfs_result =
+    | Dfs_ok of dfs_stats
+    | Dfs_invariant_failed of {
+        message : string;
+        state : state;  (** the violating state *)
+        path : int list;
+            (** processor ids of the steps from the initial state to the
+                violating state — replay them to rematerialize the trace *)
+        stats : dfs_stats;
+      }
+    | Dfs_cycle of {
+        processors : int list;
+            (** processors taking steps on the cycle found: each of them
+                can run forever without terminating *)
+        stats : dfs_stats;
+      }
+    | Dfs_state_limit of int
+
+  (** [fail_on_cycle] (default true) reports the first cycle as a
+      wait-freedom violation; pass [false] for protocols that are only
+      obstruction-free (e.g. consensus), where cycles are expected and only
+      the invariant is being checked. *)
+  let check_exhaustive ?(max_states = 100_000_000) ?(fail_on_cycle = true)
+      ?invariant ?stop_expansion ?progress ~cfg ~wiring ~inputs () =
+    if P.processors cfg >= max_processors then
+      invalid_arg "Explorer.check_exhaustive: too many processors";
+    let table : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 20) in
+    let colors = Vec.create () in
+    (* 1 = gray (on the DFS path), 2 = black (done) *)
+    let n = P.processors cfg in
+    let transitions = ref 0 and terminals = ref 0 and max_depth = ref 0 in
+    let stats () =
+      {
+        dfs_states = Vec.length colors;
+        dfs_transitions = !transitions;
+        dfs_terminals = !terminals;
+        dfs_max_depth = !max_depth;
+      }
+    in
+    let outcome = ref None in
+    (* Frames: (id, key, pid of the step that entered this frame, next
+       processor index to try).  The decoded state is rebuilt per
+       successor; keeping it would bloat the path. *)
+    let stack = ref [] and depth = ref 0 in
+    let add_state key ~entered_by st =
+      let id = Vec.push colors 1 in
+      Hashtbl.add table key id;
+      (match progress with
+      | Some f when id land ((1 lsl 20) - 1) = 0 -> f id
+      | _ -> ());
+      (match invariant with
+      | Some check -> (
+          match check st with
+          | Ok () -> ()
+          | Error message ->
+              if !outcome = None then
+                let path =
+                  List.rev_map (fun (_, _, pid, _, _) -> pid) !stack
+                  |> List.filter (fun pid -> pid >= 0)
+                in
+                let path = if entered_by >= 0 then path @ [ entered_by ] else path in
+                outcome :=
+                  Some
+                    (Dfs_invariant_failed
+                       {
+                         message;
+                         state = st;
+                         path = path @ [ entered_by ];
+                         stats = stats ();
+                       }))
+      | None -> ());
+      stack := (id, key, entered_by, ref 0, ref false) :: !stack;
+      incr depth;
+      if !depth > !max_depth then max_depth := !depth;
+      id
+    in
+    let key0 = encode_state cfg (init_state ~cfg ~inputs) in
+    ignore (add_state key0 ~entered_by:(-1) (init_state ~cfg ~inputs));
+    let limit = ref false in
+    while !stack <> [] && !outcome = None && not !limit do
+      match !stack with
+      | [] -> ()
+      | (id, key, _, next_p, any_enabled) :: rest ->
+          (if !next_p = 0 then
+             match stop_expansion with
+             | Some f when f (decode_state cfg key) ->
+                 (* pruned leaf: skip successors; not a terminal state *)
+                 next_p := n;
+                 any_enabled := true
+             | _ -> ());
+          if !next_p >= n then begin
+            if not !any_enabled then incr terminals;
+            Vec.set colors id 2;
+            stack := rest;
+            decr depth
+          end
+          else begin
+            let p = !next_p in
+            incr next_p;
+            let st = decode_state cfg key in
+            if P.next cfg st.locals.(p) <> None then begin
+              any_enabled := true;
+              incr transitions;
+              let st' = successor cfg wiring st p in
+              let key' = encode_state cfg st' in
+              match Hashtbl.find_opt table key' with
+              | None ->
+                  if Vec.length colors >= max_states then limit := true
+                  else ignore (add_state key' ~entered_by:p st')
+              | Some id' ->
+                  if fail_on_cycle && Vec.get colors id' = 1 then begin
+                    (* back edge: a cycle through id'.  Collect the pids of
+                       the path segment from id' to here, plus p. *)
+                    let rec collect acc = function
+                      | (fid, _, entered_by, _, _) :: rest ->
+                          if fid = id' then acc
+                          else collect (entered_by :: acc) rest
+                      | [] -> acc
+                    in
+                    let pids = p :: collect [] !stack in
+                    outcome :=
+                      Some
+                        (Dfs_cycle
+                           {
+                             processors = List.sort_uniq compare pids;
+                             stats = stats ();
+                           })
+                  end
+            end
+          end
+    done;
+    if !limit then Dfs_state_limit (Vec.length colors)
+    else match !outcome with Some r -> r | None -> Dfs_ok (stats ())
+
+  type summary = {
+    wirings_checked : int;
+    total_states : int;
+    max_space_states : int;
+    total_transitions : int;
+    terminal_states : int;
+    all_wait_free : bool;
+  }
+
+  let empty_summary =
+    {
+      wirings_checked = 0;
+      total_states = 0;
+      max_space_states = 0;
+      total_transitions = 0;
+      terminal_states = 0;
+      all_wait_free = true;
+    }
+
+  (** Check an invariant and wait-freedom across a set of wirings —
+      by default every wiring with processor 0's permutation pinned to the
+      identity (register anonymity makes the restriction lossless) — for
+      one input assignment, using the lean DFS pass.  [on_wiring] observes
+      each per-wiring result as it completes. *)
+  let check_all_wirings ?max_states ?invariant ?(require_wait_free = true)
+      ?on_wiring ?wirings ~cfg ~inputs () =
+    let n = P.processors cfg and m = P.registers cfg in
+    let wirings =
+      match wirings with
+      | Some ws -> ws
+      | None -> Anonmem.Wiring.enumerate ~n ~m ~fix_first:true
+    in
+    let rec go summary = function
+      | [] -> Ok summary
+      | wiring :: rest -> (
+          match check_exhaustive ?max_states ?invariant ~cfg ~wiring ~inputs () with
+          | Dfs_state_limit k -> Error (Fmt.str "state limit hit at %d states" k)
+          | Dfs_invariant_failed { message; _ } ->
+              Error
+                (Fmt.str "invariant violated under wiring %a: %s"
+                   Anonmem.Wiring.pp wiring message)
+          | Dfs_cycle { processors; stats } ->
+              let summary =
+                {
+                  summary with
+                  wirings_checked = summary.wirings_checked + 1;
+                  total_states = summary.total_states + stats.dfs_states;
+                  all_wait_free = false;
+                }
+              in
+              (match on_wiring with Some f -> f wiring summary | None -> ());
+              if require_wait_free then
+                Error
+                  (Fmt.str
+                     "wait-freedom violated under wiring %a: processors %a diverge"
+                     Anonmem.Wiring.pp wiring
+                     Fmt.(list ~sep:comma int)
+                     processors)
+              else go summary rest
+          | Dfs_ok stats ->
+              let summary =
+                {
+                  wirings_checked = summary.wirings_checked + 1;
+                  total_states = summary.total_states + stats.dfs_states;
+                  max_space_states = max summary.max_space_states stats.dfs_states;
+                  total_transitions =
+                    summary.total_transitions + stats.dfs_transitions;
+                  terminal_states = summary.terminal_states + stats.dfs_terminals;
+                  all_wait_free = summary.all_wait_free;
+                }
+              in
+              (match on_wiring with Some f -> f wiring summary | None -> ());
+              go summary rest)
+    in
+    go empty_summary wirings
+end

@@ -1,0 +1,257 @@
+(** {!Snapshot3} with the paper's {e nondeterministic} write order.
+
+    The shipped implementation writes registers in a fixed private cyclic
+    order — a deterministic refinement of Figure 3's write phase, which
+    only demands fairness ("picks a register that it has not written to
+    since it last wrote all the registers", a PlusCal [with] choice).  The
+    refinement is sound for verifying the implementation, but it explores
+    {e fewer} executions than the paper's spec: some adversarial patterns
+    (notably candidates for the Section-8 non-atomicity witness) may
+    require re-ordering writes between rounds.
+
+    This variant models the specification faithfully: each local state
+    tracks the {e set} of registers written since the last full round (3
+    bits instead of a 2-bit cursor), and the write phase branches over
+    every register not yet written.  State packing:
+
+    {v
+    per processor (13 bits x 3):   per register (5 bits x 3):
+      view     3 bits                view   3 bits
+      level    2 bits                level  2 bits
+      written  3 bits  (round mask)
+      phase    3 bits  (0 = writing, 1 + pos*2 + all_own = scanning)
+      min      2 bits
+    v}
+
+    54 bits per system state.  Nondeterministic choices multiply the
+    spaces by roughly the branching of the write phase; searches are
+    correspondingly heavier than {!Snapshot3}'s. *)
+
+open Repro_util
+
+let n = 3
+let m = 3
+
+let local_bits = 13
+let reg_bits = 5
+let reg_off r = (n * local_bits) + (r * reg_bits)
+let local_off p = p * local_bits
+let lmask = (1 lsl local_bits) - 1
+let rmask = (1 lsl reg_bits) - 1
+let all_written = (1 lsl m) - 1
+
+let l_view l = l land 7
+let l_level l = (l lsr 3) land 3
+let l_written l = (l lsr 5) land 7
+let l_phase l = (l lsr 8) land 7
+let l_min l = (l lsr 11) land 3
+
+let mk_local ~view ~level ~written ~phase ~mn =
+  view lor (level lsl 3) lor (written lsl 5) lor (phase lsl 8) lor (mn lsl 11)
+
+let r_view v = v land 7
+let r_level v = (v lsr 3) land 3
+let mk_reg ~view ~level = view lor (level lsl 3)
+
+let get_local s p = (s lsr local_off p) land lmask
+let set_local s p l = s land lnot (lmask lsl local_off p) lor (l lsl local_off p)
+let get_reg s r = (s lsr reg_off r) land rmask
+let set_reg s r v = s land lnot (rmask lsl reg_off r) lor (v lsl reg_off r)
+
+let halted l = l_level l >= n && l_phase l = 0
+
+(** Number of nondeterministic choices processor [p] has in state [s]:
+    0 when halted, 1 during a scan, and one per unwritten register during
+    the write phase. *)
+let choices s p =
+  let l = get_local s p in
+  if halted l then 0
+  else if l_phase l <> 0 then 1
+  else m - (l_written l land 1) - ((l_written l lsr 1) land 1) - ((l_written l lsr 2) land 1)
+
+(** The [c]-th choice's target private register during a write phase. *)
+let write_target written c =
+  let rec go i c =
+    if i >= m then invalid_arg "Snapshot3_nd.write_target"
+    else if written land (1 lsl i) = 0 then if c = 0 then i else go (i + 1) (c - 1)
+    else go (i + 1) c
+  in
+  go 0 c
+
+let step s p c sigma =
+  let l = get_local s p in
+  let phase = l_phase l in
+  if phase = 0 then begin
+    let i = write_target (l_written l) c in
+    let r = sigma.(i) in
+    let s = set_reg s r (mk_reg ~view:(l_view l) ~level:(l_level l)) in
+    let written = l_written l lor (1 lsl i) in
+    let written = if written = all_written then 0 else written in
+    let l' =
+      mk_local ~view:(l_view l) ~level:(l_level l) ~written ~phase:2 ~mn:n
+    in
+    set_local s p l'
+  end
+  else begin
+    let pos = (phase - 1) / 2 in
+    let all_own = (phase - 1) land 1 = 1 in
+    let v = get_reg s sigma.(pos) in
+    let all_own = all_own && r_view v = l_view l in
+    let view = if all_own then l_view l else l_view l lor r_view v in
+    let mn = if all_own then min (l_min l) (r_level v) else 0 in
+    let l' =
+      if pos + 1 < m then
+        mk_local ~view ~level:(l_level l) ~written:(l_written l)
+          ~phase:(1 + ((pos + 1) * 2) + (if all_own then 1 else 0))
+          ~mn
+      else
+        let level = if all_own then min (mn + 1) n else 0 in
+        let written = if level >= n then 0 else l_written l in
+        mk_local ~view ~level ~written ~phase:0 ~mn:0
+    in
+    set_local s p l'
+  end
+
+let initial_state inputs =
+  Array.to_seqi inputs
+  |> Seq.fold_left
+       (fun s (p, input) ->
+         if input < 1 || input > 3 then
+           invalid_arg "Snapshot3_nd: inputs must be in 1..3";
+         set_local s p
+           (mk_local ~view:(1 lsl (input - 1)) ~level:0 ~written:0 ~phase:0
+              ~mn:0))
+       0
+
+let outputs s =
+  List.filter_map
+    (fun p ->
+      let l = get_local s p in
+      if halted l then Some (p, l_view l) else None)
+    [ 0; 1; 2 ]
+
+let memory_mask s =
+  r_view (get_reg s 0) lor r_view (get_reg s 1) lor r_view (get_reg s 2)
+
+type stats = { states : int; transitions : int; max_depth : int }
+
+type result =
+  | No_witness of stats
+  | Witness of { state : int; path : (int * int) list; stats : stats }
+      (** path steps are [(processor, choice)] *)
+  | Table_full of int
+
+(* Same open-addressing colored table as Snapshot3. *)
+module Table = Snapshot3.Table
+
+(** DFS search for a state where [witness] holds, never expanding states
+    where [prune] holds; all nondeterminism (scheduler and write order)
+    explored. *)
+let search ?(log2_capacity = 28) ?progress ~inputs ~prune ~witness ~wiring () =
+  let sigmas =
+    Array.init n (fun p ->
+        Array.init m (fun i -> Anonmem.Wiring.phys wiring ~p i))
+  in
+  let table = Table.create ~log2_capacity in
+  let st_stack = Vec.create () in
+  (* meta = slot lsl 10 | (entered_pc + 1) lsl 5 | cursor, where a pc packs
+     (p * 4 + choice) <= 11 and the cursor enumerates (p, choice) pairs *)
+  let meta_stack = Vec.create () in
+  let transitions = ref 0 and max_depth = ref 0 and depth = ref 0 in
+  let stats () =
+    {
+      states = table.Table.count;
+      transitions = !transitions;
+      max_depth = !max_depth;
+    }
+  in
+  let outcome = ref None in
+  let path_of entered_pc =
+    let rev = ref [] in
+    Vec.iteri
+      (fun _ meta ->
+        let pc = ((meta lsr 5) land 31) - 1 in
+        if pc >= 0 then rev := ((pc lsr 2), pc land 3) :: !rev)
+      meta_stack;
+    List.rev !rev @ (if entered_pc >= 0 then [ (entered_pc lsr 2, entered_pc land 3) ] else [])
+  in
+  let push state slot entered_pc =
+    Table.insert_gray table state slot;
+    (match progress with
+    | Some f when table.Table.count land ((1 lsl 21) - 1) = 0 ->
+        f table.Table.count
+    | _ -> ());
+    if witness state && !outcome = None then
+      outcome := Some (Witness { state; path = path_of entered_pc; stats = stats () });
+    ignore (Vec.push st_stack state);
+    ignore (Vec.push meta_stack ((slot lsl 10) lor ((entered_pc + 1) lsl 5)));
+    incr depth;
+    if !depth > !max_depth then max_depth := !depth
+  in
+  let s0 = initial_state inputs in
+  push s0 (Table.find_slot table s0) (-1);
+  let running = ref true in
+  let max_cursor = n * 4 in
+  while !running && !outcome = None do
+    let top = Vec.length st_stack - 1 in
+    if top < 0 then running := false
+    else begin
+      let state = Vec.get st_stack top in
+      let meta = Vec.get meta_stack top in
+      let cursor = meta land 31 in
+      if cursor >= max_cursor then begin
+        Table.blacken table (meta lsr 10);
+        Vec.truncate st_stack top;
+        Vec.truncate meta_stack top;
+        decr depth
+      end
+      else begin
+        Vec.set meta_stack top (meta + 1);
+        let pruned = cursor = 0 && prune state in
+        if pruned then Vec.set meta_stack top (meta lor 31)
+        else begin
+          let p = cursor lsr 2 and c = cursor land 3 in
+          if p < n && c < choices state p then begin
+            incr transitions;
+            let s' = step state p c sigmas.(p) in
+            let slot = Table.find_slot table s' in
+            if Table.color table slot = 0 then
+              if Table.full table then begin
+                outcome := Some (Table_full table.Table.count);
+                running := false
+              end
+              else push s' slot ((p lsl 2) lor c)
+          end
+        end
+      end
+    end
+  done;
+  match !outcome with Some r -> r | None -> No_witness (stats ())
+
+(** The Section-8 witness search under the faithful nondeterministic write
+    order: some processor returns [target_mask] although the memory never
+    contains exactly it. *)
+let find_nonatomic ?log2_capacity ?progress ~inputs ~target_mask ~wirings () =
+  let prune s =
+    memory_mask s = target_mask
+    || not
+         (List.exists
+            (fun p ->
+              let v = l_view (get_local s p) in
+              v land target_mask = v)
+            [ 0; 1; 2 ])
+  in
+  let witness s =
+    memory_mask s <> target_mask
+    && List.exists (fun (_, o) -> o = target_mask) (outputs s)
+  in
+  let rec go = function
+    | [] -> None
+    | wiring :: rest -> (
+        match
+          search ?log2_capacity ?progress ~inputs ~prune ~witness ~wiring ()
+        with
+        | Witness { path; state; _ } -> Some (wiring, path, state)
+        | No_witness _ | Table_full _ -> go rest)
+  in
+  go wirings

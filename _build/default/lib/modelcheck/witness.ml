@@ -1,0 +1,215 @@
+(** Randomized search for existential claims about executions.
+
+    Two claims of the paper are existential: (i) the Figure-3 algorithm
+    does {e not} implement atomic memory snapshots — some execution makes a
+    processor return a set of inputs that the memory never contained
+    (Section 8); (ii) naive termination rules admit violating executions.
+    For such claims a witness execution is a complete proof; this module
+    hunts for witnesses by sampling random wirings and random fair
+    schedules from a deterministic seed, so every witness found is
+    replayable. *)
+
+open Repro_util
+
+module Search (P : Anonmem.Protocol.S) = struct
+  module Sys = Anonmem.System.Make (P)
+
+  type run = {
+    seed : int;
+    wiring : Anonmem.Wiring.t;
+    steps : int;
+    state : Sys.state;
+  }
+
+  (** Run one random execution to quiescence ([None] if some processor had
+      not terminated after [max_steps]). *)
+  let random_run ~cfg ~inputs ~max_steps seed =
+    let rng = Rng.create ~seed in
+    let wiring =
+      Anonmem.Wiring.random rng ~n:(P.processors cfg) ~m:(P.registers cfg)
+    in
+    let state = Sys.init ~cfg ~wiring ~inputs in
+    let sched = Anonmem.Scheduler.random (Rng.split rng) in
+    let stop, steps = Sys.run ~max_steps ~sched state in
+    match stop with
+    | Sys.All_halted -> Some { seed; wiring; steps; state }
+    | Sys.Scheduler_done | Sys.Max_steps -> None
+
+  type nonatomic_witness = {
+    witness_run : run;
+    culprit : int;  (** processor whose output was never in memory *)
+    culprit_output : Iset.t;
+    memory_sets_seen : Iset.t list;
+        (** every distinct value of "set of inputs present in memory",
+            chronological *)
+  }
+
+  (** Search for an execution in which some processor outputs a set of
+      inputs [I] such that at no point in time the set of inputs present in
+      memory (the union of all register views) equalled [I] — the
+      non-atomicity witness of Section 8.  Tries seeds [0 .. attempts-1]
+      (offset by [seed_base]). *)
+  let find_nonatomic ?(seed_base = 0) ?(attempts = 1_000) ?(max_steps = 20_000)
+      ~cfg ~inputs ~memory_set ~output_set () =
+    let run_one seed =
+      let rng = Rng.create ~seed in
+      let wiring =
+        Anonmem.Wiring.random rng ~n:(P.processors cfg) ~m:(P.registers cfg)
+      in
+      let state = Sys.init ~cfg ~wiring ~inputs in
+      let sched = Anonmem.Scheduler.random (Rng.split rng) in
+      let seen = ref [ memory_set state.Sys.registers ] in
+      let record () =
+        let s = memory_set state.Sys.registers in
+        if not (List.exists (Iset.equal s) !seen) then seen := s :: !seen
+      in
+      let rec drive steps =
+        if steps >= max_steps then None
+        else
+          match Sys.enabled state with
+          | [] -> Some steps
+          | en -> (
+              match Anonmem.Scheduler.pick sched ~time:steps ~enabled:en with
+              | None -> None
+              | Some p ->
+                  (match Sys.step_in_place state p with
+                  | Sys.Write_ev _ -> record ()
+                  | Sys.Read_ev _ -> ());
+                  drive (steps + 1))
+      in
+      match drive 0 with
+      | None -> None
+      | Some steps ->
+          let outs = Sys.outputs state in
+          let memory_sets_seen = List.rev !seen in
+          let culprit = ref None in
+          Array.iteri
+            (fun p -> function
+              | Some o when !culprit = None ->
+                  let os = output_set o in
+                  if not (List.exists (Iset.equal os) memory_sets_seen) then
+                    culprit := Some (p, os)
+              | _ -> ())
+            outs;
+          Option.map
+            (fun (culprit, culprit_output) ->
+              {
+                witness_run = { seed; wiring; steps; state };
+                culprit;
+                culprit_output;
+                memory_sets_seen;
+              })
+            !culprit
+    in
+    let rec go seed =
+      if seed >= seed_base + attempts then None
+      else match run_one seed with Some w -> Some w | None -> go (seed + 1)
+    in
+    go seed_base
+
+  (** Search random executions for one whose final outcome fails [check];
+      returns the failing run and the error message.  Used to hunt for task
+      violations of baseline protocols. *)
+  let find_outcome_violation ?(seed_base = 0) ?(attempts = 1_000)
+      ?(max_steps = 20_000) ~cfg ~inputs ~group_of_input ~to_task_output ~check
+      () =
+    let rec go seed =
+      if seed >= seed_base + attempts then None
+      else
+        match random_run ~cfg ~inputs ~max_steps seed with
+        | None -> go (seed + 1)
+        | Some run -> (
+            let outcome =
+              Tasks.Outcome.make
+                ~inputs:(Array.map group_of_input inputs)
+                ~outputs:
+                  (Array.map (Option.map to_task_output) (Sys.outputs run.state))
+                ()
+            in
+            match check outcome with
+            | Ok () -> go (seed + 1)
+            | Error message -> Some (run, message))
+    in
+    go seed_base
+end
+
+module Exhaustive (P : Explorer.CHECKABLE) = struct
+  type witness = {
+    wiring : Anonmem.Wiring.t;
+    culprit : int;
+    target : Iset.t;  (** the returned set the memory never contained *)
+    trace : (int * Iset.t) list;
+        (** processor steps from the initial state, with the memory content
+            set after each step *)
+    states_explored : int;
+  }
+
+  (** Exhaustive witness search for one candidate output set [target]:
+      "processor returns [target] although the memory never contained
+      exactly [target]" is, for a fixed wiring, plain reachability in the
+      sub-state-space of states whose memory content set differs from
+      [target] (the path condition is a state predicate, so no history
+      augmentation is needed).  A hit is a complete proof: freeze the
+      execution at the witness state — its memory set differs from
+      [target], and no processor moving means it differs forever.
+      Searches depth-first (witness executions are long, structured
+      interleavings that DFS reaches quickly and with little memory);
+      tries each wiring in [wirings] until a witness appears. *)
+  let find_nonatomic_exhaustive ?(max_states = 60_000_000) ?progress ~cfg
+      ~inputs ~memory_set ~output_set ~target ~wirings () =
+    let module E = Explorer.Make (P) in
+    let rec go = function
+      | [] -> None
+      | wiring :: rest -> (
+          let invariant (st : E.state) =
+            let hit =
+              Array.exists
+                (fun l ->
+                  match P.output cfg l with
+                  | Some o -> Iset.equal (output_set o) target
+                  | None -> false)
+                st.E.locals
+              && not (Iset.equal (memory_set st.E.registers) target)
+            in
+            if hit then Error "witness" else Ok ()
+          in
+          let stop_expansion (st : E.state) =
+            Iset.equal (memory_set st.E.registers) target
+          in
+          match
+            E.check_exhaustive ~max_states ?progress ~invariant ~stop_expansion
+              ~cfg ~wiring ~inputs ()
+          with
+          | E.Dfs_invariant_failed { state; path; stats; _ } ->
+              let culprit =
+                let rec find p =
+                  if p >= Array.length state.E.locals then 0
+                  else
+                    match P.output cfg state.E.locals.(p) with
+                    | Some o when Iset.equal (output_set o) target -> p
+                    | _ -> find (p + 1)
+                in
+                find 0
+              in
+              (* Replay the pid path from the initial state to recover the
+                 memory content set after every step. *)
+              let trace =
+                let st = ref (E.init_state ~cfg ~inputs) in
+                List.map
+                  (fun p ->
+                    st := E.successor cfg wiring !st p;
+                    (p, memory_set (!st).E.registers))
+                  path
+              in
+              Some
+                {
+                  wiring;
+                  culprit;
+                  target;
+                  trace;
+                  states_explored = stats.E.dfs_states;
+                }
+          | E.Dfs_ok _ | E.Dfs_cycle _ | E.Dfs_state_limit _ -> go rest)
+    in
+    go wirings
+end

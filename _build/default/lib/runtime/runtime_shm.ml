@@ -1,0 +1,137 @@
+(** Real shared-memory runtime: run any fully-anonymous protocol on actual
+    OCaml 5 domains.
+
+    The simulator in {!Anonmem.System} interleaves steps under a scheduler;
+    this module instead spawns one domain per processor and backs the [M]
+    anonymous registers with [Atomic.t] cells holding immutable protocol
+    values.  Atomic reads and writes of immutable values give exactly the
+    MWMR atomic-register semantics of the model (each access is a single
+    linearizable load or store), and the hardware/OS scheduler plays the
+    role of the asynchronous adversary.  Each domain is wired through its
+    own hidden permutation, as in the model.
+
+    This is the "production" face of the library: the example
+    [examples/multicore_snapshot.ml] and the [X2] experiment run the
+    Figure-3 snapshot, renaming and consensus algorithms on real
+    parallelism and validate the task properties of the collected
+    outputs. *)
+
+open Repro_util
+
+module Make (P : Anonmem.Protocol.S) = struct
+  type outcome = {
+    outputs : P.output option array;
+    steps : int array;  (** shared-memory operations issued per processor *)
+    wiring : Anonmem.Wiring.t;
+  }
+
+  exception Step_limit of int
+
+  (* One processor's life: repeatedly execute the pending operation against
+     the atomic registers until the protocol halts (or the step budget runs
+     out, for non-terminating protocols such as the write-scan loop). *)
+  let processor_loop cfg wiring registers ~max_steps p local0 =
+    let steps = ref 0 in
+    let rec go local =
+      match P.next cfg local with
+      | None -> (local, !steps)
+      | Some op ->
+          if !steps >= max_steps then raise (Step_limit p);
+          incr steps;
+          let local =
+            match op with
+            | Anonmem.Protocol.Read i ->
+                let r = Anonmem.Wiring.phys wiring ~p i in
+                P.apply_read cfg local ~reg:i (Atomic.get registers.(r))
+            | Anonmem.Protocol.Write (i, v) ->
+                let r = Anonmem.Wiring.phys wiring ~p i in
+                Atomic.set registers.(r) v;
+                P.apply_write cfg local
+          in
+          go local
+    in
+    go local0
+
+  (** Run [inputs] on one domain per processor.  [max_steps] bounds each
+      processor's operation count; by default exceeding it fails the whole
+      run, while [~allow_timeout:true] reports the timed-out processors as
+      having no output (the right reading for obstruction-free protocols,
+      where contention may legitimately starve a processor).  The wiring
+      defaults to a random one drawn from [seed]. *)
+  let run ?(seed = 0) ?wiring ?(max_steps = 10_000_000) ?(allow_timeout = false)
+      ~cfg ~inputs () =
+    let n = P.processors cfg and m = P.registers cfg in
+    if Array.length inputs <> n then invalid_arg "Runtime_shm.run: bad inputs";
+    let rng = Rng.create ~seed in
+    let wiring =
+      match wiring with Some w -> w | None -> Anonmem.Wiring.random rng ~n ~m
+    in
+    let registers = Array.init m (fun _ -> Atomic.make (P.register_init cfg)) in
+    let domains =
+      Array.init n (fun p ->
+          let local0 = P.init cfg inputs.(p) in
+          Domain.spawn (fun () ->
+              match processor_loop cfg wiring registers ~max_steps p local0 with
+              | local, steps -> Ok (P.output cfg local, steps)
+              | exception Step_limit _ -> Error `Step_limit))
+    in
+    let results = Array.map Domain.join domains in
+    if
+      (not allow_timeout)
+      && Array.exists
+           (function Error `Step_limit -> true | Ok _ -> false)
+           results
+    then Error (Fmt.str "some processor exceeded %d operations" max_steps)
+    else
+      let outputs =
+        Array.map
+          (function Ok (o, _) -> o | Error `Step_limit -> None)
+          results
+      in
+      let steps =
+        Array.map (function Ok (_, s) -> s | Error `Step_limit -> 0) results
+      in
+      Ok { outputs; steps; wiring }
+end
+
+module Snapshot_run = Make (Algorithms.Snapshot)
+module Renaming_run = Make (Algorithms.Renaming)
+module Consensus_run = Make (Algorithms.Consensus)
+
+(** Solve the snapshot task on real domains and validate the containment
+    property of the collected outputs. *)
+let parallel_snapshot ?seed ?max_steps ~inputs () =
+  let n = Array.length inputs in
+  let cfg = Algorithms.Snapshot.standard ~n in
+  match Snapshot_run.run ?seed ?max_steps ~cfg ~inputs () with
+  | Error e -> Error e
+  | Ok r -> (
+      let outcome = Tasks.Outcome.make ~inputs ~outputs:r.Snapshot_run.outputs () in
+      match
+        ( Tasks.Snapshot_task.check_strong outcome,
+          Tasks.Snapshot_task.check_group_solution outcome )
+      with
+      | Ok (), Ok () -> Ok r
+      | Error e, _ | _, Error e ->
+          Error (Fmt.str "parallel snapshot outputs invalid: %s" e))
+
+(** Obstruction-free consensus on real domains can livelock under true
+    contention, so processors that fail to decide within the step budget
+    are reported as undecided; agreement/validity are checked on the
+    processors that did decide.  [Ok (decided, undecided_count)]. *)
+let parallel_consensus ?seed ?(max_steps = 10_000_000) ~inputs () =
+  let n = Array.length inputs in
+  let cfg = Algorithms.Consensus.standard ~n in
+  match Consensus_run.run ?seed ~max_steps ~allow_timeout:true ~cfg ~inputs () with
+  | Error e -> Error e
+  | Ok r -> (
+      let outcome = Tasks.Outcome.make ~inputs ~outputs:r.Consensus_run.outputs () in
+      match Tasks.Consensus_task.check outcome with
+      | Ok () ->
+          let undecided =
+            Array.fold_left
+              (fun acc -> function None -> acc + 1 | Some _ -> acc)
+              0 r.Consensus_run.outputs
+          in
+          Ok (r, undecided)
+      | Error e -> Error (Fmt.str "parallel consensus outputs invalid: %s" e))

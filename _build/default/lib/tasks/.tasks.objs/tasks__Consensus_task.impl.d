@@ -1,0 +1,1 @@
+lib/tasks/consensus_task.ml: Fmt Int Iset List Outcome Repro_util

@@ -1,0 +1,1 @@
+lib/tasks/consensus_task.mli: Outcome Repro_util

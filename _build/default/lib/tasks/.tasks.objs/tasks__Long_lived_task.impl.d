@@ -1,0 +1,1 @@
+lib/tasks/long_lived_task.ml: Array Fmt Hashtbl Iset List Option Outcome Repro_util

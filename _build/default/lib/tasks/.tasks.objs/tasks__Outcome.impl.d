@@ -1,0 +1,1 @@
+lib/tasks/outcome.ml: Array Fun Iset List Repro_util Seq

@@ -1,0 +1,1 @@
+lib/tasks/outcome.mli: Repro_util Seq

@@ -1,0 +1,1 @@
+lib/tasks/renaming_task.ml: Array Fmt Iset List Outcome Repro_util

@@ -1,0 +1,1 @@
+lib/tasks/renaming_task.mli: Outcome Repro_util

@@ -1,0 +1,1 @@
+lib/tasks/snapshot_task.ml: Array Fmt Iset List Outcome Repro_util

@@ -1,0 +1,1 @@
+lib/tasks/snapshot_task.mli: Outcome Repro_util

@@ -1,0 +1,52 @@
+(** The consensus task (Definition 3.1) and its group version.
+
+    Group version (Section 3.2): processors must agree on the identifier of
+    a participating group.  Formally, every output sample must be a
+    constant function onto a participating group identifier.
+
+    {!check_agreement} is the stronger, sample-independent property that
+    every pair of outputs (including within a group) is equal — what the
+    Figure-5 algorithm actually achieves. *)
+
+open Repro_util
+
+type output = int
+
+let result_errorf fmt = Fmt.kstr (fun s -> Error s) fmt
+
+let check_validity (t : output Outcome.t) =
+  let groups = Outcome.participating_groups t in
+  let bad =
+    List.find_opt (fun v -> not (Iset.mem v groups)) (Outcome.terminated t)
+  in
+  match bad with
+  | Some v ->
+      result_errorf "decided value %d is not a participating group (%a)" v
+        Iset.pp_set groups
+  | None -> Ok ()
+
+let check_sample ~groups:_ sample =
+  match sample with
+  | [] -> Ok ()
+  | (_, v) :: rest -> (
+      match List.find_opt (fun (_, v') -> v' <> v) rest with
+      | Some (g', v') ->
+          result_errorf "disagreement: %d vs %d (group %d)" v v' g'
+      | None -> Ok ())
+
+let check_group_solution t =
+  match check_validity t with
+  | Error _ as e -> e
+  | Ok () -> Outcome.for_all_samples t ~check:check_sample
+
+let check_agreement t =
+  match Outcome.terminated t with
+  | [] -> Ok ()
+  | v :: rest ->
+      if List.for_all (Int.equal v) rest then Ok ()
+      else result_errorf "outputs disagree: %a" Fmt.(list ~sep:comma int) (v :: rest)
+
+(** Full check for the Figure-5 algorithm: agreement across all processors
+    plus validity. *)
+let check t =
+  match check_agreement t with Error _ as e -> e | Ok () -> check_validity t

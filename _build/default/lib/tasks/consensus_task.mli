@@ -1,0 +1,20 @@
+(** The consensus task (Definition 3.1) and its group version: all
+    processors agree on the identifier of a participating group.  The
+    sample-based group reading allows members of a single participating
+    group to disagree (every sample picks only one of them); the Figure-5
+    algorithm achieves the stronger all-outputs agreement. *)
+
+type output = int
+
+val check_validity : output Outcome.t -> (unit, string) result
+(** Decided values are participating group identifiers. *)
+
+val check_sample :
+  groups:Repro_util.Iset.t -> (int * output) list -> (unit, string) result
+
+val check_group_solution : output Outcome.t -> (unit, string) result
+val check_agreement : output Outcome.t -> (unit, string) result
+(** All outputs equal, across groups and within them. *)
+
+val check : output Outcome.t -> (unit, string) result
+(** Agreement plus validity: what the Figure-5 algorithm guarantees. *)

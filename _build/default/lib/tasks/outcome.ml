@@ -1,0 +1,93 @@
+(** Execution outcomes and output samples (Section 3.2.1 of the paper).
+
+    An outcome records, for one finished execution, each processor's input
+    (its group identifier, per the group view of Section 3.2), whether it
+    participated (took at least one step), and its output if it produced
+    one.
+
+    Group solvability (Definition 3.4) quantifies over {e output samples}:
+    functions mapping each participating group to the output of one of its
+    members.  {!samples} enumerates them all — the checkers in the sibling
+    modules validate every sample against a task specification. *)
+
+open Repro_util
+
+type 'o t = {
+  inputs : int array;  (** [inputs.(p)] is processor [p]'s group identifier *)
+  participated : bool array;
+  outputs : 'o option array;
+}
+
+let make ?participated ~inputs ~outputs () =
+  let n = Array.length inputs in
+  if Array.length outputs <> n then invalid_arg "Outcome.make: length mismatch";
+  let participated =
+    match participated with
+    | None -> Array.make n true
+    | Some a ->
+        if Array.length a <> n then invalid_arg "Outcome.make: length mismatch";
+        Array.copy a
+  in
+  (* A processor with an output necessarily took steps. *)
+  Array.iteri
+    (fun p o -> if o <> None then participated.(p) <- true)
+    outputs;
+  { inputs = Array.copy inputs; participated; outputs = Array.copy outputs }
+
+let processors t = Array.length t.inputs
+
+let participating_groups t =
+  let s = ref Iset.empty in
+  Array.iteri
+    (fun p g -> if t.participated.(p) then s := Iset.add g !s)
+    t.inputs;
+  !s
+
+let group_of t p = t.inputs.(p)
+
+let members t g =
+  List.filter
+    (fun p -> t.inputs.(p) = g && t.participated.(p))
+    (List.init (processors t) Fun.id)
+
+let outputs_of_group t g =
+  List.filter_map (fun p -> t.outputs.(p)) (members t g)
+
+let terminated t = Array.to_list t.outputs |> List.filter_map Fun.id
+
+(** Groups that produced at least one output, with the list of distinct
+    member outputs for each. *)
+let sampled_groups t =
+  Iset.elements (participating_groups t)
+  |> List.filter_map (fun g ->
+         match outputs_of_group t g with [] -> None | os -> Some (g, os))
+
+(** All output samples: each is an association list from group identifier
+    to the output of one member, covering every group that produced an
+    output.  The sequence is the cartesian product of the per-group
+    choices, produced lazily (its length is the product of the group
+    output-multiplicities, at most [N^N]). *)
+let samples t : (int * 'o) list Seq.t =
+  let rec product = function
+    | [] -> Seq.return []
+    | (g, os) :: rest ->
+        let tails = product rest in
+        Seq.concat_map
+          (fun o -> Seq.map (fun tl -> (g, o) :: tl) tails)
+          (List.to_seq os)
+  in
+  product (sampled_groups t)
+
+let sample_count t =
+  List.fold_left (fun acc (_, os) -> acc * List.length os) 1 (sampled_groups t)
+
+(** Validate every output sample with [check]; returns the first failure.
+    [check] receives the sample and the set of participating groups. *)
+let for_all_samples t ~check =
+  let groups = participating_groups t in
+  Seq.fold_left
+    (fun acc sample ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () -> check ~groups sample)
+    (Ok ()) (samples t)

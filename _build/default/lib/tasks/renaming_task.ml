@@ -1,0 +1,67 @@
+(** The adaptive renaming task (Definition 3.3) with parameter
+    [f(M) = M(M+1)/2], and its group version.
+
+    Group version (Section 3.2): within an output sample (one processor per
+    group) all names are distinct and, with [M] participating groups, fall
+    in [1 .. M(M+1)/2].  Processors of the same group may share a name —
+    the paper's resolution of the renaming conundrum — but processors of
+    different groups never collide.  {!check_cross_group} validates the
+    latter directly over all outputs, which is what Section 6 proves of the
+    Figure-4 algorithm. *)
+
+open Repro_util
+
+type output = int
+
+let result_errorf fmt = Fmt.kstr (fun s -> Error s) fmt
+let bound ~groups = groups * (groups + 1) / 2
+
+let check_range (t : output Outcome.t) =
+  let m = Iset.cardinal (Outcome.participating_groups t) in
+  let b = bound ~groups:m in
+  let bad = List.find_opt (fun name -> name < 1 || name > b) (Outcome.terminated t) in
+  match bad with
+  | Some name ->
+      result_errorf "name %d outside adaptive range 1..%d (%d groups)" name b m
+  | None -> Ok ()
+
+let check_sample ~groups:_ sample =
+  let rec go = function
+    | [] -> Ok ()
+    | (g1, n1) :: rest -> (
+        match List.find_opt (fun (_, n2) -> n1 = n2) rest with
+        | Some (g2, _) ->
+            result_errorf "groups %d and %d share name %d" g1 g2 n1
+        | None -> go rest)
+  in
+  go sample
+
+let check_group_solution t =
+  match check_range t with
+  | Error _ as e -> e
+  | Ok () -> Outcome.for_all_samples t ~check:check_sample
+
+(** Processors of different groups never share a name (all outputs, not
+    just samples). *)
+let check_cross_group (t : output Outcome.t) =
+  let n = Outcome.processors t in
+  let rec go p q =
+    if p >= n then Ok ()
+    else if q >= n then go (p + 1) (p + 2)
+    else
+      match (t.Outcome.outputs.(p), t.Outcome.outputs.(q)) with
+      | Some np, Some nq
+        when np = nq && Outcome.group_of t p <> Outcome.group_of t q ->
+          result_errorf "p%d (group %d) and p%d (group %d) share name %d"
+            (p + 1) (Outcome.group_of t p) (q + 1) (Outcome.group_of t q) np
+      | _ -> go p (q + 1)
+  in
+  go 0 1
+
+let check t =
+  match check_range t with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_cross_group t with
+      | Error _ as e -> e
+      | Ok () -> check_group_solution t)

@@ -1,0 +1,80 @@
+(** The snapshot task (Definition 3.2) and its group version (Section 3.2).
+
+    Group version: each processor outputs a set of participating group
+    identifiers containing its own group, and for every output sample (one
+    representative per group) the chosen sets are pairwise related by
+    containment.  Note that two processors of the {e same} group are allowed
+    to output incomparable sets — the 4-processor example of Section 3.2
+    (groups A={1}, B={2,3}, C={4}) is checked in the test-suite.
+
+    The Figure-3 algorithm actually guarantees the stronger property that
+    {e all} outputs are pairwise related by containment; {!check_strong}
+    validates that. *)
+
+open Repro_util
+
+type output = Iset.t
+
+let result_errorf fmt = Fmt.kstr (fun s -> Error s) fmt
+
+(** Per-processor validity: the output contains the processor's own group
+    and only participating groups. *)
+let check_validity (t : output Outcome.t) =
+  let groups = Outcome.participating_groups t in
+  let rec go p =
+    if p >= Outcome.processors t then Ok ()
+    else
+      match t.Outcome.outputs.(p) with
+      | None -> go (p + 1)
+      | Some s ->
+          let g = Outcome.group_of t p in
+          if not (Iset.mem g s) then
+            result_errorf "p%d (group %d) output %a missing its own group"
+              (p + 1) g Iset.pp_set s
+          else if not (Iset.subset s groups) then
+            result_errorf
+              "p%d output %a contains non-participating groups (participants %a)"
+              (p + 1) Iset.pp_set s Iset.pp_set groups
+          else go (p + 1)
+  in
+  go 0
+
+(** Containment within one output sample, as Definition 3.4 requires. *)
+let check_sample ~groups:_ sample =
+  let rec go = function
+    | [] -> Ok ()
+    | (g1, s1) :: rest ->
+        let clash =
+          List.find_opt (fun (_, s2) -> not (Iset.comparable s1 s2)) rest
+        in
+        (match clash with
+        | Some (g2, s2) ->
+            result_errorf "groups %d and %d chose incomparable sets %a / %a" g1
+              g2 Iset.pp_set s1 Iset.pp_set s2
+        | None -> go rest)
+  in
+  go sample
+
+(** Group solvability (Definition 3.4): validity plus containment of every
+    output sample. *)
+let check_group_solution t =
+  match check_validity t with
+  | Error _ as e -> e
+  | Ok () -> Outcome.for_all_samples t ~check:check_sample
+
+(** The stronger guarantee of Section 5.3.2: all outputs (even within a
+    group) pairwise related by containment. *)
+let check_strong t =
+  match check_validity t with
+  | Error _ as e -> e
+  | Ok () ->
+      let outs = Outcome.terminated t in
+      let rec go = function
+        | [] -> Ok ()
+        | s1 :: rest ->
+            if List.for_all (Iset.comparable s1) rest then go rest
+            else
+              result_errorf "incomparable outputs present (e.g. %a)" Iset.pp_set
+                s1
+      in
+      go outs

@@ -1,0 +1,23 @@
+(** The snapshot task (Definition 3.2) and its group version
+    (Section 3.2): each processor outputs a set of participating group
+    identifiers containing its own group, and within every output sample
+    the chosen sets are pairwise related by containment.  Two processors
+    of the same group may legally output incomparable sets — the paper's
+    4-processor example is checked in the test-suite. *)
+
+type output = Repro_util.Iset.t
+
+val check_validity : output Outcome.t -> (unit, string) result
+(** Own group present and only participating groups. *)
+
+val check_sample :
+  groups:Repro_util.Iset.t -> (int * output) list -> (unit, string) result
+(** Pairwise containment within one output sample. *)
+
+val check_group_solution : output Outcome.t -> (unit, string) result
+(** Group solvability per Definition 3.4: validity plus containment of
+    every output sample. *)
+
+val check_strong : output Outcome.t -> (unit, string) result
+(** The stronger guarantee the Figure-3 algorithm provides
+    (Section 5.3.2): all outputs pairwise related by containment. *)

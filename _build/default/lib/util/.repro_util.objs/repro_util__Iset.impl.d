@@ -1,0 +1,1 @@
+lib/util/iset.ml: Fmt Int Sorted_set Sys

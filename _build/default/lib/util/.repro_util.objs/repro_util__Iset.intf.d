@@ -1,0 +1,1 @@
+lib/util/iset.mli: Fmt Sorted_set

@@ -1,0 +1,1 @@
+lib/util/permutation.ml: Array Fmt Fun List Rng

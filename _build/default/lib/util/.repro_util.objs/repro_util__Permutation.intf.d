@@ -1,0 +1,1 @@
+lib/util/permutation.mli: Fmt Rng

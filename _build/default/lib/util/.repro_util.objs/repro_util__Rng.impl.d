@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Fun Int64 List

@@ -1,0 +1,1 @@
+lib/util/sorted_set.ml: Fmt List

@@ -1,0 +1,114 @@
+type t = { mutable edges : int; succ : int list array }
+
+let create n = { edges = 0; succ = Array.make n [] }
+let vertex_count g = Array.length g.succ
+
+let add_edge g u v =
+  g.succ.(u) <- v :: g.succ.(u);
+  g.edges <- g.edges + 1
+
+let successors g u = g.succ.(u)
+let edge_count g = g.edges
+
+let sources g =
+  let n = vertex_count g in
+  let incoming = Array.make n false in
+  Array.iter (List.iter (fun v -> incoming.(v) <- true)) g.succ;
+  List.filter (fun v -> not incoming.(v)) (List.init n Fun.id)
+
+(* Iterative Tarjan: explicit stack to survive large model-checking graphs. *)
+let scc_ids g =
+  let n = vertex_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comp_count = ref 0 in
+  let visit root =
+    (* Each frame is (v, remaining successors). *)
+    let frames = ref [ (root, ref g.succ.(root)) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, rest) :: parent_frames -> (
+          match !rest with
+          | w :: more ->
+              rest := more;
+              if index.(w) = -1 then begin
+                index.(w) <- !next_index;
+                lowlink.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                frames := (w, ref g.succ.(w)) :: !frames
+              end
+              else if on_stack.(w) then
+                lowlink.(v) <- min lowlink.(v) index.(w)
+          | [] ->
+              if lowlink.(v) = index.(v) then begin
+                let continue = ref true in
+                while !continue do
+                  match !stack with
+                  | [] -> continue := false
+                  | w :: tl ->
+                      stack := tl;
+                      on_stack.(w) <- false;
+                      comp.(w) <- !comp_count;
+                      if w = v then continue := false
+                done;
+                incr comp_count
+              end;
+              frames := parent_frames;
+              (match parent_frames with
+              | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+              | [] -> ()))
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  (comp, !comp_count)
+
+let sccs g =
+  let comp, count = scc_ids g in
+  let buckets = Array.make count [] in
+  Array.iteri (fun v c -> buckets.(c) <- v :: buckets.(c)) comp;
+  Array.to_list buckets
+
+let has_self_loop g v = List.mem v g.succ.(v)
+
+let is_acyclic g =
+  let comp, count = scc_ids g in
+  count = vertex_count g
+  && not (Array.exists (fun v -> has_self_loop g v) (Array.init (vertex_count g) Fun.id))
+  && Array.length comp = vertex_count g
+
+let reachable_from g starts =
+  let n = vertex_count g in
+  let seen = Array.make n false in
+  let rec dfs stack =
+    match stack with
+    | [] -> ()
+    | v :: rest ->
+        let push =
+          List.filter
+            (fun w ->
+              if seen.(w) then false
+              else begin
+                seen.(w) <- true;
+                true
+              end)
+            g.succ.(v)
+        in
+        dfs (push @ rest)
+  in
+  List.iter (fun s -> seen.(s) <- true) starts;
+  dfs starts;
+  seen

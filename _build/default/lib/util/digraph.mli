@@ -1,0 +1,37 @@
+(** Small directed graphs over integer vertices [0..n-1].
+
+    Two clients: the stable-view graph of Theorem 4.8 (vertices are stable
+    views, edges are strict containment) and the model checker's
+    wait-freedom analysis (vertices are explored system states, edges are
+    steps; a violation is a cycle of non-terminated states containing a step
+    of the watched processor). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an edgeless graph with vertices [0..n-1]. *)
+
+val vertex_count : t -> int
+val add_edge : t -> int -> int -> unit
+(** Duplicate edges are kept; algorithms tolerate them. *)
+
+val successors : t -> int -> int list
+val edge_count : t -> int
+
+val sources : t -> int list
+(** Vertices with no incoming edge. *)
+
+val is_acyclic : t -> bool
+
+val sccs : t -> int list list
+(** Strongly connected components (Tarjan), in reverse topological order.
+    Singleton components without a self-loop are trivial. *)
+
+val scc_ids : t -> int array * int
+(** [scc_ids g] is [(comp, count)] with [comp.(v)] the component index of
+    [v]; components are numbered in reverse topological order. *)
+
+val has_self_loop : t -> int -> bool
+
+val reachable_from : t -> int list -> bool array
+(** Forward reachability from a set of start vertices. *)

@@ -1,0 +1,23 @@
+include Sorted_set.Make (Int)
+
+let of_range lo hi =
+  let rec go i acc = if i < lo then acc else go (i - 1) (add i acc) in
+  go hi empty
+
+let to_bits s =
+  fold
+    (fun i acc ->
+      if i < 0 || i >= Sys.int_size - 1 then
+        invalid_arg "Iset.to_bits: element out of range"
+      else acc lor (1 lsl i))
+    s 0
+
+let of_bits bits =
+  let rec go i acc =
+    if 1 lsl i > bits || i >= Sys.int_size - 1 then acc
+    else go (i + 1) (if bits land (1 lsl i) <> 0 then add i acc else acc)
+  in
+  go 0 empty
+
+let pp_set = pp Fmt.int
+let to_string s = Fmt.str "%a" pp_set s

@@ -1,0 +1,26 @@
+(** Canonical sets of integers, the workhorse view type of the algorithms.
+
+    Inputs and group identifiers are integers throughout the library, so the
+    views written to and read from anonymous registers are [Iset.t] values.
+    This is {!Sorted_set.Make} over [Int] plus a few integer-specific
+    helpers. *)
+
+include Sorted_set.S with type elt = int
+
+val of_range : int -> int -> t
+(** [of_range lo hi] is the set [{lo, lo+1, ..., hi}] (empty when [lo > hi]). *)
+
+val to_bits : t -> int
+(** [to_bits s] packs a set of small non-negative integers into a bitmask;
+    element [i] becomes bit [i].  Raises [Invalid_argument] if an element is
+    negative or at least [Sys.int_size - 1].  Used to index the
+    "memory-content sets seen so far" table of the non-atomicity witness
+    search. *)
+
+val of_bits : int -> t
+(** Inverse of {!to_bits}. *)
+
+val pp_set : t Fmt.t
+(** Prints as [{1,2,3}], matching the notation of the paper. *)
+
+val to_string : t -> string

@@ -1,0 +1,49 @@
+type t = int array
+
+let identity n = Array.init n Fun.id
+
+let of_array a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then
+        invalid_arg "Permutation.of_array: not a permutation"
+      else seen.(x) <- true)
+    a;
+  Array.copy a
+
+let of_list l = of_array (Array.of_list l)
+let size = Array.length
+let apply p i = p.(i)
+
+let inverse p =
+  let n = Array.length p in
+  let inv = Array.make n 0 in
+  Array.iteri (fun i x -> inv.(x) <- i) p;
+  inv
+
+let compose f g = Array.map (fun x -> f.(x)) g
+let equal a b = a = b
+let random rng n = Rng.permutation rng n
+
+let enumerate n =
+  (* Generate in lexicographic order by recursive selection. *)
+  let rec go remaining =
+    match remaining with
+    | [] -> [ [] ]
+    | _ ->
+        List.concat_map
+          (fun x ->
+            let rest = List.filter (fun y -> y <> x) remaining in
+            List.map (fun tl -> x :: tl) (go rest))
+          remaining
+  in
+  List.map of_list (go (List.init n Fun.id))
+
+let to_list = Array.to_list
+
+let pp ppf p =
+  Fmt.pf ppf "(%a)"
+    Fmt.(array ~sep:(any " ") int)
+    (Array.map (fun x -> x + 1) p)

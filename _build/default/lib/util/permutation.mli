@@ -1,0 +1,32 @@
+(** Permutations of [0..n-1], used as the per-processor register wirings of
+    the fully-anonymous model (the [σ_p] of Section 2 of the paper).
+
+    A permutation is an [int array] [a] with [a.(i)] the image of [i]; the
+    representation is validated on construction. *)
+
+type t = private int array
+
+val identity : int -> t
+val of_array : int array -> t
+(** Raises [Invalid_argument] if the array is not a permutation of
+    [0..n-1]. *)
+
+val of_list : int list -> t
+val size : t -> int
+val apply : t -> int -> int
+val inverse : t -> t
+val compose : t -> t -> t
+(** [compose f g] maps [i] to [f (g i)]. *)
+
+val equal : t -> t -> bool
+val random : Rng.t -> int -> t
+
+val enumerate : int -> t list
+(** All [n!] permutations of [0..n-1], in lexicographic order of their array
+    representation.  Intended for the model checker's wiring enumeration
+    ([n <= 5] keeps this small). *)
+
+val to_list : t -> int list
+val pp : t Fmt.t
+(** Prints in one-line image notation, 1-based to match the paper, e.g.
+    [(2 3 1)] for the permutation sending register 1 to 2, 2 to 3, 3 to 1. *)

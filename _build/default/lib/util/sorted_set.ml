@@ -1,0 +1,145 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module type S = sig
+  type elt
+  type t = private elt list
+
+  val empty : t
+  val is_empty : t -> bool
+  val singleton : elt -> t
+  val mem : elt -> t -> bool
+  val add : elt -> t -> t
+  val remove : elt -> t -> t
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val subset : t -> t -> bool
+  val strict_subset : t -> t -> bool
+  val comparable : t -> t -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val cardinal : t -> int
+  val elements : t -> elt list
+  val of_list : elt list -> t
+  val fold : (elt -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (elt -> unit) -> t -> unit
+  val for_all : (elt -> bool) -> t -> bool
+  val exists : (elt -> bool) -> t -> bool
+  val filter : (elt -> bool) -> t -> t
+  val map : (elt -> elt) -> t -> t
+  val min_elt_opt : t -> elt option
+  val max_elt_opt : t -> elt option
+  val choose_opt : t -> elt option
+  val rank : elt -> t -> int option
+  val union_all : t list -> t
+  val pp : elt Fmt.t -> t Fmt.t
+end
+
+module Make (Ord : ORDERED) = struct
+  type elt = Ord.t
+  type t = elt list
+
+  let empty = []
+  let is_empty s = s = []
+  let singleton x = [ x ]
+
+  let rec mem x = function
+    | [] -> false
+    | y :: rest ->
+        let c = Ord.compare x y in
+        if c = 0 then true else if c < 0 then false else mem x rest
+
+  let rec add x = function
+    | [] -> [ x ]
+    | y :: rest as s ->
+        let c = Ord.compare x y in
+        if c = 0 then s else if c < 0 then x :: s else y :: add x rest
+
+  let rec remove x = function
+    | [] -> []
+    | y :: rest as s ->
+        let c = Ord.compare x y in
+        if c = 0 then rest else if c < 0 then s else y :: remove x rest
+
+  let rec union a b =
+    match (a, b) with
+    | [], s | s, [] -> s
+    | x :: xs, y :: ys ->
+        let c = Ord.compare x y in
+        if c = 0 then x :: union xs ys
+        else if c < 0 then x :: union xs b
+        else y :: union a ys
+
+  let rec inter a b =
+    match (a, b) with
+    | [], _ | _, [] -> []
+    | x :: xs, y :: ys ->
+        let c = Ord.compare x y in
+        if c = 0 then x :: inter xs ys
+        else if c < 0 then inter xs b
+        else inter a ys
+
+  let rec diff a b =
+    match (a, b) with
+    | [], _ -> []
+    | s, [] -> s
+    | x :: xs, y :: ys ->
+        let c = Ord.compare x y in
+        if c = 0 then diff xs ys else if c < 0 then x :: diff xs b else diff a ys
+
+  let rec subset a b =
+    match (a, b) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | x :: xs, y :: ys ->
+        let c = Ord.compare x y in
+        if c = 0 then subset xs ys else if c < 0 then false else subset a ys
+
+  let rec compare a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs, y :: ys ->
+        let c = Ord.compare x y in
+        if c <> 0 then c else compare xs ys
+
+  let equal a b = compare a b = 0
+  let strict_subset a b = subset a b && not (equal a b)
+  let comparable a b = subset a b || subset b a
+  let cardinal = List.length
+  let elements s = s
+  let of_list l = List.fold_left (fun s x -> add x s) empty l
+  let fold f s acc = List.fold_left (fun acc x -> f x acc) acc s
+  let iter = List.iter
+  let for_all = List.for_all
+  let exists = List.exists
+  let filter = List.filter
+  let map f s = of_list (List.map f s)
+  let min_elt_opt = function [] -> None | x :: _ -> Some x
+
+  let rec max_elt_opt = function
+    | [] -> None
+    | [ x ] -> Some x
+    | _ :: rest -> max_elt_opt rest
+
+  let choose_opt = min_elt_opt
+
+  let rank x s =
+    let rec go i = function
+      | [] -> None
+      | y :: rest ->
+          let c = Ord.compare x y in
+          if c = 0 then Some i else if c < 0 then None else go (i + 1) rest
+    in
+    go 1 s
+
+  let union_all l = List.fold_left union empty l
+
+  let pp pp_elt ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") pp_elt) (elements s)
+end

@@ -1,0 +1,68 @@
+(** Canonical finite sets represented as strictly-sorted lists.
+
+    Unlike [Stdlib.Set], two equal sets always have the same in-memory
+    representation, so the polymorphic structural equality, comparison and
+    hashing functions agree with set equality.  This property is load-bearing
+    for the model checker, which hashes whole system states containing views
+    (see {!Modelcheck}).  Operations are linear-time, which is the right
+    trade-off for the small sets (at most [N] elements) manipulated by the
+    algorithms of the paper. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module type S = sig
+  type elt
+
+  (** A set is a strictly increasing list of elements.  The representation is
+      exposed read-only so that generic traversals and structural hashing
+      remain canonical; construct values only through this interface. *)
+  type t = private elt list
+
+  val empty : t
+  val is_empty : t -> bool
+  val singleton : elt -> t
+  val mem : elt -> t -> bool
+  val add : elt -> t -> t
+  val remove : elt -> t -> t
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+
+  val subset : t -> t -> bool
+  (** [subset a b] is true iff [a] is a (non-strict) subset of [b]. *)
+
+  val strict_subset : t -> t -> bool
+
+  val comparable : t -> t -> bool
+  (** [comparable a b] is true iff [subset a b || subset b a] — the
+      containment relation at the heart of the snapshot task. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val cardinal : t -> int
+  val elements : t -> elt list
+  val of_list : elt list -> t
+  val fold : (elt -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (elt -> unit) -> t -> unit
+  val for_all : (elt -> bool) -> t -> bool
+  val exists : (elt -> bool) -> t -> bool
+  val filter : (elt -> bool) -> t -> t
+  val map : (elt -> elt) -> t -> t
+  val min_elt_opt : t -> elt option
+  val max_elt_opt : t -> elt option
+  val choose_opt : t -> elt option
+
+  val rank : elt -> t -> int option
+  (** [rank x s] is the 1-based position of [x] in the sorted order of [s],
+      or [None] when [x] is not a member.  Used by the Bar-Noy–Dolev renaming
+      rule (Figure 4 of the paper). *)
+
+  val union_all : t list -> t
+  val pp : elt Fmt.t -> t Fmt.t
+end
+
+module Make (Ord : ORDERED) : S with type elt = Ord.t

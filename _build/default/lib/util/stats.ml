@@ -1,0 +1,51 @@
+type summary = {
+  count : int;
+  min : int;
+  max : int;
+  mean : float;
+  median : int;
+  p90 : int;
+  stddev : float;
+}
+
+let percentile q xs =
+  match List.sort compare xs with
+  | [] -> None
+  | sorted ->
+      let n = List.length sorted in
+      let rank =
+        (* nearest-rank: smallest index whose cumulative share >= q *)
+        max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+      in
+      Some (List.nth sorted rank)
+
+let median xs = percentile 0.5 xs
+
+let summarize = function
+  | [] -> None
+  | xs ->
+      let n = List.length xs in
+      let fn = float_of_int n in
+      let mean = float_of_int (List.fold_left ( + ) 0 xs) /. fn in
+      let var =
+        List.fold_left
+          (fun acc x ->
+            let d = float_of_int x -. mean in
+            acc +. (d *. d))
+          0. xs
+        /. fn
+      in
+      Some
+        {
+          count = n;
+          min = List.fold_left min max_int xs;
+          max = List.fold_left max min_int xs;
+          mean;
+          median = Option.get (median xs);
+          p90 = Option.get (percentile 0.9 xs);
+          stddev = sqrt var;
+        }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d min=%d med=%d p90=%d max=%d mean=%.1f" s.count s.min
+    s.median s.p90 s.max s.mean

@@ -1,0 +1,24 @@
+(** Small descriptive statistics over integer samples — medians and
+    percentiles for the step-count distributions reported by the
+    experiment harness and benchmarks. *)
+
+type summary = {
+  count : int;
+  min : int;
+  max : int;
+  mean : float;
+  median : int;
+  p90 : int;
+  stddev : float;
+}
+
+val summarize : int list -> summary option
+(** [None] on the empty list. *)
+
+val median : int list -> int option
+
+val percentile : float -> int list -> int option
+(** [percentile q xs] for [q] in [0..1], nearest-rank method. *)
+
+val pp_summary : summary Fmt.t
+(** Renders as [n=… min=… med=… p90=… max=… mean=…]. *)

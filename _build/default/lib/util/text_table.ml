@@ -1,0 +1,38 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row =
+  let width = List.length t.headers in
+  let len = List.length row in
+  if len > width then invalid_arg "Text_table.add_row: row wider than header";
+  let padded = row @ List.init (width - len) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < ncols - 1 then
+          Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let pp ppf t = Fmt.string ppf (render t)

@@ -1,0 +1,17 @@
+(** Plain-text table rendering for the experiment harness and the CLI.
+
+    Used to regenerate Figure 2 of the paper in the same row/column layout
+    and to print the paper-vs-measured summaries of EXPERIMENTS.md. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val render : t -> string
+(** Monospace rendering with a header separator, column-width autosizing and
+    single-space padding. *)
+
+val pp : t Fmt.t

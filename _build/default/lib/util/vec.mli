@@ -1,0 +1,19 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]), used by the model
+    checker's state store where ids must index in O(1) while the space
+    grows. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> int
+(** Appends and returns the index of the new element. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val truncate : 'a t -> int -> unit
+(** [truncate t len] drops elements from index [len] on; [len] must not
+    exceed the current length.  Capacity is retained. *)
+
+val to_array : 'a t -> 'a array
+val iteri : (int -> 'a -> unit) -> 'a t -> unit

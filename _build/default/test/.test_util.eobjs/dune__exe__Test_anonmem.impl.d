@@ -1,0 +1,1 @@
+test/test_anonmem.ml: Alcotest Algorithms Anonmem Array Iset List Option Permutation Printf Repro_util Rng String

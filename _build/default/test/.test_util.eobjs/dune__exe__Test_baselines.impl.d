@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Algorithms Analysis Anonmem Array Fun Iset List Modelcheck Option Printf Repro_util Rng Tasks

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Algorithms Anonmem Array Core Fun Int List Printf QCheck QCheck_alcotest Repro_util Rng

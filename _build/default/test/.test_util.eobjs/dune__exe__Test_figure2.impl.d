@@ -1,0 +1,1 @@
+test/test_figure2.ml: Alcotest Algorithms Analysis Array Fmt Iset List Printf Repro_util Snapshot_ext Write_scan_ext

@@ -1,0 +1,1 @@
+test/test_longlived.ml: Alcotest Algorithms Anonmem Array Fmt Iset List Printf Repro_util Rng Tasks

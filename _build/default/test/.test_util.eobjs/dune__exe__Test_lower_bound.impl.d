@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Alcotest Analysis Fmt Iset List Printf Repro_util String

@@ -1,0 +1,1 @@
+test/test_modelcheck.ml: Alcotest Algorithms Anonmem Array Bytes Core Fun Iset List Modelcheck Repro_util Rng Tasks

@@ -1,0 +1,1 @@
+test/test_nonatomicity.ml: Alcotest Algorithms Anonmem Array Core Fun Iset List Modelcheck Repro_util

@@ -1,0 +1,1 @@
+test/test_renaming.ml: Alcotest Algorithms Anonmem Array Core Iset List Printf QCheck QCheck_alcotest Repro_util

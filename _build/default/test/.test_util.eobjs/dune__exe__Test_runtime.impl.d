@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Algorithms Anonmem Array Iset Option Printf Repro_util Runtime_shm Tasks

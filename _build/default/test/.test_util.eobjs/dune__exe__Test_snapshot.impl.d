@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Algorithms Analysis Anonmem Array Core Fmt Fun Iset List Option Printf QCheck QCheck_alcotest Repro_util Rng String Tasks

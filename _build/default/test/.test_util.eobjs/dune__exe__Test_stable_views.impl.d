@@ -1,0 +1,1 @@
+test/test_stable_views.ml: Alcotest Algorithms Analysis Anonmem Array Fmt Gen Iset List QCheck QCheck_alcotest Repro_util Rng

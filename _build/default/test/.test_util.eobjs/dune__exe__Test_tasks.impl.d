@@ -1,0 +1,1 @@
+test/test_tasks.ml: Alcotest Array Iset List QCheck QCheck_alcotest Repro_util Tasks

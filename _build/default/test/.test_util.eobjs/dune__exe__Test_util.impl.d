@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Digraph Fmt Fun Hashtbl Iset List Permutation QCheck QCheck_alcotest Repro_util Rng Stats String Text_table Vec

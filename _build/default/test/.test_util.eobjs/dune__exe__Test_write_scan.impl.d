@@ -1,0 +1,1 @@
+test/test_write_scan.ml: Alcotest Algorithms Anonmem Array Fmt Iset List Repro_util Rng

@@ -1,0 +1,154 @@
+(* The Figure-2 reproduction: the generated execution must match the
+   paper's table row for row, continue periodically forever, and the
+   5-processor extension must realize both punchlines (naive rules fooled;
+   the level mechanism resists). *)
+
+open Repro_util
+open Analysis.Figure2
+
+let iset = Alcotest.testable (Fmt.of_to_string Iset.to_string) Iset.equal
+
+let check_rows_equal msg (a : row) (b : row) =
+  List.iter2 (Alcotest.check iset (msg ^ " registers")) a.registers b.registers;
+  List.iter2 (Alcotest.check iset (msg ^ " views")) a.views b.views
+
+let test_matches_paper_table () =
+  let rows = generate () in
+  Alcotest.(check int) "13 rows" 13 (List.length rows);
+  List.iteri
+    (fun i (g, e) -> check_rows_equal (Printf.sprintf "row %d" (i + 1)) g e)
+    (List.combine rows expected_rows)
+
+let test_cycle_repeats_forever () =
+  (* actions 5..13 repeat: rows k and k+9 agree for all k >= 4, over 4
+     full periods *)
+  let rows = Array.of_list (generate ~actions:40 ()) in
+  for k = 4 to 30 do
+    check_rows_equal (Printf.sprintf "row %d vs %d" (k + 1) (k + 10)) rows.(k)
+      rows.(k + 9)
+  done
+
+let test_incomparable_views_persist () =
+  let rows = generate ~actions:31 () in
+  let last : row = List.nth rows 30 in
+  let v2 = List.nth last.views 1 and v3 = List.nth last.views 2 in
+  Alcotest.check iset "p2 stuck at {1,2}" (Iset.of_list [ 1; 2 ]) v2;
+  Alcotest.check iset "p3 stuck at {1,3}" (Iset.of_list [ 1; 3 ]) v3;
+  Alcotest.(check bool) "incomparable" false (Iset.comparable v2 v3)
+
+let test_labels_match_paper () =
+  let rows = generate () in
+  Alcotest.(check string) "row 1 label" "p1 writes twice and ends with a scan"
+    (List.nth rows 0).action;
+  Alcotest.(check string) "row 3 label" "p3 overwrites p2 then scans"
+    (List.nth rows 2).action;
+  Alcotest.(check string) "row 13 label" "p1 overwrites p3 then scans"
+    (List.nth rows 12).action
+
+let test_extension_write_scan_illusion () =
+  let module E = Write_scan_ext in
+  let cfg = Algorithms.Write_scan.cfg ~n:5 ~m:3 in
+  let cycles = 30 in
+  let r = E.run ~cfg ~cycles () in
+  let view q = Algorithms.Write_scan.view_of_local r.E.state.E.Sys.locals.(q) in
+  Alcotest.check iset "p sees {1,2}" (Iset.of_list [ 1; 2 ]) (view 3);
+  Alcotest.check iset "p' sees {1,3}" (Iset.of_list [ 1; 3 ]) (view 4);
+  (* base processors undisturbed *)
+  Alcotest.check iset "p1 still {1}" (Iset.of_list [ 1 ]) (view 0);
+  Alcotest.check iset "p2 still {1,2}" (Iset.of_list [ 1; 2 ]) (view 1);
+  Alcotest.check iset "p3 still {1,3}" (Iset.of_list [ 1; 3 ]) (view 2);
+  (* the killer: unboundedly many consecutive clean scans.  p and p'
+     complete roughly three scans every four cycles (the rotating write
+     target occasionally has to wait a cycle for its window). *)
+  let s3 = E.scan_summary r.E.extra_events.(3) in
+  let s4 = E.scan_summary r.E.extra_events.(4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "p clean streak large (%d)" s3.E.final_clean_streak)
+    true
+    (s3.E.final_clean_streak >= (3 * cycles / 4) - 4);
+  Alcotest.(check bool)
+    (Printf.sprintf "p' clean streak large (%d)" s4.E.final_clean_streak)
+    true
+    (s4.E.final_clean_streak >= (3 * cycles / 4) - 4)
+
+let test_extension_streak_scales_with_cycles () =
+  let module E = Write_scan_ext in
+  let cfg = Algorithms.Write_scan.cfg ~n:5 ~m:3 in
+  let streak cycles =
+    let r = E.run ~cfg ~cycles () in
+    (E.scan_summary r.E.extra_events.(3)).E.final_clean_streak
+  in
+  let s10 = streak 10 and s40 = streak 40 in
+  Alcotest.(check bool)
+    (Printf.sprintf "streak grows with cycles (%d -> %d)" s10 s40)
+    true
+    (s40 >= s10 + 20)
+
+let test_extension_snapshot_resists () =
+  let module S = Snapshot_ext in
+  let cfg = Algorithms.Snapshot.cfg ~n:5 ~m:3 in
+  (* Early window, while the repeating pattern is intact: p and p' are
+     pinned at level <= 1 (they read the churners' level-0 records) and
+     cannot terminate, exactly as Section 5.1 argues. *)
+  let early = S.run ~cfg ~cycles:4 () in
+  List.iter
+    (fun q ->
+      let l = early.S.state.S.Sys.locals.(q) in
+      Alcotest.(check bool) "p/p' not terminated while pattern holds" true
+        (Algorithms.Snapshot.output cfg l = None);
+      Alcotest.(check bool) "level pinned low" true
+        (Algorithms.Snapshot.level_of_local l <= 1))
+    [ 3; 4 ];
+  (* Long run: processor 1 (unique source view {1}) reaches level N and
+     terminates with {1}, breaking the pattern; every output the system
+     ever produces remains containment-consistent. *)
+  let r = S.run ~cfg ~cycles:40 () in
+  let locals = r.S.state.S.Sys.locals in
+  (match Algorithms.Snapshot.output cfg locals.(0) with
+  | Some o -> Alcotest.check iset "p1 output {1}" (Iset.of_list [ 1 ]) o
+  | None -> Alcotest.fail "p1 should have terminated (it breaks the pattern)");
+  let outs =
+    List.filter_map
+      (fun q -> Algorithms.Snapshot.output cfg locals.(q))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool) "outputs comparable" true (Iset.comparable a b))
+        outs)
+    outs
+
+let test_extension_rejects_bad_cfg () =
+  let module E = Write_scan_ext in
+  let cfg = Algorithms.Write_scan.cfg ~n:4 ~m:3 in
+  Alcotest.check_raises "needs 5 processors"
+    (Invalid_argument "Figure2.Extension.run: cfg must be 5 processors, 3 registers")
+    (fun () -> ignore (E.run ~cfg ~cycles:1 ()))
+
+let () =
+  Alcotest.run "figure2"
+    [
+      ( "base",
+        [
+          Alcotest.test_case "matches the paper's table" `Quick
+            test_matches_paper_table;
+          Alcotest.test_case "cycle repeats forever" `Quick test_cycle_repeats_forever;
+          Alcotest.test_case "incomparable views persist" `Quick
+            test_incomparable_views_persist;
+          Alcotest.test_case "action labels" `Quick test_labels_match_paper;
+        ] );
+      ( "extension",
+        [
+          Alcotest.test_case "p and p' fed incomparable sets" `Quick
+            test_extension_write_scan_illusion;
+          Alcotest.test_case "clean streak scales with cycles" `Quick
+            test_extension_streak_scales_with_cycles;
+          Alcotest.test_case "snapshot levels resist the adversary" `Quick
+            test_extension_snapshot_resists;
+          Alcotest.test_case "configuration validation" `Quick
+            test_extension_rejects_bad_cfg;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+(* Tests of the long-lived snapshot (Section 7): repeated invocations keep
+   the containment guarantees, outputs accumulate all inputs used so far,
+   and the level reset mechanism works. *)
+
+open Repro_util
+module LL = Algorithms.Long_lived_snapshot.Int_views
+module Sys = Anonmem.System.Make (LL)
+module Scheduler = Anonmem.Scheduler
+
+let iset = Alcotest.testable (Fmt.of_to_string Iset.to_string) Iset.equal
+
+let drive_until_all_ready ?(max_steps = 1_000_000) st sched =
+  let stop, _ = Sys.run ~max_steps ~sched st in
+  if stop <> Sys.All_halted then Alcotest.fail "invocation did not terminate"
+
+let test_single_invocation_matches_snapshot () =
+  let cfg = LL.standard ~n:3 in
+  let wiring = Anonmem.Wiring.random (Rng.create ~seed:1) ~n:3 ~m:3 in
+  let st = Sys.init ~cfg ~wiring ~inputs:[| 1; 2; 3 |] in
+  drive_until_all_ready st (Scheduler.round_robin ());
+  let outs = Array.map (fun l -> LL.output_view l) st.Sys.locals in
+  Array.iteri
+    (fun p o ->
+      Alcotest.(check bool) "own input" true (Iset.mem (p + 1) o);
+      Array.iter
+        (fun o' -> Alcotest.(check bool) "containment" true (Iset.comparable o o'))
+        outs)
+    outs
+
+let test_reinvocation_accumulates_inputs () =
+  let cfg = LL.standard ~n:2 in
+  let wiring = Anonmem.Wiring.random (Rng.create ~seed:2) ~n:2 ~m:2 in
+  let st = Sys.init ~cfg ~wiring ~inputs:[| 1; 2 |] in
+  drive_until_all_ready st (Scheduler.round_robin ());
+  (* second round with fresh inputs 11, 12 *)
+  st.Sys.locals.(0) <- LL.invoke cfg st.Sys.locals.(0) 11;
+  st.Sys.locals.(1) <- LL.invoke cfg st.Sys.locals.(1) 12;
+  drive_until_all_ready st (Scheduler.round_robin ());
+  Array.iteri
+    (fun p l ->
+      let o = LL.output_view l in
+      Alcotest.(check bool) "first-round input retained" true (Iset.mem (p + 1) o);
+      Alcotest.(check bool) "second-round input present" true (Iset.mem (p + 11) o))
+    st.Sys.locals
+
+let test_outputs_comparable_across_rounds () =
+  (* All outputs ever produced (across 4 rounds, random schedules) are
+     pairwise related by containment. *)
+  let n = 3 in
+  let cfg = LL.standard ~n in
+  let rng = Rng.create ~seed:3 in
+  let wiring = Anonmem.Wiring.random rng ~n ~m:n in
+  let st = Sys.init ~cfg ~wiring ~inputs:[| 1; 2; 3 |] in
+  let all_outputs = ref [] in
+  for round = 1 to 4 do
+    drive_until_all_ready st (Scheduler.random (Rng.split rng));
+    Array.iter
+      (fun l -> all_outputs := LL.output_view l :: !all_outputs)
+      st.Sys.locals;
+    if round < 4 then
+      Array.iteri
+        (fun p l -> st.Sys.locals.(p) <- LL.invoke cfg l ((10 * round) + p))
+        st.Sys.locals
+  done;
+  let outs = !all_outputs in
+  List.iteri
+    (fun i o ->
+      List.iteri
+        (fun j o' ->
+          if i < j then
+            Alcotest.(check bool) "all outputs comparable" true
+              (Iset.comparable o o'))
+        outs)
+    outs
+
+let test_invoke_resets_level () =
+  let cfg = LL.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let st = Sys.init ~cfg ~wiring ~inputs:[| 1; 2 |] in
+  drive_until_all_ready st (Scheduler.round_robin ());
+  let l = st.Sys.locals.(0) in
+  Alcotest.(check bool) "ready at level n" true (LL.ready cfg l);
+  let l' = LL.invoke cfg l 5 in
+  Alcotest.(check bool) "no longer ready" false (LL.ready cfg l');
+  Alcotest.check iset "view grew by new input" (Iset.of_list [ 1; 2; 5 ])
+    (LL.output_view l')
+
+let test_invoke_while_running_rejected () =
+  let cfg = LL.standard ~n:2 in
+  let l = LL.init cfg 1 in
+  Alcotest.check_raises "invoke mid-run"
+    (Invalid_argument
+       "Long_lived_snapshot.invoke: previous invocation still running")
+    (fun () -> ignore (LL.invoke cfg l 2))
+
+let test_staggered_invocations () =
+  (* Processor 0 runs three invocations while processor 1 stays in its
+     first; outputs remain comparable and p0's outputs accumulate. *)
+  let cfg = LL.standard ~n:2 in
+  let wiring = Anonmem.Wiring.random (Rng.create ~seed:7) ~n:2 ~m:2 in
+  let st = Sys.init ~cfg ~wiring ~inputs:[| 1; 2 |] in
+  let sched = Scheduler.random (Rng.create ~seed:8) in
+  let outputs0 = ref [] in
+  for round = 1 to 3 do
+    let stop, _ = Sys.run ~max_steps:1_000_000 ~sched st in
+    Alcotest.(check bool) "round finished" true (stop = Sys.All_halted);
+    outputs0 := LL.output_view st.Sys.locals.(0) :: !outputs0;
+    if round < 3 then
+      st.Sys.locals.(0) <- LL.invoke cfg st.Sys.locals.(0) (100 + round)
+  done;
+  let rec check_chain = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "monotone outputs" true (Iset.subset b a);
+        check_chain rest
+    | _ -> ()
+  in
+  check_chain !outputs0
+
+(* --- group solvability of the long-lived snapshot (Section 7 future work) *)
+
+module LLT = Tasks.Long_lived_task
+
+let inv processor input output =
+  { LLT.processor; input; output = Iset.of_list output }
+
+let test_llt_valid_history () =
+  let h =
+    [ inv 0 1 [ 1 ]; inv 1 2 [ 1; 2 ]; inv 0 3 [ 1; 2; 3 ] ]
+  in
+  Alcotest.(check bool) "group-valid" true
+    (LLT.check_group_solution h = Ok ());
+  Alcotest.(check bool) "strong-valid" true (LLT.check_strong h = Ok ())
+
+let test_llt_shrinking_outputs_rejected () =
+  let h = [ inv 0 1 [ 1; 2 ]; inv 0 2 [ 1; 2 ] ] in
+  (* second output misses nothing... shrink case: *)
+  Alcotest.(check bool) "ok monotone" true (LLT.check_per_processor h = Ok ());
+  let h' = [ inv 0 1 [ 1; 2 ]; inv 0 3 [ 1; 3 ] ] in
+  Alcotest.(check bool) "shrunk output rejected" false
+    (LLT.check_per_processor h' = Ok ())
+
+let test_llt_missing_own_input_rejected () =
+  let h = [ inv 0 1 [ 1 ]; inv 0 2 [ 1 ] ] in
+  Alcotest.(check bool) "second invocation must include input 2" false
+    (LLT.check_per_processor h = Ok ())
+
+let test_llt_foreign_value_rejected () =
+  let h = [ inv 0 1 [ 1; 9 ] ] in
+  Alcotest.(check bool) "unused value rejected" false
+    (LLT.check_validity h = Ok ())
+
+let test_llt_same_group_incomparable_allowed () =
+  (* two invocations with the same input value may return incomparable
+     sets under the group reading (they are one group) *)
+  let h =
+    [
+      inv 0 1 [ 1 ];
+      inv 1 1 [ 1; 2 ];
+      inv 2 2 [ 1; 2 ];
+      inv 1 3 [ 1; 2; 3 ];
+    ]
+  in
+  Alcotest.(check bool) "group-valid" true (LLT.check_group_solution h = Ok ())
+
+let test_llt_cross_group_incomparable_rejected () =
+  let h =
+    [ inv 0 1 [ 1; 2 ]; inv 1 3 [ 1; 3 ]; inv 2 2 [ 1; 2 ] ]
+  in
+  Alcotest.(check bool) "validity itself fine" true (LLT.check_validity h = Ok ());
+  Alcotest.(check bool) "cross-group incomparable rejected" false
+    (LLT.check_group_solution h = Ok ())
+
+let test_llt_on_real_executions () =
+  (* drive the long-lived snapshot through staggered invocations under
+     random schedules and validate the full history *)
+  for seed = 0 to 19 do
+    let n = 2 + (seed mod 3) in
+    let cfg = LL.standard ~n in
+    let rng = Rng.create ~seed in
+    let wiring = Anonmem.Wiring.random rng ~n ~m:n in
+    let st = Sys.init ~cfg ~wiring ~inputs:(Array.init n (fun i -> i + 1)) in
+    let history = ref [] in
+    for round = 1 to 3 do
+      let stop, _ =
+        Sys.run ~max_steps:2_000_000 ~sched:(Scheduler.random (Rng.split rng)) st
+      in
+      if stop <> Sys.All_halted then Alcotest.fail "round stalled";
+      Array.iteri
+        (fun p l ->
+          history :=
+            {
+              LLT.processor = p;
+              input = (if round = 1 then p + 1 else (10 * round) + p);
+              output = LL.output_view l;
+            }
+            :: !history)
+        st.Sys.locals;
+      if round < 3 then
+        Array.iteri
+          (fun p l -> st.Sys.locals.(p) <- LL.invoke cfg l ((10 * (round + 1)) + p))
+          st.Sys.locals
+    done;
+    let history = List.rev !history in
+    (match LLT.check_group_solution history with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed e));
+    match LLT.check_strong history with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Printf.sprintf "seed %d (strong): %s" seed e)
+  done
+
+let () =
+  Alcotest.run "longlived"
+    [
+      ( "long-lived snapshot",
+        [
+          Alcotest.test_case "single invocation" `Quick
+            test_single_invocation_matches_snapshot;
+          Alcotest.test_case "re-invocation accumulates" `Quick
+            test_reinvocation_accumulates_inputs;
+          Alcotest.test_case "outputs comparable across rounds" `Quick
+            test_outputs_comparable_across_rounds;
+          Alcotest.test_case "invoke resets level" `Quick test_invoke_resets_level;
+          Alcotest.test_case "invoke while running rejected" `Quick
+            test_invoke_while_running_rejected;
+          Alcotest.test_case "staggered invocations" `Quick
+            test_staggered_invocations;
+        ] );
+      ( "group solvability (Section 7 future work)",
+        [
+          Alcotest.test_case "valid history" `Quick test_llt_valid_history;
+          Alcotest.test_case "shrinking outputs rejected" `Quick
+            test_llt_shrinking_outputs_rejected;
+          Alcotest.test_case "missing own input rejected" `Quick
+            test_llt_missing_own_input_rejected;
+          Alcotest.test_case "foreign value rejected" `Quick
+            test_llt_foreign_value_rejected;
+          Alcotest.test_case "same-group incomparability allowed" `Quick
+            test_llt_same_group_incomparable_allowed;
+          Alcotest.test_case "cross-group incomparability rejected" `Quick
+            test_llt_cross_group_incomparable_rejected;
+          Alcotest.test_case "validated on real executions" `Quick
+            test_llt_on_real_executions;
+        ] );
+    ]

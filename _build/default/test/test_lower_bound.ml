@@ -1,0 +1,95 @@
+(* The Section-2.1 covering construction: with N processors and N-1
+   registers, the adversary erases the solo processor's information and the
+   combined outputs violate the snapshot task. *)
+
+open Repro_util
+module LB = Analysis.Lower_bound
+
+let iset = Alcotest.testable (Fmt.of_to_string Iset.to_string) Iset.equal
+
+let test_construction_for_sizes () =
+  List.iter
+    (fun n ->
+      let r = LB.run ~n () in
+      Alcotest.check iset
+        (Printf.sprintf "n=%d: p outputs its own singleton" n)
+        (Iset.of_list [ 1 ]) r.LB.p_output;
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: covering erased p" n)
+        true (LB.p_erased r);
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d: all of Q terminates" n)
+        (n - 1)
+        (List.length r.LB.q_outputs);
+      List.iter
+        (fun (_, o) ->
+          Alcotest.(check bool) "Q outputs exclude p's input" true
+            (not (Iset.mem 1 o));
+          Alcotest.(check bool) "incomparable with p's output" false
+            (Iset.comparable (Iset.of_list [ 1 ]) o))
+        r.LB.q_outputs)
+    [ 2; 3; 4; 5; 6 ]
+
+let test_violation_detected_by_task_checker () =
+  let r = LB.run ~n:4 () in
+  Alcotest.(check bool) "violation message mentions incomparability" true
+    (String.length r.LB.violation > 0)
+
+let test_memory_after_covering_holds_only_q () =
+  let r = LB.run ~n:5 () in
+  Alcotest.(check int) "one register per member of Q" 4
+    (List.length r.LB.memory_after_covering);
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "each register holds a singleton" 1 (Iset.cardinal v);
+      Alcotest.(check bool) "a Q input" true
+        (Iset.subset v (Iset.of_list [ 2; 3; 4; 5 ])))
+    r.LB.memory_after_covering;
+  (* distinct registers covered by distinct processors *)
+  let all = Iset.union_all r.LB.memory_after_covering in
+  Alcotest.check iset "all of Q's inputs present" (Iset.of_list [ 2; 3; 4; 5 ]) all
+
+let test_q_outputs_are_internally_consistent () =
+  (* Q alone behaves like a correct snapshot among themselves *)
+  let r = LB.run ~n:5 () in
+  List.iter
+    (fun (_, o1) ->
+      List.iter
+        (fun (_, o2) ->
+          Alcotest.(check bool) "Q outputs comparable" true (Iset.comparable o1 o2))
+        r.LB.q_outputs)
+    r.LB.q_outputs
+
+let test_custom_inputs () =
+  let r = LB.run ~inputs:(Some [| 10; 20; 30 |]) ~n:3 () in
+  Alcotest.check iset "p output is its custom input" (Iset.of_list [ 10 ])
+    r.LB.p_output
+
+let test_rejects_tiny_n () =
+  Alcotest.check_raises "n=1 rejected"
+    (Invalid_argument "Lower_bound.run: need at least 2 processors") (fun () ->
+      ignore (LB.run ~n:1 ()))
+
+let test_solo_steps_grow_with_n () =
+  let steps n = (LB.run ~n ()).LB.p_solo_steps in
+  Alcotest.(check bool) "solo termination cost grows" true
+    (steps 3 < steps 5 && steps 5 < steps 7)
+
+let () =
+  Alcotest.run "lower_bound"
+    [
+      ( "section-2.1",
+        [
+          Alcotest.test_case "construction n=2..6" `Quick test_construction_for_sizes;
+          Alcotest.test_case "task checker flags violation" `Quick
+            test_violation_detected_by_task_checker;
+          Alcotest.test_case "memory after covering" `Quick
+            test_memory_after_covering_holds_only_q;
+          Alcotest.test_case "Q internally consistent" `Quick
+            test_q_outputs_are_internally_consistent;
+          Alcotest.test_case "custom inputs" `Quick test_custom_inputs;
+          Alcotest.test_case "n=1 rejected" `Quick test_rejects_tiny_n;
+          Alcotest.test_case "solo cost grows with n" `Quick
+            test_solo_steps_grow_with_n;
+        ] );
+    ]

@@ -1,0 +1,398 @@
+(* Tests of the model checker itself: codec roundtrips, exploration on
+   small/known systems, wait-freedom detection (positive and negative), and
+   the n=2 instance of the paper's TLC claim. *)
+
+open Repro_util
+module Snap = Algorithms.Snapshot
+module SnapC = Modelcheck.Codecs.Snapshot
+module WsC = Modelcheck.Codecs.Write_scan
+module DcC = Modelcheck.Codecs.Double_collect
+module MC = Modelcheck.Explorer.Make (SnapC)
+module MCW = Modelcheck.Explorer.Make (WsC)
+module MCD = Modelcheck.Explorer.Make (DcC)
+
+(* --- codec roundtrips ----------------------------------------------------- *)
+
+let roundtrip_local (type l) name cfg encode decode width (locals : l list) =
+  List.iter
+    (fun l ->
+      let b = Bytes.make (width cfg) '\000' in
+      encode cfg l b 0;
+      if decode cfg b 0 <> l then Alcotest.fail (name ^ ": local roundtrip failed"))
+    locals
+
+let test_snapshot_codec_roundtrip () =
+  let cfg = Snap.standard ~n:3 in
+  (* drive a processor through a few steps to collect diverse locals *)
+  let module Sys = Anonmem.System.Make (Snap) in
+  let wiring = Anonmem.Wiring.random (Rng.create ~seed:3) ~n:3 ~m:3 in
+  let st = Sys.init ~cfg ~wiring ~inputs:[| 1; 2; 3 |] in
+  let seen = ref [] in
+  let _ =
+    Sys.run ~max_steps:500
+      ~sched:(Anonmem.Scheduler.random (Rng.create ~seed:4))
+      ~on_event:(fun ~time:_ _ ->
+        Array.iter (fun l -> seen := l :: !seen) st.Sys.locals)
+      st
+  in
+  roundtrip_local "snapshot" cfg SnapC.encode_local SnapC.decode_local
+    SnapC.local_width !seen;
+  (* values *)
+  let vals =
+    [
+      { Snap.view = Iset.empty; level = 0 };
+      { Snap.view = Iset.of_list [ 1; 3 ]; level = 2 };
+      { Snap.view = Iset.of_list [ 0; 7 ]; level = 5 };
+    ]
+  in
+  List.iter
+    (fun v ->
+      let b = Bytes.make (SnapC.value_width cfg) '\000' in
+      SnapC.encode_value cfg v b 0;
+      if SnapC.decode_value cfg b 0 <> v then Alcotest.fail "value roundtrip")
+    vals
+
+let test_codec_rejects_out_of_range () =
+  let cfg = Snap.standard ~n:3 in
+  let v = { Snap.view = Iset.of_list [ 9 ]; level = 0 } in
+  Alcotest.check_raises "element 9 needs bit 9"
+    (Invalid_argument "Codecs: field out of byte range") (fun () ->
+      let b = Bytes.make 2 '\000' in
+      SnapC.encode_value cfg v b 0)
+
+(* --- exploration on a 1-processor system ---------------------------------- *)
+
+let test_explore_solo_snapshot () =
+  (* One processor, one register: write (view,lvl); scan; level climbs 1
+     per round up to n=1 -> terminates after the first clean scan. *)
+  let cfg = Snap.cfg ~n:1 ~m:1 in
+  let wiring = Anonmem.Wiring.identity ~n:1 ~m:1 in
+  match MC.explore ~cfg ~wiring ~inputs:[| 1 |] () with
+  | MC.Explored space ->
+      Alcotest.(check bool) "few states" true (MC.state_count space <= 6);
+      Alcotest.(check int) "one terminal" 1 (List.length space.MC.terminal);
+      Alcotest.(check bool) "wait-free" true (MC.is_wait_free space)
+  | _ -> Alcotest.fail "expected successful exploration"
+
+let test_explore_finds_invariant_violation () =
+  (* A deliberately false invariant must fail on the initial state with an
+     empty trace. *)
+  let cfg = Snap.cfg ~n:1 ~m:1 in
+  let wiring = Anonmem.Wiring.identity ~n:1 ~m:1 in
+  match
+    MC.explore ~invariant:(fun _ -> Error "nope") ~cfg ~wiring ~inputs:[| 1 |] ()
+  with
+  | MC.Invariant_failed (_, v) ->
+      Alcotest.(check string) "message" "nope" v.MC.message;
+      Alcotest.(check int) "violation at initial state" 0 (List.length v.MC.trace)
+  | _ -> Alcotest.fail "expected invariant failure"
+
+let test_explore_state_limit () =
+  let cfg = Snap.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  match MC.explore ~max_states:10 ~cfg ~wiring ~inputs:[| 1; 2 |] () with
+  | MC.State_limit k -> Alcotest.(check bool) "stopped near limit" true (k >= 10)
+  | _ -> Alcotest.fail "expected state limit"
+
+let test_trace_reconstruction () =
+  let cfg = Snap.cfg ~n:1 ~m:1 in
+  let wiring = Anonmem.Wiring.identity ~n:1 ~m:1 in
+  (* fail when the processor has terminated: trace = the whole execution *)
+  let invariant (st : MC.state) =
+    if Snap.output cfg st.MC.locals.(0) <> None then Error "terminated"
+    else Ok ()
+  in
+  match MC.explore ~invariant ~cfg ~wiring ~inputs:[| 1 |] () with
+  | MC.Invariant_failed (_, v) ->
+      Alcotest.(check bool) "non-empty trace" true (List.length v.MC.trace > 0);
+      (* every step in the trace is by processor 0 *)
+      List.iter (fun (p, _) -> Alcotest.(check int) "pid" 0 p) v.MC.trace
+  | _ -> Alcotest.fail "expected invariant failure at termination"
+
+(* --- wait-freedom / divergence ------------------------------------------- *)
+
+let test_write_scan_diverges () =
+  (* The write-scan loop never terminates: the DFS must find a cycle. *)
+  let cfg = Algorithms.Write_scan.cfg ~n:2 ~m:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  match MCW.check_exhaustive ~cfg ~wiring ~inputs:[| 1; 2 |] () with
+  | MCW.Dfs_cycle { processors; _ } ->
+      Alcotest.(check bool) "some processor diverges" true (processors <> [])
+  | _ -> Alcotest.fail "expected a divergence cycle"
+
+let test_write_scan_bfs_divergence_agrees () =
+  let cfg = Algorithms.Write_scan.cfg ~n:2 ~m:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  match MCW.explore ~cfg ~wiring ~inputs:[| 1; 2 |] () with
+  | MCW.Explored space ->
+      Alcotest.(check bool) "BFS SCC also reports divergence" false
+        (MCW.is_wait_free space);
+      Alcotest.(check (list int)) "both processors diverge" [ 0; 1 ]
+        (MCW.divergent_processors space)
+  | _ -> Alcotest.fail "expected exploration"
+
+let test_snapshot_n1_acyclic () =
+  let cfg = Snap.cfg ~n:1 ~m:1 in
+  let wiring = Anonmem.Wiring.identity ~n:1 ~m:1 in
+  match MC.check_exhaustive ~cfg ~wiring ~inputs:[| 1 |] () with
+  | MC.Dfs_ok s ->
+      Alcotest.(check bool) "some transitions" true (s.MC.dfs_transitions > 0);
+      Alcotest.(check int) "one terminal" 1 s.MC.dfs_terminals
+  | _ -> Alcotest.fail "expected acyclic result"
+
+(* --- the n=2 TLC claim ----------------------------------------------------- *)
+
+let test_verify_snapshot_n2_all_wirings () =
+  match Core.verify_snapshot_model ~n:2 () with
+  | Ok s ->
+      Alcotest.(check int) "2 wirings" 2 s.Core.Snapshot_mc.wirings_checked;
+      Alcotest.(check bool) "wait-free everywhere" true
+        s.Core.Snapshot_mc.all_wait_free;
+      Alcotest.(check bool) "nontrivial spaces" true
+        (s.Core.Snapshot_mc.total_states > 100)
+  | Error e -> Alcotest.fail e
+
+let test_verify_snapshot_n2_groups () =
+  match Core.verify_snapshot_model ~n:2 ~inputs:(Some [| 1; 1 |]) () with
+  | Ok s ->
+      Alcotest.(check bool) "single group verified" true
+        s.Core.Snapshot_mc.all_wait_free
+  | Error e -> Alcotest.fail e
+
+let test_bfs_and_dfs_agree_on_counts () =
+  let cfg = Snap.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  match (MC.explore ~cfg ~wiring ~inputs (), MC.check_exhaustive ~cfg ~wiring ~inputs ()) with
+  | MC.Explored space, MC.Dfs_ok s ->
+      Alcotest.(check int) "same state count" (MC.state_count space) s.MC.dfs_states;
+      Alcotest.(check int) "same transition count" (MC.transition_count space)
+        s.MC.dfs_transitions;
+      Alcotest.(check int) "same terminal count"
+        (List.length space.MC.terminal)
+        s.MC.dfs_terminals
+  | _ -> Alcotest.fail "expected both to succeed"
+
+(* Terminal outcomes of the n=2 exploration all satisfy the snapshot task. *)
+let test_terminal_outcomes_valid () =
+  let cfg = Snap.standard ~n:2 in
+  let inputs = [| 1; 2 |] in
+  List.iter
+    (fun wiring ->
+      match MC.explore ~cfg ~wiring ~inputs () with
+      | MC.Explored space ->
+          let outcomes =
+            MC.terminal_outcomes space ~group_of_input:Fun.id ~to_task_output:Fun.id
+          in
+          Alcotest.(check bool) "has terminal states" true (outcomes <> []);
+          List.iter
+            (fun o ->
+              match Tasks.Snapshot_task.check_strong o with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail e)
+            outcomes
+      | _ -> Alcotest.fail "exploration failed")
+    (Anonmem.Wiring.enumerate ~n:2 ~m:2 ~fix_first:true)
+
+(* --- double-collect: exhaustively hunting for its unsoundness ------------- *)
+
+let test_double_collect_explored () =
+  (* For n=2 the broken double-collect baseline: explore and validate that
+     exploration machinery handles it; record whether its terminal outcomes
+     are task-valid (they are at n=2; the Figure-2 attack needs the churn of
+     more processors). *)
+  let cfg = Algorithms.Double_collect.standard ~n:2 in
+  let inputs = [| 1; 2 |] in
+  List.iter
+    (fun wiring ->
+      match MCD.explore ~cfg ~wiring ~inputs () with
+      | MCD.Explored space ->
+          Alcotest.(check bool) "explored" true (MCD.state_count space > 0)
+      | MCD.Invariant_failed _ -> Alcotest.fail "no invariant given"
+      | MCD.State_limit _ -> Alcotest.fail "unexpected state limit")
+    (Anonmem.Wiring.enumerate ~n:2 ~m:2 ~fix_first:true)
+
+(* --- the packed 3-processor checker ---------------------------------------- *)
+
+let test_snapshot3_selfcheck () =
+  let compared = Modelcheck.Snapshot3.selfcheck ~runs:30 ~max_steps:1_000 () in
+  Alcotest.(check bool) "many steps compared" true (compared > 2_000)
+
+let test_snapshot3_bit_layout () =
+  let open Modelcheck.Snapshot3 in
+  let l = mk_local ~view:5 ~level:3 ~nw:2 ~phase:6 ~mn:3 in
+  Alcotest.(check int) "view" 5 (l_view l);
+  Alcotest.(check int) "level" 3 (l_level l);
+  Alcotest.(check int) "nw" 2 (l_nw l);
+  Alcotest.(check int) "phase" 6 (l_phase l);
+  Alcotest.(check int) "min" 3 (l_min l);
+  let s = set_local (set_reg 0 2 (mk_reg ~view:7 ~level:1)) 1 l in
+  Alcotest.(check int) "local roundtrip through state" l (get_local s 1);
+  Alcotest.(check int) "reg view" 7 (r_view (get_reg s 2));
+  Alcotest.(check int) "reg level" 1 (r_level (get_reg s 2));
+  Alcotest.(check int) "other locals untouched" 0 (get_local s 0)
+
+let test_snapshot3_rejects_bad_inputs () =
+  Alcotest.check_raises "input out of range"
+    (Invalid_argument "Snapshot3: inputs must be in 1..3") (fun () ->
+      ignore (Modelcheck.Snapshot3.initial_state [| 1; 2; 9 |]))
+
+(* --- the nondeterministic-write-order variant ------------------------------- *)
+
+let test_snapshot3_nd_choices () =
+  let open Modelcheck.Snapshot3_nd in
+  let s = initial_state [| 1; 2; 3 |] in
+  (* initially every processor is writing with an empty round mask: 3
+     choices each *)
+  List.iter
+    (fun p -> Alcotest.(check int) "3 write choices" 3 (choices s p))
+    [ 0; 1; 2 ];
+  Alcotest.(check int) "first unwritten" 0 (write_target 0b000 0);
+  Alcotest.(check int) "skip written" 1 (write_target 0b001 0);
+  Alcotest.(check int) "second choice" 2 (write_target 0b001 1);
+  Alcotest.(check int) "only r1 free" 1 (write_target 0b101 0)
+
+let test_snapshot3_nd_step_subsumes_cyclic () =
+  (* Choosing the lowest unwritten register each round reproduces the
+     deterministic implementation's behaviour: run both packed semantics
+     in lockstep on a random schedule and compare views and levels. *)
+  let open Modelcheck.Snapshot3_nd in
+  let rng = Rng.create ~seed:11 in
+  let wiring = Anonmem.Wiring.random rng ~n:3 ~m:3 in
+  let sigmas =
+    Array.init 3 (fun p -> Array.init 3 (fun i -> Anonmem.Wiring.phys wiring ~p i))
+  in
+  let det = ref (Modelcheck.Snapshot3.initial_state [| 1; 2; 3 |]) in
+  let nd = ref (initial_state [| 1; 2; 3 |]) in
+  for _ = 1 to 500 do
+    let enabled =
+      List.filter (fun p -> choices !nd p > 0) [ 0; 1; 2 ]
+    in
+    if enabled <> [] then begin
+      let p = Rng.pick rng enabled in
+      (* deterministic cyclic order = always the round's lowest unwritten
+         register, which under Snapshot3's cursor is choice... the cursor
+         and the mask enumerate registers in the same private order, so
+         choice 0 matches *)
+      det := Modelcheck.Snapshot3.step !det p sigmas.(p);
+      nd := step !nd p 0 sigmas.(p);
+      List.iter
+        (fun q ->
+          let dl = Modelcheck.Snapshot3.get_local !det q in
+          let nl = get_local !nd q in
+          if
+            Modelcheck.Snapshot3.l_view dl <> l_view nl
+            || Modelcheck.Snapshot3.l_level dl <> l_level nl
+          then Alcotest.fail "ND(choice 0) diverged from cyclic semantics")
+        [ 0; 1; 2 ]
+    end
+  done
+
+let test_snapshot3_nd_search_smoke () =
+  (* With a single group, every view is {1}: the first write puts {1} in
+     memory and the whole subtree is pruned, so the search refutes the
+     target immediately on every wiring. *)
+  let r =
+    Modelcheck.Snapshot3_nd.find_nonatomic ~log2_capacity:16
+      ~inputs:[| 1; 1; 1 |] ~target_mask:0b001
+      ~wirings:
+        [
+          Anonmem.Wiring.identity ~n:3 ~m:3;
+          Anonmem.Wiring.of_lists [ [ 0; 1; 2 ]; [ 1; 2; 0 ]; [ 2; 0; 1 ] ];
+        ]
+      ()
+  in
+  Alcotest.(check bool) "single group has no witness" true (r = None)
+
+(* --- consensus codec -------------------------------------------------------- *)
+
+let test_consensus_codec_roundtrip () =
+  let module Cc = Modelcheck.Codecs.Consensus in
+  let module CSys = Anonmem.System.Make (Algorithms.Consensus) in
+  let cfg = Algorithms.Consensus.standard ~n:2 in
+  let wiring = Anonmem.Wiring.random (Rng.create ~seed:6) ~n:2 ~m:2 in
+  let st = CSys.init ~cfg ~wiring ~inputs:[| 1; 2 |] in
+  let checked = ref 0 in
+  let _ =
+    CSys.run ~max_steps:400
+      ~sched:(Anonmem.Scheduler.random (Rng.create ~seed:7))
+      ~on_event:(fun ~time:_ _ ->
+        Array.iter
+          (fun (l : Algorithms.Consensus.local) ->
+            let b = Bytes.make (Cc.local_width cfg) '\000' in
+            Cc.encode_local cfg l b 0;
+            let l' = Cc.decode_local cfg b 0 in
+            (* [input] and [rounds] are deliberately quotiented away *)
+            let scrub (x : Algorithms.Consensus.local) =
+              { x with Algorithms.Consensus.input = 0; rounds = 0 }
+            in
+            if scrub l' <> scrub l then Alcotest.fail "consensus local roundtrip";
+            incr checked)
+          st.CSys.locals)
+      st
+  in
+  Alcotest.(check bool) "checked many locals" true (!checked > 100)
+
+let test_consensus_codec_bounds () =
+  let module Cc = Modelcheck.Codecs.Consensus in
+  Alcotest.check_raises "timestamp too large"
+    (Invalid_argument "Codecs.Consensus: (value, timestamp) out of bounds")
+    (fun () -> ignore (Cc.pair_index (1, 99)))
+
+let () =
+  Alcotest.run "modelcheck"
+    [
+      ( "codecs",
+        [
+          Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_codec_roundtrip;
+          Alcotest.test_case "out-of-range rejected" `Quick
+            test_codec_rejects_out_of_range;
+        ] );
+      ( "exploration",
+        [
+          Alcotest.test_case "solo snapshot" `Quick test_explore_solo_snapshot;
+          Alcotest.test_case "invariant violation" `Quick
+            test_explore_finds_invariant_violation;
+          Alcotest.test_case "state limit" `Quick test_explore_state_limit;
+          Alcotest.test_case "trace reconstruction" `Quick test_trace_reconstruction;
+        ] );
+      ( "wait-freedom",
+        [
+          Alcotest.test_case "write-scan diverges (DFS)" `Quick
+            test_write_scan_diverges;
+          Alcotest.test_case "write-scan diverges (BFS SCC)" `Quick
+            test_write_scan_bfs_divergence_agrees;
+          Alcotest.test_case "n=1 snapshot acyclic" `Quick test_snapshot_n1_acyclic;
+        ] );
+      ( "tlc-claim-n2",
+        [
+          Alcotest.test_case "all wirings verified" `Quick
+            test_verify_snapshot_n2_all_wirings;
+          Alcotest.test_case "group inputs verified" `Quick
+            test_verify_snapshot_n2_groups;
+          Alcotest.test_case "BFS/DFS agree" `Quick test_bfs_and_dfs_agree_on_counts;
+          Alcotest.test_case "terminal outcomes valid" `Quick
+            test_terminal_outcomes_valid;
+        ] );
+      ( "double-collect",
+        [ Alcotest.test_case "explorable" `Quick test_double_collect_explored ] );
+      ( "snapshot3",
+        [
+          Alcotest.test_case "selfcheck vs reference" `Quick
+            test_snapshot3_selfcheck;
+          Alcotest.test_case "bit layout" `Quick test_snapshot3_bit_layout;
+          Alcotest.test_case "input validation" `Quick
+            test_snapshot3_rejects_bad_inputs;
+          Alcotest.test_case "ND: choices and targets" `Quick
+            test_snapshot3_nd_choices;
+          Alcotest.test_case "ND: choice 0 = cyclic order" `Quick
+            test_snapshot3_nd_step_subsumes_cyclic;
+          Alcotest.test_case "ND: single-group refuted" `Quick
+            test_snapshot3_nd_search_smoke;
+        ] );
+      ( "consensus-codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_consensus_codec_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_consensus_codec_bounds;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* Tests of the Figure-4 adaptive renaming algorithm: name range, rank
+   arithmetic, cross-group distinctness (the subtle Section-6 guarantee),
+   legality of same-group sharing, and adaptivity. *)
+
+open Repro_util
+module Ren = Algorithms.Renaming
+module Sys = Anonmem.System.Make (Ren)
+module Scheduler = Anonmem.Scheduler
+
+let solve ?(seed = 0) inputs =
+  match Core.solve_renaming ~seed ~inputs () with
+  | Ok r -> r.Core.outputs
+  | Error e -> Alcotest.fail e
+
+let test_name_arithmetic () =
+  (* name = z(z-1)/2 + rank: snapshot {3} -> name 1; {2,5} rank 2 -> 3;
+     {1,2,3} rank 1 -> 4. *)
+  let o = Ren.name_of_snapshot ~group:3 (Iset.of_list [ 3 ]) in
+  Alcotest.(check int) "size-1 snapshot gets name 1" 1 o.Ren.name_out;
+  let o = Ren.name_of_snapshot ~group:5 (Iset.of_list [ 2; 5 ]) in
+  Alcotest.(check int) "size-2 rank-2 gets 3" 3 o.Ren.name_out;
+  let o = Ren.name_of_snapshot ~group:1 (Iset.of_list [ 1; 2; 3 ]) in
+  Alcotest.(check int) "size-3 rank-1 gets 4" 4 o.Ren.name_out;
+  let o = Ren.name_of_snapshot ~group:3 (Iset.of_list [ 1; 2; 3 ]) in
+  Alcotest.(check int) "size-3 rank-3 gets 6" 6 o.Ren.name_out
+
+let test_name_of_snapshot_requires_membership () =
+  Alcotest.check_raises "group missing"
+    (Invalid_argument "Renaming.name_of_snapshot: own group missing from snapshot")
+    (fun () -> ignore (Ren.name_of_snapshot ~group:9 (Iset.of_list [ 1; 2 ])))
+
+let test_unique_inputs_unique_names () =
+  for seed = 0 to 30 do
+    let n = 2 + (seed mod 5) in
+    let inputs = Array.init n (fun i -> i + 1) in
+    let outs = solve ~seed inputs in
+    let names = Array.map (fun (o : Ren.output) -> o.Ren.name_out) outs in
+    let distinct = List.sort_uniq compare (Array.to_list names) in
+    Alcotest.(check int)
+      (Printf.sprintf "all distinct (seed %d)" seed)
+      n (List.length distinct);
+    Array.iter
+      (fun name ->
+        Alcotest.(check bool) "in range" true
+          (name >= 1 && name <= Ren.max_name ~groups:n))
+      names
+  done
+
+let test_cross_group_distinct_with_groups () =
+  for seed = 0 to 50 do
+    let inputs = [| 1; 1; 2; 3; 3 |] in
+    let outs = solve ~seed inputs in
+    Array.iteri
+      (fun p (op : Ren.output) ->
+        Array.iteri
+          (fun q (oq : Ren.output) ->
+            if p < q && inputs.(p) <> inputs.(q) then
+              Alcotest.(check bool)
+                (Printf.sprintf "p%d vs p%d distinct (seed %d)" p q seed)
+                true
+                (op.Ren.name_out <> oq.Ren.name_out))
+          outs)
+      outs
+  done
+
+let test_adaptive_bound_uses_participants () =
+  (* Only 2 of 5 group identifiers in play: names must fit 1..3. *)
+  let inputs = [| 4; 7; 4; 7 |] in
+  for seed = 0 to 20 do
+    let outs = solve ~seed inputs in
+    Array.iter
+      (fun (o : Ren.output) ->
+        Alcotest.(check bool) "within adaptive range for 2 groups" true
+          (o.Ren.name_out >= 1 && o.Ren.name_out <= 3))
+      outs
+  done
+
+let test_solo_processor_takes_name_1 () =
+  let cfg = Ren.standard ~n:3 in
+  let wiring = Anonmem.Wiring.identity ~n:3 ~m:3 in
+  let st = Sys.init ~cfg ~wiring ~inputs:[| 9; 8; 7 |] in
+  let stop, _ = Sys.run ~max_steps:100_000 ~sched:(Scheduler.solo 1) st in
+  Alcotest.(check bool) "solo halted" true (stop = Sys.Scheduler_done);
+  match Sys.output st 1 with
+  | Some o ->
+      Alcotest.(check int) "snapshot size 1 -> name 1" 1 o.Ren.name_out;
+      Alcotest.(check int) "size" 1 o.Ren.size
+  | None -> Alcotest.fail "solo processor did not output"
+
+let test_output_consistent_with_snapshot () =
+  let inputs = [| 1; 2; 3; 4 |] in
+  let outs = solve ~seed:17 inputs in
+  Array.iteri
+    (fun p (o : Ren.output) ->
+      Alcotest.(check int) "size matches snapshot" (Iset.cardinal o.Ren.snapshot)
+        o.Ren.size;
+      Alcotest.(check (option int)) "rank matches snapshot"
+        (Some o.Ren.rank)
+        (Iset.rank inputs.(p) o.Ren.snapshot);
+      Alcotest.(check int) "name formula"
+        ((o.Ren.size * (o.Ren.size - 1) / 2) + o.Ren.rank)
+        o.Ren.name_out)
+    outs
+
+let test_max_name () =
+  Alcotest.(check int) "M=1" 1 (Ren.max_name ~groups:1);
+  Alcotest.(check int) "M=3" 6 (Ren.max_name ~groups:3);
+  Alcotest.(check int) "M=5" 15 (Ren.max_name ~groups:5)
+
+let prop_renaming_valid =
+  QCheck.Test.make ~name:"renaming task solved for random configs" ~count:50
+    QCheck.(pair (int_range 2 6) (int_bound 10_000))
+    (fun (n, seed) ->
+      let groups = 1 + (seed mod n) in
+      let inputs = Array.init n (fun i -> 1 + ((i * 3) mod groups)) in
+      match Core.solve_renaming ~seed ~inputs () with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "renaming"
+    [
+      ( "figure4",
+        [
+          Alcotest.test_case "name arithmetic" `Quick test_name_arithmetic;
+          Alcotest.test_case "membership required" `Quick
+            test_name_of_snapshot_requires_membership;
+          Alcotest.test_case "unique inputs -> unique names" `Quick
+            test_unique_inputs_unique_names;
+          Alcotest.test_case "cross-group distinctness" `Slow
+            test_cross_group_distinct_with_groups;
+          Alcotest.test_case "adaptive bound" `Quick
+            test_adaptive_bound_uses_participants;
+          Alcotest.test_case "solo takes name 1" `Quick
+            test_solo_processor_takes_name_1;
+          Alcotest.test_case "output internally consistent" `Quick
+            test_output_consistent_with_snapshot;
+          Alcotest.test_case "max_name" `Quick test_max_name;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_renaming_valid ]);
+    ]

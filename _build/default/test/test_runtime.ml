@@ -1,0 +1,124 @@
+(* Tests of the real-parallelism runtime: the same protocols on OCaml 5
+   domains with Atomic registers.  These validate the task properties of
+   outputs produced under genuine hardware interleavings. *)
+
+open Repro_util
+
+let test_parallel_snapshot_valid () =
+  for seed = 0 to 9 do
+    let inputs = [| 1; 2; 3; 4 |] in
+    match Runtime_shm.parallel_snapshot ~seed ~inputs () with
+    | Ok r ->
+        Array.iteri
+          (fun p -> function
+            | Some o ->
+                Alcotest.(check bool) "own input present" true
+                  (Iset.mem inputs.(p) o)
+            | None -> Alcotest.fail "wait-free run must produce all outputs")
+          r.Runtime_shm.Snapshot_run.outputs
+    | Error e -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed e)
+  done
+
+let test_parallel_snapshot_groups () =
+  let inputs = [| 7; 7; 8; 8; 9 |] in
+  match Runtime_shm.parallel_snapshot ~seed:3 ~inputs () with
+  | Ok _ -> () (* containment + group checks run inside *)
+  | Error e -> Alcotest.fail e
+
+let test_parallel_snapshot_records_steps () =
+  match Runtime_shm.parallel_snapshot ~seed:1 ~inputs:[| 1; 2; 3 |] () with
+  | Ok r ->
+      Array.iter
+        (fun s ->
+          (* at least one write and one full scan *)
+          Alcotest.(check bool) "worked" true (s >= 4))
+        r.Runtime_shm.Snapshot_run.steps
+  | Error e -> Alcotest.fail e
+
+let test_parallel_renaming_valid () =
+  let inputs = [| 1; 2; 3; 4 |] in
+  let cfg = Algorithms.Renaming.standard ~n:4 in
+  match Runtime_shm.Renaming_run.run ~seed:5 ~cfg ~inputs () with
+  | Ok r ->
+      let outcome =
+        Tasks.Outcome.make ~inputs
+          ~outputs:
+            (Array.map
+               (Option.map (fun (o : Algorithms.Renaming.output) -> o.name_out))
+               r.Runtime_shm.Renaming_run.outputs)
+          ()
+      in
+      (match Tasks.Renaming_task.check outcome with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
+let test_parallel_consensus_agreement () =
+  for seed = 0 to 4 do
+    let inputs = [| 1; 2; 1; 2 |] in
+    match Runtime_shm.parallel_consensus ~seed ~inputs () with
+    | Ok (_, _undecided) -> () (* agreement/validity checked inside *)
+    | Error e -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed e)
+  done
+
+let test_write_scan_times_out () =
+  (* A non-terminating protocol must hit the step budget and report it. *)
+  let module R = Runtime_shm.Make (Algorithms.Write_scan) in
+  let cfg = Algorithms.Write_scan.cfg ~n:2 ~m:2 in
+  match R.run ~seed:1 ~max_steps:5_000 ~cfg ~inputs:[| 1; 2 |] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "write-scan must not terminate"
+
+let test_write_scan_timeout_tolerated () =
+  let module R = Runtime_shm.Make (Algorithms.Write_scan) in
+  let cfg = Algorithms.Write_scan.cfg ~n:2 ~m:2 in
+  match R.run ~seed:1 ~max_steps:5_000 ~allow_timeout:true ~cfg ~inputs:[| 1; 2 |] () with
+  | Ok r ->
+      Array.iter
+        (fun o -> Alcotest.(check bool) "no outputs" true (o = None))
+        r.R.outputs
+  | Error e -> Alcotest.fail e
+
+let test_fixed_wiring_respected () =
+  (* With the identity wiring and a single processor the snapshot output is
+     deterministic regardless of domain scheduling. *)
+  let module R = Runtime_shm.Snapshot_run in
+  let cfg = Algorithms.Snapshot.standard ~n:1 in
+  let wiring = Anonmem.Wiring.identity ~n:1 ~m:1 in
+  match R.run ~wiring ~cfg ~inputs:[| 42 |] () with
+  | Ok r ->
+      Alcotest.(check bool) "singleton {42}" true
+        (match r.R.outputs.(0) with
+        | Some o -> Iset.equal o (Iset.of_list [ 42 ])
+        | None -> false)
+  | Error e -> Alcotest.fail e
+
+let test_bad_inputs_rejected () =
+  let module R = Runtime_shm.Snapshot_run in
+  let cfg = Algorithms.Snapshot.standard ~n:2 in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Runtime_shm.run: bad inputs") (fun () ->
+      ignore (R.run ~cfg ~inputs:[| 1 |] ()))
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "domains",
+        [
+          Alcotest.test_case "parallel snapshot valid (10 seeds)" `Quick
+            test_parallel_snapshot_valid;
+          Alcotest.test_case "parallel snapshot with groups" `Quick
+            test_parallel_snapshot_groups;
+          Alcotest.test_case "steps recorded" `Quick test_parallel_snapshot_records_steps;
+          Alcotest.test_case "parallel renaming valid" `Quick
+            test_parallel_renaming_valid;
+          Alcotest.test_case "parallel consensus agreement" `Quick
+            test_parallel_consensus_agreement;
+          Alcotest.test_case "non-terminating protocol times out" `Quick
+            test_write_scan_times_out;
+          Alcotest.test_case "timeout tolerated when allowed" `Quick
+            test_write_scan_timeout_tolerated;
+          Alcotest.test_case "fixed wiring" `Quick test_fixed_wiring_respected;
+          Alcotest.test_case "input validation" `Quick test_bad_inputs_rejected;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+(* The eventual pattern (Section 4 / Theorem 4.8): stable views of the
+   write-scan loop always form a DAG with a unique source, checked on
+   hand-built view sets, on the Figure-2 schedule, and as a property over
+   random wirings/schedules. *)
+
+open Repro_util
+module SV = Analysis.Stable_views
+module VG = Analysis.View_graph
+
+let iset = Alcotest.testable (Fmt.of_to_string Iset.to_string) Iset.equal
+let s = Iset.of_list
+
+(* --- View_graph on hand-built sets --------------------------------------- *)
+
+let test_graph_of_figure2_views () =
+  let g = VG.of_views [ s [ 1 ]; s [ 1; 2 ]; s [ 1; 3 ] ] in
+  Alcotest.(check int) "3 vertices" 3 (VG.vertex_count g);
+  Alcotest.(check int) "2 edges" 2 (VG.edge_count g);
+  Alcotest.(check bool) "dag" true (VG.is_dag g);
+  Alcotest.(check (option (Alcotest.testable (Fmt.of_to_string Iset.to_string) Iset.equal)))
+    "unique source {1}"
+    (Some (s [ 1 ]))
+    (VG.unique_source g)
+
+let test_graph_dedups_views () =
+  let g = VG.of_views [ s [ 1 ]; s [ 1 ]; s [ 1; 2 ]; s [ 1; 2 ] ] in
+  Alcotest.(check int) "2 distinct vertices" 2 (VG.vertex_count g)
+
+let test_two_sources_rejected () =
+  let g = VG.of_views [ s [ 1; 2 ]; s [ 1; 3 ]; s [ 1; 2; 3 ] ] in
+  Alcotest.(check bool) "dag still" true (VG.is_dag g);
+  Alcotest.(check bool) "no unique source" true (VG.unique_source g = None);
+  Alcotest.(check bool) "theorem violated" false (VG.satisfies_theorem_4_8 g)
+
+let test_single_view_is_source () =
+  let g = VG.of_views [ s [ 1; 2; 3 ] ] in
+  Alcotest.(check bool) "singleton graph ok" true (VG.satisfies_theorem_4_8 g)
+
+let test_chain_unique_source () =
+  let g = VG.of_views [ s [ 1 ]; s [ 1; 2 ]; s [ 1; 2; 3 ] ] in
+  Alcotest.(check bool) "chain satisfies" true (VG.satisfies_theorem_4_8 g);
+  Alcotest.(check int) "3 edges (transitive closure)" 3 (VG.edge_count g)
+
+let test_source_requires_containment_in_all () =
+  (* unique minimal but not contained in all is impossible for sets;
+     cross-check with an antichain over a common source *)
+  let g = VG.of_views [ s [ 2 ]; s [ 2; 3 ]; s [ 2; 4 ]; s [ 2; 3; 4 ] ] in
+  Alcotest.(check (option iset)) "source {2}" (Some (s [ 2 ])) (VG.unique_source g)
+
+(* --- Stable views from executions ----------------------------------------- *)
+
+let test_fair_execution_stabilizes_to_full_view () =
+  (* Under a fair random schedule with enough registers, all views converge
+     to the full input set: the graph is a single vertex. *)
+  match
+    SV.run_random ~n:4 ~m:4 ~inputs:[| 1; 2; 3; 4 |] ~seed:5 ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "stabilized" true (r.SV.stabilized_at < r.SV.total_steps);
+      Alcotest.(check bool) "theorem holds" true (VG.satisfies_theorem_4_8 r.SV.graph)
+
+let test_figure2_schedule_gives_three_stable_views () =
+  let cfg = Algorithms.Write_scan.cfg ~n:3 ~m:3 in
+  match
+    SV.run ~window:72 ~cfg
+      ~wiring:(Analysis.Figure2.base_wiring ())
+      ~inputs:[| 1; 2; 3 |] ~live:[ 0; 1; 2 ]
+      ~sched:
+        (Anonmem.Scheduler.script_then_cycle
+           ~prefix:Analysis.Figure2.step_prefix ~cycle:Analysis.Figure2.step_cycle)
+      ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let views = List.map snd r.SV.stable_views in
+      Alcotest.(check int) "three live processors" 3 (List.length views);
+      Alcotest.(check bool) "{1} among them" true
+        (List.exists (Iset.equal (s [ 1 ])) views);
+      Alcotest.(check bool) "{1,2} among them" true
+        (List.exists (Iset.equal (s [ 1; 2 ])) views);
+      Alcotest.(check bool) "{1,3} among them" true
+        (List.exists (Iset.equal (s [ 1; 3 ])) views);
+      Alcotest.(check (option iset)) "unique source {1}" (Some (s [ 1 ]))
+        (VG.unique_source r.SV.graph);
+      Alcotest.(check bool) "theorem 4.8" true (VG.satisfies_theorem_4_8 r.SV.graph)
+
+let test_live_subset_excludes_stopped_processor () =
+  (* Processor 2 takes no steps at all; its (initial) view must not appear
+     among the stable views when it is excluded from [live]. *)
+  let cfg = Algorithms.Write_scan.cfg ~n:3 ~m:3 in
+  let wiring = Anonmem.Wiring.of_lists [ [ 0; 1; 2 ]; [ 1; 0; 2 ]; [ 0; 1; 2 ] ] in
+  match
+    SV.run ~window:64 ~cfg ~wiring ~inputs:[| 1; 2; 3 |] ~live:[ 0; 1 ]
+      ~sched:(Anonmem.Scheduler.script ~cycle:true [ 0; 1 ])
+      ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "two live" 2 (List.length r.SV.stable_views);
+      List.iter
+        (fun (_, v) ->
+          Alcotest.(check bool) "stopped processor's input unseen" true
+            (not (Iset.mem 3 v)))
+        r.SV.stable_views;
+      Alcotest.(check bool) "theorem holds on live views" true
+        (VG.satisfies_theorem_4_8 r.SV.graph)
+
+(* --- Theorem 4.8 as a property ------------------------------------------- *)
+
+let prop_theorem_4_8 =
+  QCheck.Test.make ~name:"stable views form a DAG with unique source" ~count:120
+    QCheck.(triple (int_range 2 7) (int_range 2 6) (int_bound 100_000))
+    (fun (n, m, seed) ->
+      let groups = max 1 (n - (seed mod 3)) in
+      let inputs = Array.init n (fun i -> 1 + (i mod groups)) in
+      match SV.run_random ~n ~m ~inputs ~seed () with
+      | Ok r -> VG.satisfies_theorem_4_8 r.SV.graph
+      | Error _ -> QCheck.assume_fail ())
+
+(* Random fair schedules almost always collapse all views into one; the
+   interesting multi-vertex stable patterns arise under ultimately-periodic
+   adversarial schedules.  Generate random cyclic scripts (the live set is
+   the script's support) and check the theorem on the pattern each one
+   settles into. *)
+let prop_theorem_4_8_periodic =
+  QCheck.Test.make ~name:"theorem 4.8 under random periodic schedules"
+    ~count:150
+    QCheck.(
+      triple (int_range 2 5) (int_range 2 4)
+        (pair (int_bound 100_000)
+           (list_of_size (Gen.int_range 4 24) (int_bound 100))))
+    (fun (n, m, (wseed, raw_script)) ->
+      let script = List.map (fun x -> x mod n) raw_script in
+      let live = List.sort_uniq compare script in
+      QCheck.assume (script <> []);
+      let cfg = Algorithms.Write_scan.cfg ~n ~m in
+      let wiring = Anonmem.Wiring.random (Rng.create ~seed:wseed) ~n ~m in
+      let inputs = Array.init n (fun i -> i + 1) in
+      let window = max (8 * n * (m + 1)) (4 * List.length script) in
+      match
+        SV.run ~window ~cfg ~wiring ~inputs ~live
+          ~sched:(Anonmem.Scheduler.script ~cycle:true script)
+          ()
+      with
+      | Ok r -> VG.satisfies_theorem_4_8 r.SV.graph
+      | Error _ -> QCheck.assume_fail ())
+
+let prop_source_contained_in_all =
+  QCheck.Test.make ~name:"unique source is contained in every stable view"
+    ~count:80
+    QCheck.(pair (int_range 2 6) (int_bound 100_000))
+    (fun (n, seed) ->
+      let inputs = Array.init n (fun i -> i + 1) in
+      match SV.run_random ~n ~m:n ~inputs ~seed () with
+      | Ok r -> (
+          match VG.unique_source r.SV.graph with
+          | None -> false
+          | Some src ->
+              List.for_all
+                (fun (_, v) -> Iset.subset src v)
+                r.SV.stable_views)
+      | Error _ -> QCheck.assume_fail ())
+
+let () =
+  Alcotest.run "stable_views"
+    [
+      ( "view-graph",
+        [
+          Alcotest.test_case "figure-2 views" `Quick test_graph_of_figure2_views;
+          Alcotest.test_case "dedup" `Quick test_graph_dedups_views;
+          Alcotest.test_case "two sources detected" `Quick test_two_sources_rejected;
+          Alcotest.test_case "single view" `Quick test_single_view_is_source;
+          Alcotest.test_case "chain" `Quick test_chain_unique_source;
+          Alcotest.test_case "antichain over source" `Quick
+            test_source_requires_containment_in_all;
+        ] );
+      ( "executions",
+        [
+          Alcotest.test_case "fair execution stabilizes" `Quick
+            test_fair_execution_stabilizes_to_full_view;
+          Alcotest.test_case "figure-2 schedule" `Quick
+            test_figure2_schedule_gives_three_stable_views;
+          Alcotest.test_case "live subset" `Quick
+            test_live_subset_excludes_stopped_processor;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_theorem_4_8;
+            prop_theorem_4_8_periodic;
+            prop_source_contained_in_all;
+          ] );
+    ]

@@ -1,0 +1,224 @@
+(* Tests of the task layer: outcomes, output-sample enumeration, and the
+   group-solvability checkers for snapshot, consensus and renaming —
+   including the paper's worked 4-processor example of Section 3.2. *)
+
+open Repro_util
+
+let s = Iset.of_list
+
+let outcome inputs outputs =
+  Tasks.Outcome.make ~inputs:(Array.of_list inputs)
+    ~outputs:(Array.of_list outputs) ()
+
+let ok = Alcotest.(check bool) "valid" true
+let bad = Alcotest.(check bool) "invalid" false
+let is_ok = function Ok () -> true | Error _ -> false
+
+(* --- Outcome ------------------------------------------------------------- *)
+
+let test_participating_groups () =
+  let t =
+    Tasks.Outcome.make ~inputs:[| 1; 2; 2; 5 |]
+      ~participated:[| true; false; true; true |]
+      ~outputs:[| None; None; None; None |] ()
+  in
+  Alcotest.(check (list int)) "groups of participants" [ 1; 2; 5 ]
+    (Iset.elements (Tasks.Outcome.participating_groups t))
+
+let test_output_implies_participation () =
+  let t =
+    Tasks.Outcome.make ~inputs:[| 1; 2 |]
+      ~participated:[| false; false |]
+      ~outputs:[| Some (s [ 1 ]); None |]
+      ()
+  in
+  Alcotest.(check (list int)) "p0 forced participating" [ 1 ]
+    (Iset.elements (Tasks.Outcome.participating_groups t))
+
+let test_sample_count () =
+  (* groups: 1 -> outputs {a,b}, 2 -> outputs {c}; 2*1 = 2 samples *)
+  let t = outcome [ 1; 1; 2 ] [ Some "a"; Some "b"; Some "c" ] in
+  Alcotest.(check int) "2 samples" 2 (Tasks.Outcome.sample_count t);
+  Alcotest.(check int) "sequence length" 2
+    (List.length (List.of_seq (Tasks.Outcome.samples t)))
+
+let test_samples_cover_choices () =
+  let t = outcome [ 1; 1; 2 ] [ Some "a"; Some "b"; Some "c" ] in
+  let samples = List.of_seq (Tasks.Outcome.samples t) in
+  Alcotest.(check bool) "contains (1,a)(2,c)" true
+    (List.exists (fun smp -> List.assoc 1 smp = "a" && List.assoc 2 smp = "c") samples);
+  Alcotest.(check bool) "contains (1,b)(2,c)" true
+    (List.exists (fun smp -> List.assoc 1 smp = "b" && List.assoc 2 smp = "c") samples)
+
+let test_group_without_output_excluded () =
+  let t = outcome [ 1; 2 ] [ Some "a"; None ] in
+  let samples = List.of_seq (Tasks.Outcome.samples t) in
+  Alcotest.(check int) "one sample" 1 (List.length samples);
+  Alcotest.(check (list (pair int string))) "only group 1" [ (1, "a") ]
+    (List.hd samples)
+
+(* --- Snapshot task ------------------------------------------------------- *)
+
+(* The paper's Section-3.2 example: processors 1,2,3,4 in groups A={1},
+   B={2,3}, C={4}; outputs {A,B,C}, {A,B}, {B,C}, {A,B,C}.  This is a legal
+   group solution even though the two members of B return incomparable
+   sets. *)
+let paper_example =
+  outcome [ 1; 2; 2; 3 ]
+    [
+      Some (s [ 1; 2; 3 ]);
+      Some (s [ 1; 2 ]);
+      Some (s [ 2; 3 ]);
+      Some (s [ 1; 2; 3 ]);
+    ]
+
+let test_paper_example_group_valid () =
+  ok (is_ok (Tasks.Snapshot_task.check_group_solution paper_example))
+
+let test_paper_example_not_strong () =
+  bad (is_ok (Tasks.Snapshot_task.check_strong paper_example))
+
+let test_snapshot_missing_own_group () =
+  let t = outcome [ 1; 2 ] [ Some (s [ 2 ]); Some (s [ 2 ]) ] in
+  bad (is_ok (Tasks.Snapshot_task.check_group_solution t))
+
+let test_snapshot_nonparticipant_in_output () =
+  let t = outcome [ 1; 2 ] [ Some (s [ 1; 9 ]); Some (s [ 2 ]) ] in
+  bad (is_ok (Tasks.Snapshot_task.check_group_solution t))
+
+let test_snapshot_incomparable_across_groups () =
+  let t = outcome [ 1; 2; 3 ] [ Some (s [ 1; 2 ]); Some (s [ 2; 3 ]); Some (s [ 1; 2; 3 ]) ] in
+  bad (is_ok (Tasks.Snapshot_task.check_group_solution t))
+
+let test_snapshot_chain_valid () =
+  let t =
+    outcome [ 1; 2; 3 ]
+      [ Some (s [ 1 ]); Some (s [ 1; 2 ]); Some (s [ 1; 2; 3 ]) ]
+  in
+  ok (is_ok (Tasks.Snapshot_task.check_group_solution t));
+  ok (is_ok (Tasks.Snapshot_task.check_strong t))
+
+let test_snapshot_nonterminated_ignored () =
+  let t = outcome [ 1; 2 ] [ Some (s [ 1 ]); None ] in
+  ok (is_ok (Tasks.Snapshot_task.check_group_solution t))
+
+(* --- Consensus task ------------------------------------------------------ *)
+
+let test_consensus_agreement_ok () =
+  let t = outcome [ 1; 2; 3 ] [ Some 2; Some 2; Some 2 ] in
+  ok (is_ok (Tasks.Consensus_task.check t))
+
+let test_consensus_disagreement () =
+  let t = outcome [ 1; 2 ] [ Some 1; Some 2 ] in
+  bad (is_ok (Tasks.Consensus_task.check_agreement t));
+  bad (is_ok (Tasks.Consensus_task.check_group_solution t))
+
+let test_consensus_invalid_value () =
+  let t = outcome [ 1; 2 ] [ Some 7; Some 7 ] in
+  bad (is_ok (Tasks.Consensus_task.check t))
+
+let test_consensus_same_group_disagreement_is_group_legal () =
+  (* Both processors in group 1: every sample picks one of them, so
+     Definition 3.4 is satisfied even though they disagree.  The stronger
+     all-agree check fails. *)
+  let t = outcome [ 1; 1 ] [ Some 1; Some 1 ] in
+  ok (is_ok (Tasks.Consensus_task.check_group_solution t));
+  let t' =
+    Tasks.Outcome.make ~inputs:[| 1; 1 |] ~outputs:[| Some 1; Some 1 |] ()
+  in
+  ok (is_ok (Tasks.Consensus_task.check_agreement t'))
+
+let test_consensus_cross_group_disagreement_rejected () =
+  let t = outcome [ 1; 1; 2 ] [ Some 1; Some 2; Some 2 ] in
+  (* sample picking p0 for group 1 and p2 for group 2 disagrees (1 vs 2) *)
+  bad (is_ok (Tasks.Consensus_task.check_group_solution t))
+
+(* --- Renaming task -------------------------------------------------------- *)
+
+let test_renaming_valid () =
+  let t = outcome [ 1; 2; 3 ] [ Some 1; Some 3; Some 4 ] in
+  ok (is_ok (Tasks.Renaming_task.check t))
+
+let test_renaming_out_of_range () =
+  let t = outcome [ 1; 2 ] [ Some 1; Some 4 ] in
+  (* 2 groups -> names must fit 1..3 *)
+  bad (is_ok (Tasks.Renaming_task.check t))
+
+let test_renaming_cross_group_collision () =
+  let t = outcome [ 1; 2 ] [ Some 2; Some 2 ] in
+  bad (is_ok (Tasks.Renaming_task.check t))
+
+let test_renaming_same_group_share_ok () =
+  let t = outcome [ 1; 1; 2 ] [ Some 1; Some 1; Some 2 ] in
+  ok (is_ok (Tasks.Renaming_task.check t))
+
+let test_renaming_adaptive_range_counts_participants_only () =
+  (* 3 processors but only 2 participating groups -> bound 3 *)
+  let t = outcome [ 5; 5; 9 ] [ Some 3; Some 2; Some 1 ] in
+  ok (is_ok (Tasks.Renaming_task.check_range t));
+  let t' = outcome [ 5; 5; 9 ] [ Some 6; Some 2; Some 1 ] in
+  bad (is_ok (Tasks.Renaming_task.check_range t'))
+
+(* property: sample enumeration size always equals the product of group
+   multiplicities *)
+let prop_sample_count =
+  QCheck.Test.make ~name:"sample_count = product of multiplicities" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 6) (int_range 1 3))
+    (fun groups ->
+      let inputs = Array.of_list groups in
+      let outputs = Array.map (fun g -> Some g) inputs in
+      let t = Tasks.Outcome.make ~inputs ~outputs () in
+      Tasks.Outcome.sample_count t
+      = List.length (List.of_seq (Tasks.Outcome.samples t)))
+
+let () =
+  Alcotest.run "tasks"
+    [
+      ( "outcome",
+        [
+          Alcotest.test_case "participating groups" `Quick test_participating_groups;
+          Alcotest.test_case "output implies participation" `Quick
+            test_output_implies_participation;
+          Alcotest.test_case "sample count" `Quick test_sample_count;
+          Alcotest.test_case "samples cover choices" `Quick test_samples_cover_choices;
+          Alcotest.test_case "group without output excluded" `Quick
+            test_group_without_output_excluded;
+        ] );
+      ( "snapshot-task",
+        [
+          Alcotest.test_case "paper example group-valid" `Quick
+            test_paper_example_group_valid;
+          Alcotest.test_case "paper example not strongly valid" `Quick
+            test_paper_example_not_strong;
+          Alcotest.test_case "missing own group" `Quick test_snapshot_missing_own_group;
+          Alcotest.test_case "non-participant in output" `Quick
+            test_snapshot_nonparticipant_in_output;
+          Alcotest.test_case "incomparable across groups" `Quick
+            test_snapshot_incomparable_across_groups;
+          Alcotest.test_case "containment chain" `Quick test_snapshot_chain_valid;
+          Alcotest.test_case "non-terminated ignored" `Quick
+            test_snapshot_nonterminated_ignored;
+        ] );
+      ( "consensus-task",
+        [
+          Alcotest.test_case "agreement ok" `Quick test_consensus_agreement_ok;
+          Alcotest.test_case "disagreement rejected" `Quick test_consensus_disagreement;
+          Alcotest.test_case "invalid value rejected" `Quick test_consensus_invalid_value;
+          Alcotest.test_case "same-group sampling semantics" `Quick
+            test_consensus_same_group_disagreement_is_group_legal;
+          Alcotest.test_case "cross-group disagreement rejected" `Quick
+            test_consensus_cross_group_disagreement_rejected;
+        ] );
+      ( "renaming-task",
+        [
+          Alcotest.test_case "valid" `Quick test_renaming_valid;
+          Alcotest.test_case "out of adaptive range" `Quick test_renaming_out_of_range;
+          Alcotest.test_case "cross-group collision" `Quick
+            test_renaming_cross_group_collision;
+          Alcotest.test_case "same-group sharing legal" `Quick
+            test_renaming_same_group_share_ok;
+          Alcotest.test_case "adaptive range counts participants" `Quick
+            test_renaming_adaptive_range_counts_participants_only;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_sample_count ]);
+    ]

@@ -1,0 +1,159 @@
+(* Tests of the Figure-1 write-scan loop: view monotonicity, fair write
+   order, non-termination, and basic eventual-pattern facts. *)
+
+open Repro_util
+module WS = Algorithms.Write_scan
+module Sys = Anonmem.System.Make (WS)
+module Scheduler = Anonmem.Scheduler
+
+let iset = Alcotest.testable (Fmt.of_to_string Iset.to_string) Iset.equal
+
+let init ?(n = 3) ?(m = 3) ?(seed = 0) () =
+  let cfg = WS.cfg ~n ~m in
+  let wiring = Anonmem.Wiring.random (Rng.create ~seed) ~n ~m in
+  let inputs = Array.init n (fun i -> i + 1) in
+  (cfg, Sys.init ~cfg ~wiring ~inputs)
+
+let test_initial_views_are_singletons () =
+  let _, st = init () in
+  Array.iteri
+    (fun p l ->
+      Alcotest.check iset "singleton input" (Iset.of_list [ p + 1 ])
+        (WS.view_of_local l))
+    st.Sys.locals
+
+let test_never_terminates () =
+  let cfg, st = init () in
+  let stop, steps =
+    Sys.run ~max_steps:5_000 ~sched:(Scheduler.round_robin ()) st
+  in
+  Alcotest.(check bool) "ran out of budget, not halted" true (stop = Sys.Max_steps);
+  Alcotest.(check int) "all budget used" 5_000 steps;
+  Array.iter
+    (fun l -> Alcotest.(check bool) "no output ever" true (WS.output cfg l = None))
+    st.Sys.locals
+
+let test_views_monotone () =
+  let _, st = init ~seed:3 () in
+  let sched = Scheduler.random (Rng.create ~seed:42) in
+  let prev = ref (Array.map WS.view_of_local st.Sys.locals) in
+  let _ =
+    Sys.run ~max_steps:2_000 ~sched
+      ~on_event:(fun ~time:_ _ ->
+        let now = Array.map WS.view_of_local st.Sys.locals in
+        Array.iteri
+          (fun p v ->
+            Alcotest.(check bool) "view only grows" true (Iset.subset !prev.(p) v))
+          now;
+        prev := now)
+      st
+  in
+  ()
+
+let test_views_bounded_by_inputs () =
+  let _, st = init ~n:4 ~m:2 ~seed:7 () in
+  let sched = Scheduler.random (Rng.create ~seed:1) in
+  let _ = Sys.run ~max_steps:3_000 ~sched st in
+  let all = Iset.of_list [ 1; 2; 3; 4 ] in
+  Array.iter
+    (fun l ->
+      Alcotest.(check bool) "view within participating inputs" true
+        (Iset.subset (WS.view_of_local l) all))
+    st.Sys.locals
+
+let test_fair_write_order () =
+  (* Each processor writes every register exactly once per m rounds. *)
+  let m = 4 in
+  let cfg = WS.cfg ~n:1 ~m in
+  let wiring = Anonmem.Wiring.identity ~n:1 ~m in
+  let st = Sys.init ~cfg ~wiring ~inputs:[| 1 |] in
+  let writes = ref [] in
+  let _ =
+    Sys.run
+      ~max_steps:(3 * m * (m + 1))
+      ~sched:(Scheduler.solo 0)
+      ~on_event:(fun ~time:_ -> function
+        | Sys.Write_ev { phys_reg; _ } -> writes := phys_reg :: !writes
+        | Sys.Read_ev _ -> ())
+      st
+  in
+  let writes = List.rev !writes in
+  let rec windows = function
+    | a :: b :: c :: d :: rest ->
+        let sorted = List.sort compare [ a; b; c; d ] in
+        Alcotest.(check (list int)) "window covers all registers" [ 0; 1; 2; 3 ]
+          sorted;
+        windows rest
+    | _ -> ()
+  in
+  windows writes
+
+let test_solo_view_stays_own () =
+  let _, st = init () in
+  let _ = Sys.run ~max_steps:500 ~sched:(Scheduler.solo 0) st in
+  Alcotest.check iset "solo processor learns nothing new" (Iset.of_list [ 1 ])
+    (WS.view_of_local st.Sys.locals.(0))
+
+let test_two_processors_converge_when_wired_apart () =
+  let cfg = WS.cfg ~n:2 ~m:2 in
+  let wiring = Anonmem.Wiring.of_lists [ [ 0; 1 ]; [ 1; 0 ] ] in
+  let st = Sys.init ~cfg ~wiring ~inputs:[| 1; 2 |] in
+  let _ = Sys.run ~max_steps:100 ~sched:(Scheduler.round_robin ()) st in
+  Array.iter
+    (fun l ->
+      Alcotest.check iset "both views full" (Iset.of_list [ 1; 2 ])
+        (WS.view_of_local l))
+    st.Sys.locals
+
+let test_lockstep_covering_starves_information () =
+  (* The covering phenomenon in miniature: with identity wiring and strict
+     lockstep, p1 overwrites p0's register just before reading it, every
+     round — a fair schedule under which p1 never learns p0's input. *)
+  let cfg = WS.cfg ~n:2 ~m:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let st = Sys.init ~cfg ~wiring ~inputs:[| 1; 2 |] in
+  let _ = Sys.run ~max_steps:400 ~sched:(Scheduler.round_robin ()) st in
+  Alcotest.check iset "p1 never sees input 1" (Iset.of_list [ 2 ])
+    (WS.view_of_local st.Sys.locals.(1));
+  Alcotest.check iset "p0 does see input 2" (Iset.of_list [ 1; 2 ])
+    (WS.view_of_local st.Sys.locals.(0))
+
+let test_scan_reads_all_registers_in_order () =
+  let _, st = init ~n:1 ~m:3 () in
+  let reads = ref [] in
+  let _ =
+    Sys.run ~max_steps:4 ~sched:(Scheduler.solo 0)
+      ~on_event:(fun ~time:_ -> function
+        | Sys.Read_ev { local_reg; _ } -> reads := local_reg :: !reads
+        | Sys.Write_ev _ -> ())
+      st
+  in
+  Alcotest.(check (list int)) "private order 0,1,2" [ 0; 1; 2 ] (List.rev !reads)
+
+let test_apply_read_wrong_phase () =
+  let cfg = WS.cfg ~n:1 ~m:2 in
+  let l = WS.init cfg 1 in
+  Alcotest.check_raises "read while writing"
+    (Invalid_argument "Write_scan.apply_read: not scanning") (fun () ->
+      ignore (WS.apply_read cfg l ~reg:0 Iset.empty))
+
+let () =
+  Alcotest.run "write_scan"
+    [
+      ( "write-scan",
+        [
+          Alcotest.test_case "initial views" `Quick test_initial_views_are_singletons;
+          Alcotest.test_case "never terminates" `Quick test_never_terminates;
+          Alcotest.test_case "views monotone" `Quick test_views_monotone;
+          Alcotest.test_case "views bounded by inputs" `Quick
+            test_views_bounded_by_inputs;
+          Alcotest.test_case "fair write order" `Quick test_fair_write_order;
+          Alcotest.test_case "solo learns nothing" `Quick test_solo_view_stays_own;
+          Alcotest.test_case "wired-apart pair converges" `Quick
+            test_two_processors_converge_when_wired_apart;
+          Alcotest.test_case "lockstep covering starves information" `Quick
+            test_lockstep_covering_starves_information;
+          Alcotest.test_case "scan order" `Quick test_scan_reads_all_registers_in_order;
+          Alcotest.test_case "phase errors" `Quick test_apply_read_wrong_phase;
+        ] );
+    ]
