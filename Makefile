@@ -1,0 +1,33 @@
+.PHONY: build test bench fuzz-smoke fuzz-long clean
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# The bounded fuzzing pass that runtest already includes (a few seconds).
+fuzz-smoke:
+	dune build @fuzz-smoke
+
+# A serious fuzzing campaign over every target (several minutes).  The
+# planted double-collect bug must be found; the paper's algorithms must
+# stay clean.  Override SEED/ITERS to explore further.
+SEED ?= 0
+ITERS ?= 200000
+fuzz-long:
+	dune build bin/fuzz.exe
+	dune exec --no-build bin/fuzz.exe -- --protocol double_collect \
+	  --iterations $(ITERS) --seed $(SEED) --expect-bug
+	dune exec --no-build bin/fuzz.exe -- --protocol snapshot \
+	  --iterations $(ITERS) --seed $(SEED)
+	dune exec --no-build bin/fuzz.exe -- --protocol renaming \
+	  --iterations $(ITERS) --seed $(SEED)
+	dune exec --no-build bin/fuzz.exe -- --protocol consensus \
+	  --iterations $(ITERS) --seed $(SEED) --time-budget 120
+
+clean:
+	dune clean

@@ -99,7 +99,7 @@ let run ?(inputs = None) ~n () =
   in
   let violation =
     match Tasks.Snapshot_task.check_group_solution outcome with
-    | Error e -> e
+    | Error e -> Tasks.Task_failure.to_string e
     | Ok () ->
         failwith
           "Lower_bound.run: expected a snapshot-task violation but the \

@@ -73,4 +73,28 @@ let script_then_cycle ~prefix ~cycle =
   in
   { name = "script-then-cycle"; pick }
 
+let recorded t =
+  let picks = ref [] in
+  let pick ~time ~enabled =
+    match t.pick ~time ~enabled with
+    | Some p ->
+        picks := p :: !picks;
+        Some p
+    | None -> None
+  in
+  ({ name = t.name ^ "+recorded"; pick }, fun () -> List.rev !picks)
+
+let crash ~crash_at t =
+  let alive_at time p =
+    match if p < Array.length crash_at then crash_at.(p) else None with
+    | Some c -> time < c
+    | None -> true
+  in
+  let pick ~time ~enabled =
+    match List.filter (alive_at time) enabled with
+    | [] -> None
+    | alive -> t.pick ~time ~enabled:alive
+  in
+  { name = t.name ^ "+crashes"; pick }
+
 let fn ~name pick = { name; pick }

@@ -39,6 +39,18 @@ val script_then_cycle : prefix:int list -> cycle:int list -> t
     ultimately-periodic executions: Figure 2 is a 4-action prologue
     followed by the steps 5–13 cycle. *)
 
+val recorded : t -> t * (unit -> int list)
+(** [recorded s] behaves exactly like [s] and additionally records every
+    pick; the returned thunk yields the picks so far, oldest first.  The
+    fuzzing harness uses this to turn any adversary's run into a finite
+    replayable script. *)
+
+val crash : crash_at:int option array -> t -> t
+(** [crash ~crash_at s] is the crash-prone adversary: processor [p] with
+    [crash_at.(p) = Some c] is never scheduled at or after time [c]
+    (it crashes).  When every enabled processor has crashed the run ends.
+    Processors beyond the array's length never crash. *)
+
 val fn : name:string -> (time:int -> enabled:int list -> int option) -> t
 (** Custom (possibly protocol-aware) scheduler; used by the covering
     adversary of {!Analysis.Lower_bound}. *)

@@ -34,6 +34,15 @@ module Make (P : Protocol.S) = struct
   let events t = List.rev t.events
   let length t = t.count
 
+  (** The processor of each step, oldest first: the executed schedule.
+      Replaying it as a scripted schedule from the same initial state
+      reproduces the run exactly (protocols are deterministic). *)
+  let pids t =
+    List.rev_map
+      (fun (_, ev) ->
+        match ev with Sys.Read_ev { p; _ } | Sys.Write_ev { p; _ } -> p)
+      t.events
+
   type covering = {
     writes : int;
     reads : int;

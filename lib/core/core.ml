@@ -71,7 +71,9 @@ let solve_snapshot ?(seed = 0) ?(scheduler = `Random) ?(max_steps = 2_000_000)
       with
       | Ok (), Ok () -> Ok { outputs; steps; wiring; seed }
       | Error e, _ | _, Error e ->
-          Error (Fmt.str "snapshot outputs failed validation: %s" e))
+          Error
+            (Fmt.str "snapshot outputs failed validation: %a"
+               Tasks.Task_failure.pp e))
   | Snapshot_sys.Max_steps ->
       Error (Fmt.str "snapshot did not terminate within %d steps" max_steps)
   | Snapshot_sys.Scheduler_done -> Error "scheduler gave up"
@@ -106,7 +108,10 @@ let solve_renaming ?(seed = 0) ?(scheduler = `Random) ?(max_steps = 2_000_000)
       in
       match Tasks.Renaming_task.check outcome with
       | Ok () -> Ok { outputs; steps; wiring; seed }
-      | Error e -> Error (Fmt.str "renaming outputs failed validation: %s" e))
+      | Error e ->
+          Error
+            (Fmt.str "renaming outputs failed validation: %a"
+               Tasks.Task_failure.pp e))
   | Renaming_sys.Max_steps ->
       Error (Fmt.str "renaming did not terminate within %d steps" max_steps)
   | Renaming_sys.Scheduler_done -> Error "scheduler gave up"
@@ -157,7 +162,10 @@ let solve_consensus ?(seed = 0) ?(contention_steps = 5_000)
       in
       match Tasks.Consensus_task.check outcome with
       | Ok () -> Ok { outputs; steps; wiring; seed }
-      | Error e -> Error (Fmt.str "consensus outputs failed validation: %s" e))
+      | Error e ->
+          Error
+            (Fmt.str "consensus outputs failed validation: %a"
+               Tasks.Task_failure.pp e))
 
 (** {1 Analyses and reproductions} *)
 

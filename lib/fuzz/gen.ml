@@ -1,0 +1,69 @@
+(** Random test-case generation.
+
+    A case bundles everything that determines one execution: instance
+    sizes, the hidden wiring, the input (group) assignment, the adversary
+    shape and the global step budget.  Cases are generated from a single
+    integer seed through {!Repro_util.Rng}, so every case — and therefore
+    every trace — is reproducible from [(seed, n_range, m, max_steps)]
+    alone. *)
+
+open Repro_util
+
+type case = {
+  seed : int;
+  n : int;
+  m : int;
+  inputs : int array;  (** group identifier of each processor *)
+  wiring_perms : int list list;  (** each processor's private permutation *)
+  shape : Schedule.shape;
+  max_steps : int;
+}
+
+let wiring c = Anonmem.Wiring.of_lists c.wiring_perms
+
+let perms_of_wiring w =
+  List.init (Anonmem.Wiring.processors w) (fun p ->
+      Repro_util.Permutation.to_list (Anonmem.Wiring.perm w ~p))
+
+(** Group assignments biased toward collisions: the number of groups is
+    uniform in [1..n], so same-group processors — the configurations where
+    group solvability and the strong containment guarantee genuinely
+    differ — are common. *)
+let random_inputs rng ~n =
+  let groups = 1 + Rng.int rng n in
+  Array.init n (fun _ -> 1 + Rng.int rng groups)
+
+let case ~seed ~n_range:(n_lo, n_hi) ?m ~m_range ~max_steps () =
+  if n_lo < 1 || n_hi < n_lo then invalid_arg "Gen.case: bad processor range";
+  let rng = Rng.create ~seed in
+  let n = n_lo + Rng.int rng (n_hi - n_lo + 1) in
+  let m =
+    match m with
+    | Some m -> m
+    | None ->
+        let m_lo, m_hi = m_range ~n in
+        if m_lo < 1 || m_hi < m_lo then invalid_arg "Gen.case: bad register range";
+        m_lo + Rng.int rng (m_hi - m_lo + 1)
+  in
+  let wiring = Anonmem.Wiring.random rng ~n ~m in
+  {
+    seed;
+    n;
+    m;
+    inputs = random_inputs rng ~n;
+    wiring_perms = perms_of_wiring wiring;
+    shape = Schedule.random rng ~n ~horizon:max_steps;
+    max_steps;
+  }
+
+(** The rng driving the schedule of [c]'s execution.  Derived from the
+    case seed by one extra split so that regenerating the case and
+    re-instantiating its scheduler stay independent. *)
+let schedule_rng c = Rng.split (Rng.create ~seed:(c.seed lxor 0x5EED))
+
+let pp ppf c =
+  Fmt.pf ppf
+    "@[<v>seed %d: n=%d m=%d@,inputs %a@,wiring %a@,adversary %a@]" c.seed c.n
+    c.m
+    Fmt.(array ~sep:(any ",") int)
+    c.inputs Anonmem.Wiring.pp (wiring c) Schedule.pp c.shape

@@ -1,0 +1,342 @@
+(** The property-based random-execution harness.
+
+    For a given {!Target.S} the harness repeatedly
+
+    + generates a random case ({!Gen.case}: sizes, wiring, inputs,
+      adversary shape) from a derived seed,
+    + executes it through {!Anonmem.System}, recording the trace and each
+      processor's step count,
+    + judges the (possibly partial) outcome with the target's task oracle
+      plus a wait-freedom check against the target's step budget,
+
+    and on the first failure turns the executed schedule into a finite
+    script and minimizes it by greedy delta-debugging ({!Shrink}) — first
+    over the schedule, then over processors, registers and inputs — until
+    the counterexample is 1-minimal.  Everything is reproducible: the
+    campaign seed determines every case, and a shrunk counterexample
+    carries a standalone scripted instance replayable from the command
+    line. *)
+
+(** A standalone, fully explicit execution: replaying [script] from the
+    initial state of [(n, m, wiring, inputs)] deterministically reproduces
+    the run.  This is the serializable form of a counterexample. *)
+type instance = {
+  n : int;
+  m : int;
+  wiring_perms : int list list;
+  inputs : int array;
+  script : int list;
+}
+
+type counterexample = {
+  case : Gen.case;  (** the original generated case *)
+  original_steps : int;  (** steps of the unshrunk failing run *)
+  instance : instance;  (** the shrunk scripted execution *)
+  failure : Tasks.Task_failure.t;  (** verdict on the shrunk instance *)
+  shrink_runs : int;  (** oracle executions spent shrinking *)
+}
+
+type report = {
+  seed : int;
+  iterations : int;  (** cases executed *)
+  total_steps : int;  (** shared-memory steps simulated *)
+  elapsed : float;  (** CPU seconds *)
+  counterexample : counterexample option;
+  found_after : (int * float) option;
+      (** iteration index and elapsed seconds at the time of the find *)
+}
+
+let ints_1based l = String.concat "," (List.map (fun i -> string_of_int (i + 1)) l)
+
+(** The command line reproducing [inst] through [bin/fuzz.exe replay].
+    Wiring rows and script entries are printed 1-based, matching the
+    p1/r1 convention of every other renderer in the library. *)
+let replay_command ~key inst =
+  Printf.sprintf
+    "fuzz.exe replay --protocol %s --inputs %s --wiring '%s' --script '%s'" key
+    (String.concat "," (List.map string_of_int (Array.to_list inst.inputs)))
+    (String.concat ";" (List.map ints_1based inst.wiring_perms))
+    (ints_1based inst.script)
+
+module Make (T : Target.S) = struct
+  module Sys = Anonmem.System.Make (T.P)
+  module Tr = Anonmem.Trace.Make (T.P)
+
+  type run = {
+    stop : Sys.stop_reason;
+    steps : int;
+    outputs : T.P.output option array;
+    step_counts : int array;  (** steps taken by each processor *)
+    trace : Tr.t;
+  }
+
+  let exec ~cfg ~wiring ~inputs ~sched ~max_steps =
+    let state = Sys.init ~cfg ~wiring ~inputs in
+    let trace = Tr.create () in
+    let step_counts = Array.make (T.P.processors cfg) 0 in
+    let on_event ~time ev =
+      Tr.on_event trace ~time ev;
+      match ev with
+      | Sys.Read_ev { p; _ } | Sys.Write_ev { p; _ } ->
+          step_counts.(p) <- step_counts.(p) + 1
+    in
+    let stop, steps = Sys.run ~max_steps ~sched ~on_event state in
+    { stop; steps; outputs = Sys.outputs state; step_counts; trace }
+
+  let run_case (c : Gen.case) =
+    exec
+      ~cfg:(T.cfg ~n:c.n ~m:c.m)
+      ~wiring:(Gen.wiring c) ~inputs:c.inputs
+      ~sched:(Schedule.scheduler (Gen.schedule_rng c) c.shape)
+      ~max_steps:c.max_steps
+
+  let run_instance inst =
+    exec
+      ~cfg:(T.cfg ~n:inst.n ~m:inst.m)
+      ~wiring:(Anonmem.Wiring.of_lists inst.wiring_perms)
+      ~inputs:inst.inputs
+      ~sched:(Anonmem.Scheduler.script inst.script)
+      ~max_steps:(List.length inst.script + 1)
+
+  let participated run = Array.map (fun c -> c > 0) run.step_counts
+
+  (** Task oracle plus wait-freedom within the target's step budget. *)
+  let verdict ~n ~m ~inputs run =
+    match
+      T.check ~inputs ~participated:(participated run) ~outputs:run.outputs
+    with
+    | Error _ as e -> e
+    | Ok () -> (
+        match T.step_budget ~n ~m with
+        | None -> Ok ()
+        | Some budget ->
+            let live p =
+              match run.outputs.(p) with None -> true | Some _ -> false
+            in
+            let rec find p =
+              if p >= Array.length run.step_counts then Ok ()
+              else if run.step_counts.(p) >= budget && live p then
+                Tasks.Task_failure.failf ~processors:[ p ]
+                  ~groups:[ inputs.(p) ] Tasks.Task_failure.Wait_freedom
+                  "p%d took %d steps (budget %d) without terminating" (p + 1)
+                  run.step_counts.(p) budget
+              else find (p + 1)
+            in
+            find 0)
+
+  let verdict_of_instance inst =
+    verdict ~n:inst.n ~m:inst.m ~inputs:inst.inputs (run_instance inst)
+
+  (* ---- shrinking ------------------------------------------------------- *)
+
+  let drop_processor inst p =
+    if inst.n <= 1 then None
+    else
+      Some
+        {
+          inst with
+          n = inst.n - 1;
+          inputs =
+            Array.init (inst.n - 1) (fun q ->
+                inst.inputs.(if q < p then q else q + 1));
+          wiring_perms = List.filteri (fun q _ -> q <> p) inst.wiring_perms;
+          script =
+            List.filter_map
+              (fun q ->
+                if q = p then None else Some (if q > p then q - 1 else q))
+              inst.script;
+        }
+
+  (* Remove physical register [r]: delete the local index mapped to it in
+     every permutation and renumber the remaining physical indices. *)
+  let drop_register inst r =
+    if inst.m <= 1 then None
+    else
+      Some
+        {
+          inst with
+          m = inst.m - 1;
+          wiring_perms =
+            List.map
+              (fun row ->
+                List.filter_map
+                  (fun phys ->
+                    if phys = r then None
+                    else Some (if phys > r then phys - 1 else phys))
+                  row)
+              inst.wiring_perms;
+        }
+
+  let shrink_instance ~fails inst =
+    let try_structural shrink indices inst =
+      List.fold_left
+        (fun inst i ->
+          match shrink inst i with
+          | Some inst' when fails inst' -> inst'
+          | _ -> inst)
+        inst indices
+    in
+    let round inst =
+      let inst =
+        {
+          inst with
+          script =
+            Shrink.list
+              ~still_failing:(fun s -> fails { inst with script = s })
+              inst.script;
+        }
+      in
+      (* Highest index first so earlier indices stay valid after removal. *)
+      let inst =
+        try_structural drop_processor
+          (List.rev (List.init inst.n Fun.id))
+          inst
+      in
+      let inst =
+        try_structural drop_register (List.rev (List.init inst.m Fun.id)) inst
+      in
+      (* Lower each input toward 1, first accepted value wins. *)
+      let lower inst p =
+        let candidates =
+          List.filter_map
+            (fun v ->
+              if v < inst.inputs.(p) then
+                Some
+                  {
+                    inst with
+                    inputs =
+                      Array.mapi
+                        (fun q g -> if q = p then v else g)
+                        inst.inputs;
+                  }
+              else None)
+            (List.init inst.inputs.(p) (fun i -> i + 1))
+        in
+        Shrink.first_accepted ~still_failing:fails candidates inst
+      in
+      List.fold_left lower inst (List.init inst.n Fun.id)
+    in
+    let rec fix rounds inst =
+      if rounds = 0 then inst
+      else
+        let inst' = round inst in
+        if inst' = inst then inst else fix (rounds - 1) inst'
+    in
+    fix 5 inst
+
+  (** Turn a failing run into a 1-minimal scripted counterexample. *)
+  let shrink (case : Gen.case) run =
+    let runs = ref 0 in
+    let fails inst =
+      incr runs;
+      Result.is_error (verdict_of_instance inst)
+    in
+    let inst0 =
+      {
+        n = case.n;
+        m = case.m;
+        wiring_perms = case.wiring_perms;
+        inputs = case.inputs;
+        script = Tr.pids run.trace;
+      }
+    in
+    assert (fails inst0);
+    let inst = shrink_instance ~fails inst0 in
+    let failure =
+      match verdict_of_instance inst with
+      | Error f -> f
+      | Ok () -> assert false
+    in
+    {
+      case;
+      original_steps = run.steps;
+      instance = inst;
+      failure;
+      shrink_runs = !runs;
+    }
+
+  (* ---- campaigns ------------------------------------------------------- *)
+
+  let case_seed ~seed i = (seed * 1_000_003) + i
+
+  let campaign ?(now = Stdlib.Sys.time) ?time_budget ?m ?(n_range = (2, 5))
+      ?(max_steps = 5_000) ~seed ~iterations () =
+    let t0 = now () in
+    let finish i total cex found =
+      {
+        seed;
+        iterations = i;
+        total_steps = total;
+        elapsed = now () -. t0;
+        counterexample = cex;
+        found_after = found;
+      }
+    in
+    let rec go i total =
+      if i >= iterations then finish i total None None
+      else if
+        match time_budget with
+        | Some b -> now () -. t0 > b
+        | None -> false
+      then finish i total None None
+      else
+        let case =
+          Gen.case ~seed:(case_seed ~seed i) ~n_range ?m ~m_range:T.m_range
+            ~max_steps ()
+        in
+        let run = run_case case in
+        match verdict ~n:case.n ~m:case.m ~inputs:case.inputs run with
+        | Ok () -> go (i + 1) (total + run.steps)
+        | Error _ ->
+            let cex = shrink case run in
+            finish (i + 1) (total + run.steps) (Some cex)
+              (Some (i, now () -. t0))
+    in
+    go 0 0
+
+  (* ---- rendering ------------------------------------------------------- *)
+
+  (** The shrunk execution as a step table — the [Anonmem.Trace] artifact
+      of the counterexample. *)
+  let trace_table inst =
+    let run = run_instance inst in
+    Tr.to_table (T.cfg ~n:inst.n ~m:inst.m) run.trace
+
+  let pp_counterexample ~key ppf cex =
+    let inst = cex.instance in
+    Fmt.pf ppf
+      "@[<v>counterexample (shrunk from %d to %d steps, %d shrink runs)@,\
+       %a@,\
+       shrunk instance: n=%d m=%d inputs %a wiring %a@,\
+       script: %s@,\
+       failure: %a@,\
+       replay: %s@,\
+       @,\
+       %a@]"
+      cex.original_steps
+      (List.length inst.script)
+      cex.shrink_runs Gen.pp cex.case inst.n inst.m
+      Fmt.(array ~sep:(any ",") int)
+      inst.inputs Anonmem.Wiring.pp
+      (Anonmem.Wiring.of_lists inst.wiring_perms)
+      (ints_1based inst.script) Tasks.Task_failure.pp cex.failure
+      (replay_command ~key inst)
+      Repro_util.Text_table.pp (trace_table inst)
+
+  let pp_report ~key ppf r =
+    let rate =
+      if r.elapsed > 0. then float_of_int r.iterations /. r.elapsed else 0.
+    in
+    Fmt.pf ppf
+      "@[<v>%s: %d cases, %d shared-memory steps, %.2fs CPU (%.0f cases/s), \
+       seed %d@,"
+      key r.iterations r.total_steps r.elapsed rate r.seed;
+    (match (r.counterexample, r.found_after) with
+    | Some cex, Some (i, t) ->
+        Fmt.pf ppf "failure found at iteration %d (%.2fs):@,%a" i t
+          (pp_counterexample ~key) cex
+    | Some cex, None ->
+        Fmt.pf ppf "failure found:@,%a" (pp_counterexample ~key) cex
+    | None, _ -> Fmt.pf ppf "no counterexample found");
+    Fmt.pf ppf "@]"
+end

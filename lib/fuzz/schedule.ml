@@ -1,0 +1,92 @@
+(** Adversary shapes: serializable descriptions of schedule families.
+
+    A shape is a small, seed-independent description of an adversary; a
+    concrete {!Anonmem.Scheduler.t} is instantiated from it together with
+    an {!Repro_util.Rng.t}, so the same shape value and seed always yield
+    the same schedule.  The families cover the adversaries the paper's
+    claims quantify over:
+
+    - {!Uniform}: fair random — every enabled processor equally likely;
+    - {!Weighted}: unfair random — per-processor integer weights, so some
+      processors run orders of magnitude more often than others (the
+      covering/overwrite churn of Section 2.1 thrives on asymmetry);
+    - {!Crashy}: crash-prone — each processor may stop being scheduled
+      forever at a predetermined time (built on {!Anonmem.Scheduler.crash});
+    - {!Periodic}: ultimately periodic — a finite prologue followed by a
+      cycled script, the shape of Figure 2's steps 5–13 loop (built on
+      {!Anonmem.Scheduler.script_then_cycle}). *)
+
+open Repro_util
+
+type shape =
+  | Uniform
+  | Weighted of int array  (** weight of each processor, [>= 1] *)
+  | Crashy of int option array  (** global time at which each processor crashes *)
+  | Periodic of { prefix : int list; cycle : int list }
+
+let name = function
+  | Uniform -> "uniform"
+  | Weighted _ -> "weighted"
+  | Crashy _ -> "crashy"
+  | Periodic _ -> "periodic"
+
+let pp ppf = function
+  | Uniform -> Fmt.string ppf "uniform"
+  | Weighted w ->
+      Fmt.pf ppf "weighted(%a)" Fmt.(array ~sep:(any ",") int) w
+  | Crashy c ->
+      Fmt.pf ppf "crashy(%a)"
+        Fmt.(array ~sep:(any ",") (option ~none:(any "-") int))
+        c
+  | Periodic { prefix; cycle } ->
+      Fmt.pf ppf "periodic(%a | %a)"
+        Fmt.(list ~sep:(any ",") int)
+        (List.map succ prefix)
+        Fmt.(list ~sep:(any ",") int)
+        (List.map succ cycle)
+
+let weighted_scheduler rng weights =
+  let pick ~time:_ ~enabled =
+    match enabled with
+    | [] -> None
+    | _ ->
+        let weight p = if p < Array.length weights then max 1 weights.(p) else 1 in
+        let total = List.fold_left (fun acc p -> acc + weight p) 0 enabled in
+        let draw = Rng.int rng total in
+        let rec walk acc = function
+          | [] -> List.hd enabled (* unreachable: draw < total *)
+          | p :: rest ->
+              let acc = acc + weight p in
+              if draw < acc then p else walk acc rest
+        in
+        Some (walk 0 enabled)
+  in
+  Anonmem.Scheduler.fn ~name:"weighted" pick
+
+(** Instantiate the shape as a concrete scheduler.  All randomness comes
+    from [rng], so equal seeds yield equal schedules. *)
+let scheduler rng = function
+  | Uniform -> Anonmem.Scheduler.random rng
+  | Weighted w -> weighted_scheduler rng w
+  | Crashy crash_at ->
+      Anonmem.Scheduler.crash ~crash_at (Anonmem.Scheduler.random rng)
+  | Periodic { prefix; cycle } ->
+      Anonmem.Scheduler.script_then_cycle ~prefix ~cycle
+
+(** Draw a random shape for [n] processors.  [horizon] bounds the crash
+    times (typically the step budget of the run). *)
+let random rng ~n ~horizon =
+  match Rng.int rng 10 with
+  | 0 | 1 -> Uniform
+  | 2 | 3 | 4 ->
+      (* Heavily skewed weights: 8^k ratios starve some processors. *)
+      Weighted (Array.init n (fun _ -> 1 lsl (3 * Rng.int rng 3)))
+  | 5 | 6 ->
+      Crashy
+        (Array.init n (fun _ ->
+             if Rng.bool rng then Some (Rng.int rng (max 1 horizon)) else None))
+  | _ ->
+      let pids len = List.init len (fun _ -> Rng.int rng n) in
+      let prefix = pids (Rng.int rng (3 * n)) in
+      let cycle = pids (1 + Rng.int rng (2 * n)) in
+      Periodic { prefix; cycle }

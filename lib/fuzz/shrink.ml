@@ -1,0 +1,49 @@
+(** Greedy delta-debugging (ddmin) over lists.
+
+    [list ~still_failing xs] returns a locally minimal sublist of [xs]
+    (element order preserved) on which [still_failing] still holds,
+    assuming it holds on [xs] itself.  The classic ddmin loop: try to
+    remove contiguous chunks at decreasing granularity, restart whenever a
+    removal sticks, and finish with a single-element elimination pass —
+    so the result is 1-minimal: removing any single remaining element
+    makes the failure disappear.
+
+    The predicate is called on candidate sublists only; the number of
+    calls is O(k² ) in the worst case for a result of size k, which is
+    what the fuzzing harness budgets for. *)
+
+let drop_slice xs ~pos ~len =
+  List.filteri (fun i _ -> i < pos || i >= pos + len) xs
+
+(* One granularity sweep: try removing each chunk of [len] consecutive
+   elements, left to right, keeping removals that preserve the failure. *)
+let sweep ~still_failing ~len xs =
+  let rec go pos xs changed =
+    if pos >= List.length xs then (xs, changed)
+    else
+      let candidate = drop_slice xs ~pos ~len in
+      if List.length candidate < List.length xs && still_failing candidate then
+        go pos candidate true
+      else go (pos + len) xs changed
+  in
+  go 0 xs false
+
+let list ~still_failing xs =
+  let rec at_granularity len xs =
+    if len < 1 then xs
+    else
+      let xs, changed = sweep ~still_failing ~len xs in
+      if changed then at_granularity (max 1 (List.length xs / 2)) xs
+      else at_granularity (len / 2) xs
+  in
+  let xs = at_granularity (max 1 (List.length xs / 2)) xs in
+  (* Final 1-minimality pass. *)
+  fst (sweep ~still_failing ~len:1 xs)
+
+(** Shrink a value toward a target through a list of candidate
+    replacements, first-accepted wins.  Used for lowering inputs and
+    instance sizes. *)
+let first_accepted ~still_failing candidates fallback =
+  match List.find_opt still_failing candidates with
+  | Some c -> c
+  | None -> fallback

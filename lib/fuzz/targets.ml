@@ -1,0 +1,91 @@
+(** The fuzzable protocols, each bundled with its task oracle.
+
+    - [snapshot] — the Figure-3 wait-free snapshot; oracle: validity,
+      group solvability, the strong all-outputs containment the algorithm
+      guarantees (Section 5.3.2), and wait-freedom within a generous step
+      budget.
+    - [double_collect] — the known-unsound baseline (Section 4): same
+      oracle minus wait-freedom (the rule can be starved forever, which is
+      its other defect).  The harness is expected to find and shrink its
+      comparability violation; the test-suite pins that down.
+    - [renaming] — Figure-4 adaptive renaming; oracle: adaptive name
+      range, cross-group uniqueness, group solvability, wait-freedom.
+    - [consensus] — Figure-5 obstruction-free consensus; oracle: agreement
+      and validity of whatever decisions the (possibly partial) execution
+      produced.  No step budget: only obstruction-freedom is promised. *)
+
+(** Generous per-processor step budget for the wait-free algorithms.
+    Empirically the Figure-3 snapshot terminates within a few hundred
+    own-steps for the sizes fuzzed here; the budget leaves two orders of
+    magnitude of slack so that only genuine non-termination (a processor
+    churning forever) can exceed it. *)
+let wait_free_budget ~n ~m = Some (500 * (n + 1) * (m + 1))
+
+module Snapshot_oracle = struct
+  let check ~inputs ~participated ~outputs =
+    let t = Tasks.Outcome.make ~participated ~inputs ~outputs () in
+    match Tasks.Snapshot_task.check_group_solution t with
+    | Error _ as e -> e
+    | Ok () -> Tasks.Snapshot_task.check_strong t
+end
+
+module Snapshot : Target.S = struct
+  module P = Algorithms.Snapshot
+
+  let cfg ~n ~m = Algorithms.Snapshot.cfg ~n ~m
+  let m_range ~n = (n, n)
+  let check = Snapshot_oracle.check
+  let step_budget = wait_free_budget
+end
+
+module Double_collect : Target.S = struct
+  module P = Algorithms.Double_collect
+
+  let cfg ~n ~m = Algorithms.Double_collect.cfg ~n ~m
+
+  (* The rule's defect needs covering pressure: fewer registers than
+     processors (Figure 2 runs 5 processors on 3 registers). *)
+  let m_range ~n = (max 1 (n - 2), n)
+  let check = Snapshot_oracle.check
+  let step_budget ~n:_ ~m:_ = None
+end
+
+module Renaming : Target.S = struct
+  module P = Algorithms.Renaming
+
+  let cfg ~n ~m = Algorithms.Renaming.cfg ~n ~m
+  let m_range ~n = (n, n)
+
+  let check ~inputs ~participated ~outputs =
+    let names =
+      Array.map (Option.map (fun o -> o.Algorithms.Renaming.name_out)) outputs
+    in
+    Tasks.Renaming_task.check
+      (Tasks.Outcome.make ~participated ~inputs ~outputs:names ())
+
+  let step_budget = wait_free_budget
+end
+
+module Consensus : Target.S = struct
+  module P = Algorithms.Consensus
+
+  let cfg ~n ~m = Algorithms.Consensus.cfg ~n ~m
+  let m_range ~n = (n, n)
+
+  let check ~inputs ~participated ~outputs =
+    Tasks.Consensus_task.check
+      (Tasks.Outcome.make ~participated ~inputs ~outputs ())
+
+  let step_budget ~n:_ ~m:_ = None
+end
+
+let all : (string * (module Target.S)) list =
+  [
+    ("snapshot", (module Snapshot));
+    ("double_collect", (module Double_collect));
+    ("renaming", (module Renaming));
+    ("consensus", (module Consensus));
+  ]
+
+let find key = List.assoc_opt key all
+let keys = List.map fst all

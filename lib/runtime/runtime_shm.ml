@@ -113,7 +113,9 @@ let parallel_snapshot ?seed ?max_steps ~inputs () =
       with
       | Ok (), Ok () -> Ok r
       | Error e, _ | _, Error e ->
-          Error (Fmt.str "parallel snapshot outputs invalid: %s" e))
+          Error
+            (Fmt.str "parallel snapshot outputs invalid: %a"
+               Tasks.Task_failure.pp e))
 
 (** Obstruction-free consensus on real domains can livelock under true
     contention, so processors that fail to decide within the step budget
@@ -134,4 +136,7 @@ let parallel_consensus ?seed ?(max_steps = 10_000_000) ~inputs () =
               0 r.Consensus_run.outputs
           in
           Ok (r, undecided)
-      | Error e -> Error (Fmt.str "parallel consensus outputs invalid: %s" e))
+      | Error e ->
+          Error
+            (Fmt.str "parallel consensus outputs invalid: %a"
+               Tasks.Task_failure.pp e))

@@ -12,26 +12,35 @@ open Repro_util
 
 type output = int
 
-let result_errorf fmt = Fmt.kstr (fun s -> Error s) fmt
-
 let check_validity (t : output Outcome.t) =
   let groups = Outcome.participating_groups t in
+  let n = Outcome.processors t in
   let bad =
-    List.find_opt (fun v -> not (Iset.mem v groups)) (Outcome.terminated t)
+    List.find_opt
+      (fun p ->
+        match t.Outcome.outputs.(p) with
+        | Some v -> not (Iset.mem v groups)
+        | None -> false)
+      (List.init n Fun.id)
   in
   match bad with
-  | Some v ->
-      result_errorf "decided value %d is not a participating group (%a)" v
+  | Some p ->
+      let v = Option.get t.Outcome.outputs.(p) in
+      Task_failure.failf ~processors:[ p ] ~groups:[ v ]
+        Task_failure.Validity
+        "p%d decided value %d, not a participating group (%a)" (p + 1) v
         Iset.pp_set groups
   | None -> Ok ()
 
 let check_sample ~groups:_ sample =
   match sample with
   | [] -> Ok ()
-  | (_, v) :: rest -> (
+  | (g, v) :: rest -> (
       match List.find_opt (fun (_, v') -> v' <> v) rest with
       | Some (g', v') ->
-          result_errorf "disagreement: %d vs %d (group %d)" v v' g'
+          Task_failure.failf ~groups:[ g; g' ] Task_failure.Agreement
+            "disagreement: group %d decided %d but group %d decided %d" g v g'
+            v'
       | None -> Ok ())
 
 let check_group_solution t =
@@ -40,11 +49,22 @@ let check_group_solution t =
   | Ok () -> Outcome.for_all_samples t ~check:check_sample
 
 let check_agreement t =
-  match Outcome.terminated t with
+  let n = Outcome.processors t in
+  let decided =
+    List.filter_map
+      (fun p -> Option.map (fun v -> (p, v)) t.Outcome.outputs.(p))
+      (List.init n Fun.id)
+  in
+  match decided with
   | [] -> Ok ()
-  | v :: rest ->
-      if List.for_all (Int.equal v) rest then Ok ()
-      else result_errorf "outputs disagree: %a" Fmt.(list ~sep:comma int) (v :: rest)
+  | (p, v) :: rest -> (
+      match List.find_opt (fun (_, v') -> v' <> v) rest with
+      | None -> Ok ()
+      | Some (q, v') ->
+          Task_failure.failf ~processors:[ p; q ]
+            ~groups:[ Outcome.group_of t p; Outcome.group_of t q ]
+            Task_failure.Agreement "p%d decided %d but p%d decided %d" (p + 1)
+            v (q + 1) v')
 
 (** Full check for the Figure-5 algorithm: agreement across all processors
     plus validity. *)

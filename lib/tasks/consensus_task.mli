@@ -6,15 +6,15 @@
 
 type output = int
 
-val check_validity : output Outcome.t -> (unit, string) result
+val check_validity : output Outcome.t -> (unit, Task_failure.t) result
 (** Decided values are participating group identifiers. *)
 
 val check_sample :
-  groups:Repro_util.Iset.t -> (int * output) list -> (unit, string) result
+  groups:Repro_util.Iset.t -> (int * output) list -> (unit, Task_failure.t) result
 
-val check_group_solution : output Outcome.t -> (unit, string) result
-val check_agreement : output Outcome.t -> (unit, string) result
+val check_group_solution : output Outcome.t -> (unit, Task_failure.t) result
+val check_agreement : output Outcome.t -> (unit, Task_failure.t) result
 (** All outputs equal, across groups and within them. *)
 
-val check : output Outcome.t -> (unit, string) result
+val check : output Outcome.t -> (unit, Task_failure.t) result
 (** Agreement plus validity: what the Figure-5 algorithm guarantees. *)

@@ -24,8 +24,6 @@ open Repro_util
 
 type invocation = { processor : int; input : int; output : Iset.t }
 
-let result_errorf fmt = Fmt.kstr (fun s -> Error s) fmt
-
 let inputs_used history = Iset.of_list (List.map (fun i -> i.input) history)
 
 let check_validity history =
@@ -34,7 +32,8 @@ let check_validity history =
     | [] -> Ok ()
     | { processor; output; _ } :: rest ->
         if not (Iset.subset output used) then
-          result_errorf "p%d output %a contains values never used as input"
+          Task_failure.failf ~processors:[ processor ] Task_failure.Validity
+            "p%d output %a contains values never used as input"
             (processor + 1) Iset.pp_set output
         else go rest
   in
@@ -62,11 +61,14 @@ let check_per_processor history =
             | inv :: rest ->
                 let used = Iset.add inv.input used_so_far in
                 if not (Iset.subset used inv.output) then
-                  result_errorf
+                  Task_failure.failf ~processors:[ processor ]
+                    Task_failure.Validity
                     "p%d output %a misses one of its own inputs %a"
                     (processor + 1) Iset.pp_set inv.output Iset.pp_set used
                 else if not (Iset.subset prev_output inv.output) then
-                  result_errorf "p%d outputs shrank" (processor + 1)
+                  Task_failure.failf ~processors:[ processor ]
+                    Task_failure.Monotonicity "p%d outputs shrank"
+                    (processor + 1)
                 else go used inv.output rest
           in
           go Iset.empty Iset.empty invs)
@@ -91,7 +93,8 @@ let check_group_solution history =
                   List.find_opt (fun (_, s2) -> not (Iset.comparable s1 s2)) rest
                 with
                 | Some (g2, s2) ->
-                    result_errorf
+                    Task_failure.failf ~groups:[ g1; g2 ]
+                      Task_failure.Containment
                       "groups %d and %d chose incomparable outputs %a / %a" g1
                       g2 Iset.pp_set s1 Iset.pp_set s2
                 | None -> go rest)
@@ -109,6 +112,8 @@ let check_strong history =
         | { output = s1; _ } :: rest ->
             if List.for_all (fun i -> Iset.comparable s1 i.output) rest then
               go rest
-            else result_errorf "incomparable long-lived outputs"
+            else
+              Task_failure.failf Task_failure.Containment
+                "incomparable long-lived outputs"
       in
       go history

@@ -49,6 +49,6 @@ val sample_count : 'o t -> int
 
 val for_all_samples :
   'o t ->
-  check:(groups:Repro_util.Iset.t -> (int * 'o) list -> (unit, string) result) ->
-  (unit, string) result
+  check:(groups:Repro_util.Iset.t -> (int * 'o) list -> (unit, 'e) result) ->
+  (unit, 'e) result
 (** Validate every output sample; first failure wins. *)

@@ -13,16 +13,28 @@ open Repro_util
 
 type output = int
 
-let result_errorf fmt = Fmt.kstr (fun s -> Error s) fmt
 let bound ~groups = groups * (groups + 1) / 2
 
 let check_range (t : output Outcome.t) =
   let m = Iset.cardinal (Outcome.participating_groups t) in
   let b = bound ~groups:m in
-  let bad = List.find_opt (fun name -> name < 1 || name > b) (Outcome.terminated t) in
+  let n = Outcome.processors t in
+  let bad =
+    List.find_opt
+      (fun p ->
+        match t.Outcome.outputs.(p) with
+        | Some name -> name < 1 || name > b
+        | None -> false)
+      (List.init n Fun.id)
+  in
   match bad with
-  | Some name ->
-      result_errorf "name %d outside adaptive range 1..%d (%d groups)" name b m
+  | Some p ->
+      let name = Option.get t.Outcome.outputs.(p) in
+      Task_failure.failf ~processors:[ p ]
+        ~groups:[ Outcome.group_of t p ]
+        Task_failure.Name_range
+        "p%d took name %d outside adaptive range 1..%d (%d groups)" (p + 1)
+        name b m
   | None -> Ok ()
 
 let check_sample ~groups:_ sample =
@@ -31,7 +43,8 @@ let check_sample ~groups:_ sample =
     | (g1, n1) :: rest -> (
         match List.find_opt (fun (_, n2) -> n1 = n2) rest with
         | Some (g2, _) ->
-            result_errorf "groups %d and %d share name %d" g1 g2 n1
+            Task_failure.failf ~groups:[ g1; g2 ] Task_failure.Name_uniqueness
+              "groups %d and %d share name %d" g1 g2 n1
         | None -> go rest)
   in
   go sample
@@ -52,8 +65,11 @@ let check_cross_group (t : output Outcome.t) =
       match (t.Outcome.outputs.(p), t.Outcome.outputs.(q)) with
       | Some np, Some nq
         when np = nq && Outcome.group_of t p <> Outcome.group_of t q ->
-          result_errorf "p%d (group %d) and p%d (group %d) share name %d"
-            (p + 1) (Outcome.group_of t p) (q + 1) (Outcome.group_of t q) np
+          Task_failure.failf ~processors:[ p; q ]
+            ~groups:[ Outcome.group_of t p; Outcome.group_of t q ]
+            Task_failure.Name_uniqueness
+            "p%d (group %d) and p%d (group %d) share name %d" (p + 1)
+            (Outcome.group_of t p) (q + 1) (Outcome.group_of t q) np
       | _ -> go p (q + 1)
   in
   go 0 1

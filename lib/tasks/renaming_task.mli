@@ -8,11 +8,11 @@
 type output = int
 
 val bound : groups:int -> int
-val check_range : output Outcome.t -> (unit, string) result
+val check_range : output Outcome.t -> (unit, Task_failure.t) result
 val check_sample :
-  groups:Repro_util.Iset.t -> (int * output) list -> (unit, string) result
+  groups:Repro_util.Iset.t -> (int * output) list -> (unit, Task_failure.t) result
 
-val check_group_solution : output Outcome.t -> (unit, string) result
-val check_cross_group : output Outcome.t -> (unit, string) result
-val check : output Outcome.t -> (unit, string) result
+val check_group_solution : output Outcome.t -> (unit, Task_failure.t) result
+val check_cross_group : output Outcome.t -> (unit, Task_failure.t) result
+val check : output Outcome.t -> (unit, Task_failure.t) result
 (** Range, cross-group distinctness, and group solvability. *)

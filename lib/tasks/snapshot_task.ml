@@ -15,7 +15,6 @@ open Repro_util
 
 type output = Iset.t
 
-let result_errorf fmt = Fmt.kstr (fun s -> Error s) fmt
 
 (** Per-processor validity: the output contains the processor's own group
     and only participating groups. *)
@@ -29,10 +28,13 @@ let check_validity (t : output Outcome.t) =
       | Some s ->
           let g = Outcome.group_of t p in
           if not (Iset.mem g s) then
-            result_errorf "p%d (group %d) output %a missing its own group"
-              (p + 1) g Iset.pp_set s
+            Task_failure.failf ~processors:[ p ] ~groups:[ g ]
+              Task_failure.Validity
+              "p%d (group %d) output %a missing its own group" (p + 1) g
+              Iset.pp_set s
           else if not (Iset.subset s groups) then
-            result_errorf
+            Task_failure.failf ~processors:[ p ] ~groups:[ g ]
+              Task_failure.Validity
               "p%d output %a contains non-participating groups (participants %a)"
               (p + 1) Iset.pp_set s Iset.pp_set groups
           else go (p + 1)
@@ -49,8 +51,9 @@ let check_sample ~groups:_ sample =
         in
         (match clash with
         | Some (g2, s2) ->
-            result_errorf "groups %d and %d chose incomparable sets %a / %a" g1
-              g2 Iset.pp_set s1 Iset.pp_set s2
+            Task_failure.failf ~groups:[ g1; g2 ] Task_failure.Containment
+              "groups %d and %d chose incomparable sets %a / %a" g1 g2
+              Iset.pp_set s1 Iset.pp_set s2
         | None -> go rest)
   in
   go sample
@@ -74,7 +77,7 @@ let check_strong t =
         | s1 :: rest ->
             if List.for_all (Iset.comparable s1) rest then go rest
             else
-              result_errorf "incomparable outputs present (e.g. %a)" Iset.pp_set
-                s1
+              Task_failure.failf Task_failure.Containment
+                "incomparable outputs present (e.g. %a)" Iset.pp_set s1
       in
       go outs

@@ -7,17 +7,19 @@
 
 type output = Repro_util.Iset.t
 
-val check_validity : output Outcome.t -> (unit, string) result
+val check_validity : output Outcome.t -> (unit, Task_failure.t) result
 (** Own group present and only participating groups. *)
 
 val check_sample :
-  groups:Repro_util.Iset.t -> (int * output) list -> (unit, string) result
+  groups:Repro_util.Iset.t ->
+  (int * output) list ->
+  (unit, Task_failure.t) result
 (** Pairwise containment within one output sample. *)
 
-val check_group_solution : output Outcome.t -> (unit, string) result
+val check_group_solution : output Outcome.t -> (unit, Task_failure.t) result
 (** Group solvability per Definition 3.4: validity plus containment of
     every output sample. *)
 
-val check_strong : output Outcome.t -> (unit, string) result
+val check_strong : output Outcome.t -> (unit, Task_failure.t) result
 (** The stronger guarantee the Figure-3 algorithm provides
     (Section 5.3.2): all outputs pairwise related by containment. *)

@@ -1,0 +1,57 @@
+(** Structured oracle failures.
+
+    Every task checker in this library reports violations as a
+    {!t}: which property of the task specification broke, which
+    processors and groups are implicated, and a human-readable
+    message.  The fuzzing harness keys its reports and shrinking
+    decisions on the [property] field, while the tests and the CLI
+    render {!pp}. *)
+
+type property =
+  | Validity  (** an output mentions a non-participant or misses the owner *)
+  | Containment  (** snapshot outputs not related by containment *)
+  | Agreement  (** consensus outputs differ *)
+  | Name_range  (** a renaming name fell outside the adaptive range *)
+  | Name_uniqueness  (** two groups share a name *)
+  | Monotonicity  (** a long-lived output shrank across invocations *)
+  | Wait_freedom  (** a processor exceeded its step budget without halting *)
+  | Property of string  (** anything else, by name *)
+
+type t = {
+  property : property;
+  processors : int list;  (** implicated processors, 0-based; [] if unknown *)
+  groups : int list;  (** implicated group identifiers; [] if unknown *)
+  message : string;
+}
+
+let property_name = function
+  | Validity -> "validity"
+  | Containment -> "containment"
+  | Agreement -> "agreement"
+  | Name_range -> "name-range"
+  | Name_uniqueness -> "name-uniqueness"
+  | Monotonicity -> "monotonicity"
+  | Wait_freedom -> "wait-freedom"
+  | Property s -> s
+
+let v ?(processors = []) ?(groups = []) property message =
+  { property; processors; groups; message }
+
+let failf ?processors ?groups property fmt =
+  Fmt.kstr (fun message -> Error (v ?processors ?groups property message)) fmt
+
+let pp ppf t =
+  Fmt.pf ppf "[%s%a%a] %s" (property_name t.property)
+    (fun ppf -> function
+      | [] -> ()
+      | ps ->
+          Fmt.pf ppf "; p%a"
+            Fmt.(list ~sep:(any ",p") int)
+            (List.map (fun p -> p + 1) ps))
+    t.processors
+    (fun ppf -> function
+      | [] -> ()
+      | gs -> Fmt.pf ppf "; groups %a" Fmt.(list ~sep:(any ",") int) gs)
+    t.groups t.message
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,36 @@
+(** Structured oracle failures: which property broke, which processors and
+    groups are implicated, and a rendered message.  All task checkers
+    return [(unit, Task_failure.t) result]; the fuzzing harness and the
+    tests consume the structure, the CLI renders {!pp}. *)
+
+type property =
+  | Validity
+  | Containment
+  | Agreement
+  | Name_range
+  | Name_uniqueness
+  | Monotonicity
+  | Wait_freedom
+  | Property of string
+
+type t = {
+  property : property;
+  processors : int list;  (** implicated processors, 0-based; [] if unknown *)
+  groups : int list;  (** implicated group identifiers; [] if unknown *)
+  message : string;
+}
+
+val property_name : property -> string
+
+val v : ?processors:int list -> ?groups:int list -> property -> string -> t
+
+val failf :
+  ?processors:int list ->
+  ?groups:int list ->
+  property ->
+  ('a, Format.formatter, unit, ('b, t) result) format4 ->
+  'a
+(** [failf prop "..."] builds an [Error] carrying the structured failure. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -39,6 +39,56 @@ let test_wiring_enumerate () =
         (Permutation.equal (Wiring.perm w ~p:0) (Permutation.identity 3)))
     ws
 
+let rec fact n = if n <= 1 then 1 else n * fact (n - 1)
+
+let prop_wiring_enumerate_counts =
+  QCheck.Test.make ~name:"enumerate: (m!)^n full, (m!)^(n-1) with fix_first"
+    ~count:40
+    QCheck.(pair (int_range 1 3) (int_range 1 3))
+    (fun (n, m) ->
+      let pow b e =
+        List.fold_left (fun acc _ -> acc * b) 1 (List.init e Fun.id)
+      in
+      List.length (Wiring.enumerate ~n ~m ~fix_first:false) = pow (fact m) n
+      && List.length (Wiring.enumerate ~n ~m ~fix_first:true)
+         = pow (fact m) (n - 1))
+
+let prop_wiring_enumerate_distinct =
+  QCheck.Test.make ~name:"enumerate yields distinct wirings" ~count:20
+    QCheck.(pair (int_range 1 3) (int_range 1 3))
+    (fun (n, m) ->
+      let ws = Wiring.enumerate ~n ~m ~fix_first:false in
+      let rec all_distinct = function
+        | [] -> true
+        | w :: rest ->
+            (not (List.exists (Wiring.equal w) rest)) && all_distinct rest
+      in
+      all_distinct ws)
+
+(* Soundness of the fix_first symmetry reduction: every full wiring is a
+   global register renaming of one with processor 0 wired identically.
+   Renaming the physical registers by rho turns sigma_p into
+   rho . sigma_p; choosing rho = sigma_0^-1 pins processor 0 to the
+   identity, and the canonical form must appear in the reduced
+   enumeration. *)
+let test_wiring_symmetry_reduction_sound () =
+  List.iter
+    (fun (n, m) ->
+      let full = Wiring.enumerate ~n ~m ~fix_first:false in
+      let reduced = Wiring.enumerate ~n ~m ~fix_first:true in
+      List.iter
+        (fun w ->
+          let rho = Permutation.inverse (Wiring.perm w ~p:0) in
+          let canon =
+            Wiring.make
+              (Array.init n (fun p ->
+                   Permutation.compose rho (Wiring.perm w ~p)))
+          in
+          Alcotest.(check bool) "canonical form is enumerated" true
+            (List.exists (Wiring.equal canon) reduced))
+        full)
+    [ (2, 2); (2, 3); (3, 2); (3, 3) ]
+
 let test_wiring_random_deterministic () =
   let w1 = Wiring.random (Rng.create ~seed:9) ~n:4 ~m:4 in
   let w2 = Wiring.random (Rng.create ~seed:9) ~n:4 ~m:4 in
@@ -105,6 +155,34 @@ let test_script_then_cycle_halting () =
     (Scheduler.pick sched ~time:0 ~enabled:[ 0; 1 ]);
   Alcotest.(check (option int)) "cycle skips halted, gives up" None
     (Scheduler.pick sched ~time:1 ~enabled:[ 0 ])
+
+let test_recorded_scheduler () =
+  let sched, picks = Scheduler.recorded (Scheduler.script [ 2; 0; 1; 0 ]) in
+  for t = 0 to 3 do
+    ignore (Scheduler.pick sched ~time:t ~enabled:[ 0; 1; 2 ])
+  done;
+  Alcotest.(check (list int)) "picks oldest first" [ 2; 0; 1; 0 ] (picks ());
+  (* A refused pick (script exhausted) records nothing. *)
+  Alcotest.(check (option int)) "exhausted" None
+    (Scheduler.pick sched ~time:4 ~enabled:[ 0; 1; 2 ]);
+  Alcotest.(check (list int)) "unchanged" [ 2; 0; 1; 0 ] (picks ())
+
+let test_crash_scheduler () =
+  let sched =
+    Scheduler.crash ~crash_at:[| Some 2; None |] (Scheduler.round_robin ())
+  in
+  (* Before time 2 both run; from time 2 on processor 0 is gone forever. *)
+  let picks =
+    List.init 6 (fun t -> Scheduler.pick sched ~time:t ~enabled:[ 0; 1 ])
+  in
+  Alcotest.(check (list (option int)))
+    "p0 crashes at time 2"
+    [ Some 0; Some 1; Some 1; Some 1; Some 1; Some 1 ]
+    picks;
+  (* If every live processor has crashed, the run halts. *)
+  let dead = Scheduler.crash ~crash_at:[| Some 0 |] (Scheduler.round_robin ()) in
+  Alcotest.(check (option int)) "all crashed" None
+    (Scheduler.pick dead ~time:5 ~enabled:[ 0 ])
 
 let test_random_scheduler_picks_enabled () =
   let sched = Scheduler.random (Rng.create ~seed:3) in
@@ -257,6 +335,10 @@ let () =
           Alcotest.test_case "enumeration" `Quick test_wiring_enumerate;
           Alcotest.test_case "random deterministic" `Quick
             test_wiring_random_deterministic;
+          Alcotest.test_case "symmetry reduction sound" `Quick
+            test_wiring_symmetry_reduction_sound;
+          QCheck_alcotest.to_alcotest prop_wiring_enumerate_counts;
+          QCheck_alcotest.to_alcotest prop_wiring_enumerate_distinct;
         ] );
       ( "scheduler",
         [
@@ -273,6 +355,8 @@ let () =
             test_script_then_cycle_halting;
           Alcotest.test_case "random picks enabled" `Quick
             test_random_scheduler_picks_enabled;
+          Alcotest.test_case "recorded" `Quick test_recorded_scheduler;
+          Alcotest.test_case "crash" `Quick test_crash_scheduler;
         ] );
       ( "system",
         [

@@ -42,7 +42,7 @@ let test_named_identity_outputs_are_snapshots () =
   in
   match Tasks.Snapshot_task.check_strong outcome with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Tasks.Task_failure.to_string e)
 
 let test_named_breaks_on_anonymous_memory () =
   (* Under random wirings two processors can share a physical register;
@@ -166,7 +166,9 @@ let test_double_collect_sound_under_fair_random () =
       (* A violation found by random search would be a stronger refutation
          of double collect; record it as a failure of this expectation so
          it gets promoted into its own regression test. *)
-      Alcotest.fail ("unexpectedly found random violation: " ^ msg)
+      Alcotest.fail
+        ("unexpectedly found random violation: "
+        ^ Tasks.Task_failure.to_string msg)
 
 let () =
   Alcotest.run "baselines"

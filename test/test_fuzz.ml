@@ -1,0 +1,224 @@
+(* Tests of the schedule-fuzzing subsystem (lib/fuzz): seeded
+   determinism of case generation and execution, the planted
+   double-collect comparability bug (found, shrunk to a short script,
+   and reproducible by replay), and the ddmin shrinker in isolation on
+   synthetic predicates. *)
+
+module Gen = Fuzzing.Gen
+module Shrink = Fuzzing.Shrink
+module Harness = Fuzzing.Harness
+module H_snap = Harness.Make (Fuzzing.Targets.Snapshot)
+module H_dc = Harness.Make (Fuzzing.Targets.Double_collect)
+
+let m_eq_n ~n = (n, n)
+
+(* --- Seeded determinism --------------------------------------------------- *)
+
+let test_case_determinism () =
+  for seed = 0 to 49 do
+    let mk () =
+      Gen.case ~seed ~n_range:(2, 5) ~m_range:m_eq_n ~max_steps:1_000 ()
+    in
+    Alcotest.(check bool) "same seed, same case" true (mk () = mk ())
+  done
+
+let test_run_determinism () =
+  (* Same seed => the adversary replays identically: the executed pid
+     sequence, final outputs and per-processor step counts all agree.
+     50 seeds cover all four adversary shapes. *)
+  for seed = 0 to 49 do
+    let run () =
+      H_snap.run_case
+        (Gen.case ~seed ~n_range:(2, 5) ~m_range:m_eq_n ~max_steps:500 ())
+    in
+    let r1 = run () and r2 = run () in
+    Alcotest.(check (list int))
+      "same executed schedule"
+      (H_snap.Tr.pids r1.H_snap.trace)
+      (H_snap.Tr.pids r2.H_snap.trace);
+    Alcotest.(check (array int))
+      "same step counts" r1.H_snap.step_counts r2.H_snap.step_counts;
+    Alcotest.(check bool) "same outputs" true (r1.H_snap.outputs = r2.H_snap.outputs)
+  done
+
+let test_campaign_determinism () =
+  let run () = H_dc.campaign ~seed:0 ~iterations:100 () in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool)
+    "same campaign, same counterexample" true
+    (r1.Harness.counterexample = r2.Harness.counterexample);
+  Alcotest.(check int) "same total steps" r1.Harness.total_steps
+    r2.Harness.total_steps
+
+(* --- The planted bug ------------------------------------------------------ *)
+
+let test_double_collect_bug_found_and_shrunk () =
+  let report = H_dc.campaign ~seed:0 ~iterations:200 () in
+  match report.Harness.counterexample with
+  | None -> Alcotest.fail "double-collect comparability bug not found"
+  | Some cex ->
+      let inst = cex.Harness.instance in
+      let len = List.length inst.Harness.script in
+      Alcotest.(check bool)
+        (Printf.sprintf "shrunk script has <= 15 steps (got %d)" len)
+        true (len <= 15);
+      Alcotest.(check bool)
+        "violated property is containment" true
+        (cex.Harness.failure.Tasks.Task_failure.property
+        = Tasks.Task_failure.Containment);
+      (* The shrunk instance is standalone: replaying its script from
+         scratch reproduces the failure. *)
+      (match H_dc.verdict_of_instance inst with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "shrunk instance does not reproduce the failure");
+      (* 1-minimality: dropping any single step of the script loses the
+         violation. *)
+      List.iteri
+        (fun i _ ->
+          let script' =
+            List.filteri (fun j _ -> j <> i) inst.Harness.script
+          in
+          match
+            H_dc.verdict_of_instance { inst with Harness.script = script' }
+          with
+          | Ok () -> ()
+          | Error _ ->
+              Alcotest.fail
+                (Printf.sprintf "script not 1-minimal: step %d removable" i))
+        inst.Harness.script
+
+let test_replay_command_shape () =
+  let report = H_dc.campaign ~seed:0 ~iterations:200 () in
+  match report.Harness.counterexample with
+  | None -> Alcotest.fail "no counterexample"
+  | Some cex ->
+      let cmd = Harness.replay_command ~key:"double_collect" cex.Harness.instance in
+      let has_sub sub =
+        let n = String.length sub and m = String.length cmd in
+        let rec at i = i + n <= m && (String.sub cmd i n = sub || at (i + 1)) in
+        at 0
+      in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool)
+            (Printf.sprintf "command mentions %S" sub)
+            true (has_sub sub))
+        [ "replay"; "--protocol double_collect"; "--inputs"; "--wiring"; "--script" ]
+
+(* The sound targets stay clean: no false positives from the oracles or
+   the wait-freedom budget over a short bounded campaign. *)
+let clean_campaign (module T : Fuzzing.Target.S) key () =
+  let module H = Harness.Make (T) in
+  let report = H.campaign ~seed:1 ~iterations:150 () in
+  match report.Harness.counterexample with
+  | None -> ()
+  | Some cex ->
+      Alcotest.fail
+        (Fmt.str "false positive on %s: %a" key Tasks.Task_failure.pp
+           cex.Harness.failure)
+
+(* --- The shrinker on synthetic predicates --------------------------------- *)
+
+let test_ddmin_pair () =
+  let still_failing l = List.mem 3 l && List.mem 7 l in
+  Alcotest.(check (list int))
+    "minimal pair survives" [ 3; 7 ]
+    (Shrink.list ~still_failing (List.init 20 Fun.id))
+
+let test_ddmin_singleton () =
+  let still_failing l = List.mem 11 l in
+  Alcotest.(check (list int))
+    "single culprit" [ 11 ]
+    (Shrink.list ~still_failing (List.init 30 Fun.id))
+
+let test_ddmin_keeps_order () =
+  (* Predicate needs a 5 somewhere before a 9: shrinking must preserve
+     relative order of the kept elements. *)
+  let rec ordered = function
+    | [] -> false
+    | 5 :: rest -> List.mem 9 rest
+    | _ :: rest -> ordered rest
+  in
+  Alcotest.(check (list int))
+    "ordered witness" [ 5; 9 ]
+    (Shrink.list ~still_failing:ordered [ 1; 9; 5; 2; 9; 4 ])
+
+let test_ddmin_everything_needed () =
+  let input = [ 4; 2; 6 ] in
+  let still_failing l = l = input in
+  Alcotest.(check (list int))
+    "irreducible input unchanged" input
+    (Shrink.list ~still_failing input)
+
+let test_first_accepted () =
+  let still_failing x = x >= 2 in
+  Alcotest.(check int) "first failing candidate" 2
+    (Shrink.first_accepted ~still_failing [ 1; 2; 3 ] 99);
+  Alcotest.(check int) "fallback when none fail" 99
+    (Shrink.first_accepted ~still_failing [ 0; 1 ] 99)
+
+let prop_ddmin_sound_and_1minimal =
+  QCheck.Test.make ~name:"ddmin result still fails and is 1-minimal"
+    ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 40) (int_bound 9))
+    (fun input ->
+      (* A monotone-ish predicate: at least three even elements. *)
+      let still_failing l =
+        List.length (List.filter (fun x -> x mod 2 = 0) l) >= 3
+      in
+      QCheck.assume (still_failing input);
+      let r = Shrink.list ~still_failing input in
+      still_failing r
+      && List.for_all
+           (fun i -> not (still_failing (List.filteri (fun j _ -> j <> i) r)))
+           (List.init (List.length r) Fun.id))
+
+let prop_ddmin_is_subsequence =
+  QCheck.Test.make ~name:"ddmin result is a subsequence of the input"
+    ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 40) (int_bound 9))
+    (fun input ->
+      let still_failing l = List.exists (fun x -> x >= 5) l in
+      QCheck.assume (still_failing input);
+      let r = Shrink.list ~still_failing input in
+      let rec subseq xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs', y :: ys' ->
+            if x = y then subseq xs' ys' else subseq xs ys'
+      in
+      subseq r input)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "case generation" `Quick test_case_determinism;
+          Alcotest.test_case "execution" `Quick test_run_determinism;
+          Alcotest.test_case "campaign" `Quick test_campaign_determinism;
+        ] );
+      ( "planted-bug",
+        [
+          Alcotest.test_case "double collect found and shrunk" `Quick
+            test_double_collect_bug_found_and_shrunk;
+          Alcotest.test_case "replay command" `Quick test_replay_command_shape;
+          Alcotest.test_case "snapshot stays clean" `Quick
+            (clean_campaign (module Fuzzing.Targets.Snapshot) "snapshot");
+          Alcotest.test_case "renaming stays clean" `Quick
+            (clean_campaign (module Fuzzing.Targets.Renaming) "renaming");
+          Alcotest.test_case "consensus stays clean" `Quick
+            (clean_campaign (module Fuzzing.Targets.Consensus) "consensus");
+        ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "pair" `Quick test_ddmin_pair;
+          Alcotest.test_case "singleton" `Quick test_ddmin_singleton;
+          Alcotest.test_case "order preserved" `Quick test_ddmin_keeps_order;
+          Alcotest.test_case "irreducible" `Quick test_ddmin_everything_needed;
+          Alcotest.test_case "first_accepted" `Quick test_first_accepted;
+          QCheck_alcotest.to_alcotest prop_ddmin_sound_and_1minimal;
+          QCheck_alcotest.to_alcotest prop_ddmin_is_subsequence;
+        ] );
+    ]

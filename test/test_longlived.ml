@@ -203,10 +203,15 @@ let test_llt_on_real_executions () =
     let history = List.rev !history in
     (match LLT.check_group_solution history with
     | Ok () -> ()
-    | Error e -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed e));
+    | Error e ->
+        Alcotest.fail
+          (Printf.sprintf "seed %d: %s" seed (Tasks.Task_failure.to_string e)));
     match LLT.check_strong history with
     | Ok () -> ()
-    | Error e -> Alcotest.fail (Printf.sprintf "seed %d (strong): %s" seed e)
+    | Error e ->
+        Alcotest.fail
+          (Printf.sprintf "seed %d (strong): %s" seed
+             (Tasks.Task_failure.to_string e))
   done
 
 let () =

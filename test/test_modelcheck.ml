@@ -189,7 +189,7 @@ let test_terminal_outcomes_valid () =
             (fun o ->
               match Tasks.Snapshot_task.check_strong o with
               | Ok () -> ()
-              | Error e -> Alcotest.fail e)
+              | Error e -> Alcotest.fail (Tasks.Task_failure.to_string e))
             outcomes
       | _ -> Alcotest.fail "exploration failed")
     (Anonmem.Wiring.enumerate ~n:2 ~m:2 ~fix_first:true)

@@ -50,7 +50,7 @@ let test_parallel_renaming_valid () =
       in
       (match Tasks.Renaming_task.check outcome with
       | Ok () -> ()
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Tasks.Task_failure.to_string e))
   | Error e -> Alcotest.fail e
 
 let test_parallel_consensus_agreement () =

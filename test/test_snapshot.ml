@@ -25,10 +25,14 @@ let check_task inputs st =
   let outcome = Tasks.Outcome.make ~inputs ~outputs:(Sys.outputs st) () in
   (match Tasks.Snapshot_task.check_group_solution outcome with
   | Ok () -> ()
-  | Error e -> Alcotest.fail ("group solution invalid: " ^ e));
+  | Error e ->
+      Alcotest.fail
+        ("group solution invalid: " ^ Tasks.Task_failure.to_string e));
   match Tasks.Snapshot_task.check_strong outcome with
   | Ok () -> ()
-  | Error e -> Alcotest.fail ("strong containment invalid: " ^ e)
+  | Error e ->
+      Alcotest.fail
+        ("strong containment invalid: " ^ Tasks.Task_failure.to_string e)
 
 let test_solo_terminates_with_singleton () =
   let inputs = [| 7; 8; 9 |] in

@@ -155,6 +155,60 @@ let test_permutation_enumerate () =
   let distinct = List.sort_uniq compare (List.map Permutation.to_list all) in
   Alcotest.(check int) "all distinct" 6 (List.length distinct)
 
+let perm_of_seed n seed = Permutation.random (Rng.create ~seed) n
+
+let arb_perm =
+  QCheck.make
+    ~print:(fun (n, seed) -> Fmt.str "%a" Permutation.pp (perm_of_seed n seed))
+    QCheck.Gen.(pair (int_range 1 8) (int_bound 1_000_000))
+
+(* Two independent permutations of the same size. *)
+let arb_perm_pair =
+  QCheck.make
+    ~print:(fun (n, s1, s2) ->
+      Fmt.str "%a, %a" Permutation.pp (perm_of_seed n s1) Permutation.pp
+        (perm_of_seed n s2))
+    QCheck.Gen.(triple (int_range 1 8) (int_bound 1_000_000) (int_bound 1_000_000))
+
+let prop_perm_inverse_roundtrip =
+  QCheck.Test.make ~name:"p . p^-1 = p^-1 . p = id" ~count:500 arb_perm
+    (fun (n, seed) ->
+      let p = perm_of_seed n seed in
+      let id = Permutation.identity n in
+      Permutation.equal (Permutation.compose p (Permutation.inverse p)) id
+      && Permutation.equal (Permutation.compose (Permutation.inverse p) p) id)
+
+let prop_perm_inverse_involutive =
+  QCheck.Test.make ~name:"(p^-1)^-1 = p" ~count:500 arb_perm (fun (n, seed) ->
+      let p = perm_of_seed n seed in
+      Permutation.equal (Permutation.inverse (Permutation.inverse p)) p)
+
+let prop_perm_compose_apply =
+  QCheck.Test.make ~name:"apply (compose f g) = apply f . apply g" ~count:500
+    arb_perm_pair (fun (n, s1, s2) ->
+      let f = perm_of_seed n s1 and g = perm_of_seed n s2 in
+      let fg = Permutation.compose f g in
+      List.for_all
+        (fun i ->
+          Permutation.apply fg i = Permutation.apply f (Permutation.apply g i))
+        (List.init n Fun.id))
+
+let prop_perm_inverse_antihomomorphism =
+  QCheck.Test.make ~name:"(f . g)^-1 = g^-1 . f^-1" ~count:500 arb_perm_pair
+    (fun (n, s1, s2) ->
+      let f = perm_of_seed n s1 and g = perm_of_seed n s2 in
+      Permutation.equal
+        (Permutation.inverse (Permutation.compose f g))
+        (Permutation.compose (Permutation.inverse g) (Permutation.inverse f)))
+
+let prop_perm_compose_roundtrip =
+  QCheck.Test.make ~name:"compose then undo recovers g" ~count:500
+    arb_perm_pair (fun (n, s1, s2) ->
+      let f = perm_of_seed n s1 and g = perm_of_seed n s2 in
+      Permutation.equal
+        (Permutation.compose (Permutation.inverse f) (Permutation.compose f g))
+        g)
+
 let test_permutation_invalid () =
   Alcotest.check_raises "dup" (Invalid_argument "Permutation.of_array: not a permutation")
     (fun () -> ignore (Permutation.of_list [ 0; 0; 1 ]));
@@ -353,6 +407,15 @@ let () =
           Alcotest.test_case "enumerate" `Quick test_permutation_enumerate;
           Alcotest.test_case "invalid rejected" `Quick test_permutation_invalid;
         ] );
+      ( "permutation-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_perm_inverse_roundtrip;
+            prop_perm_inverse_involutive;
+            prop_perm_compose_apply;
+            prop_perm_inverse_antihomomorphism;
+            prop_perm_compose_roundtrip;
+          ] );
       ( "digraph",
         [
           Alcotest.test_case "sources" `Quick test_digraph_sources;
