@@ -37,6 +37,21 @@ let snapshot_run ~sched_kind n () =
   | `Solo, Snap_sys.Scheduler_done | _, Snap_sys.All_halted -> steps
   | _ -> failwith "snapshot did not terminate in bench"
 
+(* The same workload as [snapshot_run ~sched_kind:`Random], but with an
+   installed-and-empty fault plan: [~faults:[]] forces the interpreting
+   path of the fault layer, so the delta against fig3/snapshot_random_sched
+   is exactly the overhead a disabled-but-present fault plan costs. *)
+let snapshot_run_empty_plan n () =
+  let rng = Repro_util.Rng.create ~seed:rng_seed in
+  let cfg = Algorithms.Snapshot.standard ~n in
+  let wiring = Anonmem.Wiring.random rng ~n ~m:n in
+  let inputs = Array.init n (fun i -> i + 1) in
+  let state = Snap_sys.init ~cfg ~wiring ~inputs in
+  let sched = Anonmem.Scheduler.random (Repro_util.Rng.split rng) in
+  let stop, steps = Snap_sys.run ~max_steps:10_000_000 ~faults:[] ~sched state in
+  ignore stop;
+  steps
+
 let fig1_stabilize n () =
   match
     Analysis.Stable_views.run_random ~n ~m:3
@@ -144,6 +159,7 @@ let tests =
       indexed "fig3/snapshot_random_sched" [ 2; 4; 6; 8 ]
         (fun n -> snapshot_run ~sched_kind:`Random n);
       indexed "fig3/snapshot_solo" [ 6 ] (fun n -> snapshot_run ~sched_kind:`Solo n);
+      indexed "x5/snapshot_empty_fault_plan" [ 2; 4; 6; 8 ] snapshot_run_empty_plan;
       indexed "x1/snapshot_round_robin" [ 6 ]
         (fun n -> snapshot_run ~sched_kind:`Round_robin n);
       indexed "fig4/renaming" [ 4; 8 ] renaming_run;

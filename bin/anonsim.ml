@@ -136,9 +136,21 @@ let check_snapshot_cmd =
       & opt (some int) None
       & info [ "max-states" ] ~docv:"K" ~doc:"Abort exploration beyond K states.")
   in
-  let run n max_states =
+  let crashes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ] ~docv:"K"
+          ~doc:
+            "Additionally verify containment safety under at most K injected \
+             crash-stops.  The crash search is time-abstract — it branches \
+             on crashing any live processor at any reachable state — so it \
+             covers every timed crash plan with at most K crashes.  Safety \
+             only: crashed processors trivially never terminate.")
+  in
+  let run n max_states crashes =
     match Core.verify_snapshot_model ~n ?max_states () with
-    | Ok s ->
+    | Error e -> `Error (false, e)
+    | Ok s -> (
         Printf.printf
           "verified: snapshot algorithm correct and wait-free for n=%d\n" n;
         Printf.printf
@@ -147,16 +159,35 @@ let check_snapshot_cmd =
           s.Core.Snapshot_mc.wirings_checked s.Core.Snapshot_mc.total_states
           s.Core.Snapshot_mc.max_space_states s.Core.Snapshot_mc.total_transitions
           s.Core.Snapshot_mc.terminal_states;
-        `Ok ()
-    | Error e -> `Error (false, e)
+        if crashes <= 0 then `Ok ()
+        else
+          match
+            Core.verify_snapshot_model_crashes ~n ~max_crashes:crashes
+              ?max_states ()
+          with
+          | Error e -> `Error (false, e)
+          | Ok fs ->
+              Printf.printf
+                "verified: containment safety holds for n=%d under at most %d \
+                 injected crash-stop(s)\n"
+                n crashes;
+              Printf.printf
+                "wirings: %d, states: %d, transitions: %d (of which %d crash \
+                 branches)\n"
+                fs.Core.Snapshot_fault_mc.wirings_checked
+                fs.Core.Snapshot_fault_mc.total_states
+                fs.Core.Snapshot_fault_mc.total_transitions
+                fs.Core.Snapshot_fault_mc.total_crash_branches;
+              `Ok ())
   in
   Cmd.v
     (Cmd.info "check-snapshot"
        ~doc:
          "Exhaustively model-check the Figure-3 snapshot algorithm \
           (containment safety + wait-freedom) over all wirings — the \
-          paper's TLC claim.")
-    Term.(ret (const run $ n_arg ~default:2 $ max_states_arg))
+          paper's TLC claim.  With $(b,--crashes) K, additionally \
+          re-verify safety under at most K injected crash-stop faults.")
+    Term.(ret (const run $ n_arg ~default:2 $ max_states_arg $ crashes_arg))
 
 (* check-nonatomic: the Section-8 claim *)
 
@@ -284,6 +315,90 @@ let covering_cmd =
           the write-scan loop.")
     Term.(const run $ seed_arg $ n_arg ~default:5 $ steps_arg)
 
+(* faults: one execution under an explicit fault plan *)
+
+let faults_cmd =
+  let protocol_arg =
+    Arg.(
+      value
+      & opt string "snapshot"
+      & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+          ~doc:
+            (Printf.sprintf "Protocol to run: one of %s."
+               (String.concat ", " Fuzzing.Targets.keys)))
+  in
+  let plan_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan to inject: ';'-separated events like \
+             'crash:p2\\@10', 'recover:p3\\@8', 'omit:p1\\@4', \
+             'stale:p1\\@6', 'stuck:r2\\@0' (1-based processors/registers, \
+             0-based global step times).  Empty plan = fault-free run.")
+  in
+  let m_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "m" ] ~docv:"M"
+          ~doc:"Number of registers (default: the standard m = n).")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "max-steps" ] ~docv:"K" ~doc:"Global step budget of the run.")
+  in
+  let run key seed inputs m plan max_steps =
+    match Fuzzing.Targets.find key with
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown protocol %S (try one of %s)" key
+              (String.concat ", " Fuzzing.Targets.keys) )
+    | Some (module T : Fuzzing.Target.S) -> (
+        let module H = Fuzzing.Harness.Make (T) in
+        match Anonmem.Fault.of_string plan with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | faults ->
+            let inputs = Array.of_list inputs in
+            let n = Array.length inputs in
+            let m = match m with Some m -> m | None -> n in
+            let rng = Repro_util.Rng.create ~seed in
+            let wiring = Anonmem.Wiring.random rng ~n ~m in
+            let cfg = T.cfg ~n ~m in
+            let run =
+              H.exec ~cfg ~wiring ~inputs
+                ~sched:(Anonmem.Scheduler.random (Repro_util.Rng.split rng))
+                ~faults ~max_steps
+            in
+            Fmt.pr "%s under plan [%a]: seed %d, n=%d m=%d, wiring %a@." key
+              Anonmem.Fault.pp faults seed n m Anonmem.Wiring.pp wiring;
+            Fmt.pr "%a@." Repro_util.Text_table.pp (H.Tr.to_table cfg run.trace);
+            Array.iteri
+              (fun p steps ->
+                Printf.printf "  p%d: %s after %d steps\n" (p + 1)
+                  (if Option.is_some run.H.outputs.(p) then "halted"
+                   else "still running")
+                  steps)
+              run.H.step_counts;
+            (match H.verdict ~n ~m ~inputs run with
+            | Ok () -> Fmt.pr "verdict: no violation@."
+            | Error f -> Fmt.pr "verdict: %a@." Tasks.Task_failure.pp f);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run one randomly scheduled execution with an explicit fault plan \
+          injected, print the merged step/fault trace and judge the outcome \
+          with the protocol's task oracle.")
+    Term.(
+      ret
+        (const run $ protocol_arg $ seed_arg
+       $ inputs_arg ~default:[ 1; 2; 3 ]
+       $ m_arg $ plan_arg $ max_steps_arg))
+
 (* parallel *)
 
 let parallel_cmd =
@@ -323,6 +438,7 @@ let main_cmd =
       check_consensus_cmd;
       check_nonatomic_cmd;
       covering_cmd;
+      faults_cmd;
       parallel_cmd;
     ]
 

@@ -64,6 +64,16 @@ let max_steps_arg =
     & info [ "max-steps" ] ~docv:"K"
         ~doc:"Global step budget of each generated execution.")
 
+let fault_profile_arg =
+  Arg.(
+    value
+    & opt string "none"
+    & info [ "fault-profile" ] ~docv:"PROFILE"
+        ~doc:
+          (Printf.sprintf
+             "Inject seeded fault plans into every case: one of %s."
+             (String.concat ", " Fuzzing.Fault_gen.names)))
+
 let expect_bug_arg =
   Arg.(
     value & flag
@@ -88,12 +98,20 @@ let with_target key f =
 (* campaign (default command) *)
 
 let run_campaign key seed iterations time_budget min_n max_n m max_steps
-    expect_bug =
+    fault_profile expect_bug =
+  match Fuzzing.Fault_gen.of_string fault_profile with
+  | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown fault profile %S (try one of %s)"
+            fault_profile
+            (String.concat ", " Fuzzing.Fault_gen.names) )
+  | Some fault_profile ->
   with_target key (fun (module T : Fuzzing.Target.S) ->
       let module H = Fuzzing.Harness.Make (T) in
       let report =
         H.campaign ~now:Unix.gettimeofday ?time_budget ?m
-          ~n_range:(min_n, max_n) ~max_steps ~seed ~iterations ()
+          ~n_range:(min_n, max_n) ~max_steps ~fault_profile ~seed ~iterations ()
       in
       Fmt.pr "%a@." (H.pp_report ~key) report;
       (* Runtime outcomes exit with [some_error] (123), not the CLI-error
@@ -112,7 +130,7 @@ let campaign_term =
     ret
       (const run_campaign $ protocol_arg $ seed_arg $ iterations_arg
      $ time_budget_arg $ min_n_arg $ max_n_arg $ m_arg $ max_steps_arg
-     $ expect_bug_arg))
+     $ fault_profile_arg $ expect_bug_arg))
 
 (* replay *)
 
@@ -140,7 +158,18 @@ let script_req =
     & info [ "script" ] ~docv:"SCRIPT"
         ~doc:"Comma-separated 1-based processor schedule to replay.")
 
-let run_replay key inputs wiring script =
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Fault plan to re-inject during the replay, as printed by the \
+           campaign: ';'-separated events like 'crash:p2\\@10', \
+           'recover:p3\\@8', 'omit:p1\\@4', 'stale:p1\\@6', 'stuck:r2\\@0' \
+           (1-based processors/registers, 0-based global step times).")
+
+let run_replay key inputs wiring script fault_plan =
   with_target key (fun (module T : Fuzzing.Target.S) ->
       let module H = Fuzzing.Harness.Make (T) in
       match
@@ -160,6 +189,7 @@ let run_replay key inputs wiring script =
             wiring_perms;
             inputs;
             script;
+            faults = Anonmem.Fault.of_string fault_plan;
           }
         in
         (* Validates the wiring/instance shape before running. *)
@@ -183,7 +213,10 @@ let replay_cmd =
        ~doc:
          "Re-execute a shrunk counterexample (as printed by a campaign) and \
           re-judge it.")
-    Term.(ret (const run_replay $ protocol_arg $ inputs_req $ wiring_req $ script_req))
+    Term.(
+      ret
+        (const run_replay $ protocol_arg $ inputs_req $ wiring_req $ script_req
+       $ fault_plan_arg))
 
 let main_cmd =
   let doc =

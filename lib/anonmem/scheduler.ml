@@ -97,4 +97,6 @@ let crash ~crash_at t =
   in
   { name = t.name ^ "+crashes"; pick }
 
+let crash_faults ~plan t = crash ~crash_at:(Fault.crash_stops plan) t
+
 let fn ~name pick = { name; pick }

@@ -51,6 +51,12 @@ val crash : crash_at:int option array -> t -> t
     (it crashes).  When every enabled processor has crashed the run ends.
     Processors beyond the array's length never crash. *)
 
+val crash_faults : plan:Fault.plan -> t -> t
+(** {!crash} driven by the [Crash_stop] events of a fault plan — the
+    scheduler-level reading of crash-stop, sharing {!Fault.event} with the
+    memory-level injector of [System.run ~faults].  Non-crash events in
+    the plan are ignored here. *)
+
 val fn : name:string -> (time:int -> enabled:int list -> int option) -> t
 (** Custom (possibly protocol-aware) scheduler; used by the covering
     adversary of {!Analysis.Lower_bound}. *)

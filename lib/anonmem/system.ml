@@ -17,6 +17,9 @@ module Make (P : Protocol.S) = struct
         (** physical register -> last writing processor; [None] = initial
             value still in place.  Ghost state for the analyses. *)
     locals : P.local array;
+    inputs : P.input array;
+        (** the original inputs — crash-recovery restarts a processor from
+            [P.init cfg inputs.(p)] (it cannot know it is the same one) *)
   }
 
   type event =
@@ -36,6 +39,27 @@ module Make (P : Protocol.S) = struct
         overwrote : int option;  (** previous last writer, if any *)
       }
 
+  (** What the fault interpreter did, observable through [run ~on_fault].
+      [Dropped_write] consumes a scheduler step (the processor believes it
+      wrote); crash and restart notes consume none. *)
+  type fault_note =
+    | Dropped_write of {
+        p : int;
+        local_reg : int;
+        phys_reg : int;
+        value : P.value;  (** the value that never reached the register *)
+        stuck : bool;  (** register stuck-at fault (else a write omission) *)
+      }
+    | Stale_read_note of {
+        p : int;
+        local_reg : int;
+        phys_reg : int;
+        stale : P.value;  (** what the degraded read returned *)
+        fresh : P.value;  (** what an atomic read would have returned *)
+      }
+    | Crash_note of { p : int; recovering : bool }
+    | Restart_note of { p : int; attempt : int }
+
   let init ~cfg ~wiring ~inputs =
     let n = P.processors cfg and m = P.registers cfg in
     if Wiring.processors wiring <> n then
@@ -50,6 +74,7 @@ module Make (P : Protocol.S) = struct
       registers = Array.make m (P.register_init cfg);
       last_writer = Array.make m None;
       locals = Array.map (P.init cfg) inputs;
+      inputs = Array.copy inputs;
     }
 
   let processors s = P.processors s.cfg
@@ -120,26 +145,135 @@ module Make (P : Protocol.S) = struct
 
   type stop_reason = All_halted | Scheduler_done | Max_steps
 
-  (** Drive [state] under [sched] for at most [max_steps] steps, mutating it
-      in place.  [on_event] observes each step (time is the 0-based step
-      index).  Returns why the run stopped and the number of steps taken. *)
-  let run ?(max_steps = 100_000) ~sched ?on_event state =
+  (* The faulty interpreter.  Compiles the plan into per-processor /
+     per-register arrays once, then runs the same scheduler loop with the
+     fault semantics woven in:
+     - [Crash_stop p at]: p is removed from [enabled] at times >= at;
+     - [Crash_recover p at]: at time at, p's local state is reset to
+       [P.init cfg inputs.(p)] (consuming no step);
+     - [Omit_write p at]: armed at [at], fires on p's next write — the
+       register keeps its value but p's local state advances (the write
+       consumes its scheduler step);
+     - [Stale_read p at]: armed at [at], fires on p's next read, which
+       returns the register's previous value;
+     - [Stuck_register r at]: every write to physical register r at time
+       >= at is dropped (local state still advances). *)
+  let run_faulty ~max_steps ~plan ~sched ?on_event ?on_fault state =
+    let n = processors state and m = Array.length state.registers in
+    let ev time e = match on_event with Some f -> f ~time e | None -> () in
+    let note time nt = match on_fault with Some f -> f ~time nt | None -> () in
+    let crash_at = Fault.crash_stops ~n plan in
+    let recoveries = ref (Fault.recoveries plan) in
+    let omits = Fault.omit_arms ~n plan in
+    let stales = Fault.stale_arms ~n plan in
+    let stuck_at = Fault.stuck_times ~m plan in
+    let restarts = Array.make n 0 in
+    let crash_noted = Array.make n false in
+    (* Previous value of each physical register, for stale reads. *)
+    let prev = Array.copy state.registers in
+    let alive time p =
+      match crash_at.(p) with Some c -> time < c | None -> true
+    in
+    let pop_due arr p time =
+      match arr.(p) with
+      | at :: rest when at <= time ->
+          arr.(p) <- rest;
+          true
+      | _ -> false
+    in
+    let step_faulty time p =
+      match event_of state p with
+      | None -> invalid_arg "System.step: processor has terminated"
+      | Some (Read_ev { local_reg; phys_reg; value; writer; _ }) ->
+          if pop_due stales p time then (
+            let stale = prev.(phys_reg) in
+            state.locals.(p) <-
+              P.apply_read state.cfg state.locals.(p) ~reg:local_reg stale;
+            note time (Stale_read_note { p; local_reg; phys_reg; stale; fresh = value });
+            ev time (Read_ev { p; local_reg; phys_reg; value = stale; writer = None }))
+          else (
+            state.locals.(p) <-
+              P.apply_read state.cfg state.locals.(p) ~reg:local_reg value;
+            ev time (Read_ev { p; local_reg; phys_reg; value; writer }))
+      | Some (Write_ev { local_reg; phys_reg; value; previous; overwrote; _ }) ->
+          let stuck =
+            match stuck_at.(phys_reg) with Some t -> time >= t | None -> false
+          in
+          if stuck || pop_due omits p time then (
+            state.locals.(p) <- P.apply_write state.cfg state.locals.(p);
+            note time (Dropped_write { p; local_reg; phys_reg; value; stuck }))
+          else (
+            prev.(phys_reg) <- state.registers.(phys_reg);
+            state.registers.(phys_reg) <- value;
+            state.last_writer.(phys_reg) <- Some p;
+            state.locals.(p) <- P.apply_write state.cfg state.locals.(p);
+            ev time (Write_ev { p; local_reg; phys_reg; value; previous; overwrote }))
+    in
     let rec go time =
       if time >= max_steps then (Max_steps, time)
       else
-        match enabled state with
-        | [] -> (All_halted, time)
-        | en -> (
-            match Scheduler.pick sched ~time ~enabled:en with
-            | None -> (Scheduler_done, time)
-            | Some p ->
-                if not (List.mem p en) then
-                  invalid_arg "System.run: scheduler picked a halted processor";
-                let ev = step_in_place state p in
-                (match on_event with Some f -> f ~time ev | None -> ());
-                go (time + 1))
+        match !recoveries with
+        | (at, p) :: rest when at <= time ->
+            (* Restart consumes no step: amnesiac rebirth on the original
+               input. *)
+            recoveries := rest;
+            restarts.(p) <- restarts.(p) + 1;
+            note time (Crash_note { p; recovering = true });
+            state.locals.(p) <- P.init state.cfg state.inputs.(p);
+            note time (Restart_note { p; attempt = restarts.(p) });
+            go time
+        | _ -> (
+            Array.iteri
+              (fun p noted ->
+                if (not noted) && not (alive time p) then (
+                  crash_noted.(p) <- true;
+                  if not (is_halted state p) then
+                    note time (Crash_note { p; recovering = false })))
+              crash_noted;
+            match List.filter (alive time) (enabled state) with
+            | [] -> ((if all_halted state then All_halted else Scheduler_done), time)
+            | en -> (
+                match Scheduler.pick sched ~time ~enabled:en with
+                | None -> (Scheduler_done, time)
+                | Some p ->
+                    if not (List.mem p en) then
+                      invalid_arg
+                        "System.run: scheduler picked an unavailable processor";
+                    step_faulty time p;
+                    go (time + 1)))
     in
     go 0
+
+  (** Drive [state] under [sched] for at most [max_steps] steps, mutating it
+      in place.  [on_event] observes each step (time is the 0-based step
+      index).  Returns why the run stopped and the number of steps taken.
+
+      [faults] installs a fault plan (times are global step indices);
+      [on_fault] observes what the injector did.  Without a plan the
+      original fault-free loop runs — the fault layer costs nothing when
+      disabled.  An {e empty} plan still takes the interpreting path (that
+      is what the overhead benchmark measures). *)
+  let run ?(max_steps = 100_000) ?faults ~sched ?on_event ?on_fault state =
+    match faults with
+    | Some plan -> run_faulty ~max_steps ~plan ~sched ?on_event ?on_fault state
+    | None ->
+        ignore on_fault;
+        let rec go time =
+          if time >= max_steps then (Max_steps, time)
+          else
+            match enabled state with
+            | [] -> (All_halted, time)
+            | en -> (
+                match Scheduler.pick sched ~time ~enabled:en with
+                | None -> (Scheduler_done, time)
+                | Some p ->
+                    if not (List.mem p en) then
+                      invalid_arg "System.run: scheduler picked a halted processor";
+                    let ev = step_in_place state p in
+                    (match on_event with Some f -> f ~time ev | None -> ());
+                    go (time + 1))
+        in
+        go 0
 
   let pp_event cfg ppf = function
     | Read_ev { p; local_reg; phys_reg; value; writer } ->
@@ -156,6 +290,21 @@ module Make (P : Protocol.S) = struct
             | None -> ()
             | Some q -> Fmt.pf ppf " [overwrites p%d]" (q + 1))
           overwrote
+
+  let pp_fault_note cfg ppf = function
+    | Dropped_write { p; local_reg; phys_reg; value; stuck } ->
+        Fmt.pf ppf "p%d write r%d (own #%d) := %a DROPPED (%s)" (p + 1)
+          (phys_reg + 1) (local_reg + 1) (P.pp_value cfg) value
+          (if stuck then "stuck register" else "omission")
+    | Stale_read_note { p; local_reg; phys_reg; stale; fresh } ->
+        Fmt.pf ppf "p%d reads r%d (own #%d) STALE = %a (fresh was %a)" (p + 1)
+          (phys_reg + 1) (local_reg + 1) (P.pp_value cfg) stale
+          (P.pp_value cfg) fresh
+    | Crash_note { p; recovering } ->
+        Fmt.pf ppf "p%d crashes%s" (p + 1)
+          (if recovering then " (will recover)" else "")
+    | Restart_note { p; attempt } ->
+        Fmt.pf ppf "p%d restarts (attempt %d, fresh local state)" (p + 1) attempt
 
   let pp_state ppf s =
     let m = Array.length s.registers in

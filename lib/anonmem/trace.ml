@@ -22,26 +22,51 @@ module Make (P : Protocol.S) = struct
 
   type t = {
     mutable events : (int * Sys.event) list;  (** reversed *)
+    mutable faults : (int * Sys.fault_note) list;  (** reversed *)
     mutable count : int;
   }
 
-  let create () = { events = []; count = 0 }
+  let create () = { events = []; faults = []; count = 0 }
 
   let on_event t ~time ev =
     t.events <- (time, ev) :: t.events;
     t.count <- t.count + 1
 
+  (** Recorder for [Sys.run ~on_fault]: keeps the injector's notes so
+      fault rows can be interleaved into the step table and dropped writes
+      counted into the executed schedule. *)
+  let on_fault t ~time nt = t.faults <- (time, nt) :: t.faults
+
   let events t = List.rev t.events
+  let faults t = List.rev t.faults
   let length t = t.count
 
   (** The processor of each step, oldest first: the executed schedule.
       Replaying it as a scripted schedule from the same initial state
-      reproduces the run exactly (protocols are deterministic). *)
+      reproduces the run exactly (protocols are deterministic).  Dropped
+      writes consumed a scheduler step without producing an event, so they
+      are merged back in by time. *)
   let pids t =
-    List.rev_map
-      (fun (_, ev) ->
-        match ev with Sys.Read_ev { p; _ } | Sys.Write_ev { p; _ } -> p)
-      t.events
+    let ops =
+      List.rev_map
+        (fun (time, ev) ->
+          match ev with
+          | Sys.Read_ev { p; _ } | Sys.Write_ev { p; _ } -> (time, p))
+        t.events
+    in
+    let dropped =
+      List.rev
+        (List.filter_map
+           (fun (time, nt) ->
+             match nt with
+             | Sys.Dropped_write { p; _ } -> Some (time, p)
+             | _ -> None)
+           t.faults)
+    in
+    List.merge
+      (fun (t1, _) (t2, _) -> compare t1 t2)
+      ops dropped
+    |> List.map snd
 
   type covering = {
     writes : int;
@@ -79,41 +104,97 @@ module Make (P : Protocol.S) = struct
     { writes = !writes; reads = !reads; overwrites = !overwrites; lost_writes = !lost }
 
   (** One row per step: time, processor, operation, physical register,
-      value written or read. *)
+      value written or read.  Fault-injector notes are interleaved by
+      time: crash/restart rows before the step at the same time (they
+      happen between steps), dropped-write and stale-read annotations
+      after it. *)
   let to_table cfg t =
     let tbl =
       Repro_util.Text_table.create
         ~headers:[ "step"; "proc"; "op"; "reg"; "value"; "note" ]
     in
+    let event_row time ev =
+      match ev with
+      | Sys.Read_ev { p; phys_reg; value; writer; _ } ->
+          [
+            string_of_int (time + 1);
+            Printf.sprintf "p%d" (p + 1);
+            "read";
+            Printf.sprintf "r%d" (phys_reg + 1);
+            Fmt.str "%a" (P.pp_value cfg) value;
+            (match writer with
+            | Some q -> Printf.sprintf "from p%d" (q + 1)
+            | None -> "initial");
+          ]
+    | Sys.Write_ev { p; phys_reg; value; overwrote; _ } ->
+          [
+            string_of_int (time + 1);
+            Printf.sprintf "p%d" (p + 1);
+            "write";
+            Printf.sprintf "r%d" (phys_reg + 1);
+            Fmt.str "%a" (P.pp_value cfg) value;
+            (match overwrote with
+            | Some q when q <> p -> Printf.sprintf "overwrites p%d" (q + 1)
+            | _ -> "");
+          ]
+    in
+    let fault_row time nt =
+      match nt with
+      | Sys.Dropped_write { p; phys_reg; value; stuck; _ } ->
+          [
+            string_of_int (time + 1);
+            Printf.sprintf "p%d" (p + 1);
+            "write✗";
+            Printf.sprintf "r%d" (phys_reg + 1);
+            Fmt.str "%a" (P.pp_value cfg) value;
+            (if stuck then "dropped: stuck register" else "dropped: omission");
+          ]
+      | Sys.Stale_read_note { p; phys_reg; fresh; _ } ->
+          [
+            string_of_int (time + 1);
+            Printf.sprintf "p%d" (p + 1);
+            "~";
+            Printf.sprintf "r%d" (phys_reg + 1);
+            "";
+            Fmt.str "stale read (fresh was %a)" (P.pp_value cfg) fresh;
+          ]
+      | Sys.Crash_note { p; recovering } ->
+          [
+            string_of_int (time + 1);
+            Printf.sprintf "p%d" (p + 1);
+            "crash";
+            "";
+            "";
+            (if recovering then "will recover" else "crash-stop");
+          ]
+      | Sys.Restart_note { p; attempt } ->
+          [
+            string_of_int (time + 1);
+            Printf.sprintf "p%d" (p + 1);
+            "restart";
+            "";
+            "";
+            Printf.sprintf "fresh local state (attempt %d)" attempt;
+          ]
+    in
+    (* Merge events and fault notes into one chronological row stream.
+       Priority: crash/restart notes precede the step sharing their time;
+       dropped-write / stale annotations follow it. *)
+    let rows =
+      List.map (fun (time, ev) -> ((time, 1), event_row time ev)) (events t)
+      @ List.map
+          (fun (time, nt) ->
+            let prio =
+              match nt with
+              | Sys.Crash_note _ | Sys.Restart_note _ -> 0
+              | Sys.Dropped_write _ | Sys.Stale_read_note _ -> 2
+            in
+            ((time, prio), fault_row time nt))
+          (faults t)
+    in
     List.iter
-      (fun (time, ev) ->
-        let row =
-          match ev with
-          | Sys.Read_ev { p; phys_reg; value; writer; _ } ->
-              [
-                string_of_int (time + 1);
-                Printf.sprintf "p%d" (p + 1);
-                "read";
-                Printf.sprintf "r%d" (phys_reg + 1);
-                Fmt.str "%a" (P.pp_value cfg) value;
-                (match writer with
-                | Some q -> Printf.sprintf "from p%d" (q + 1)
-                | None -> "initial");
-              ]
-          | Sys.Write_ev { p; phys_reg; value; overwrote; _ } ->
-              [
-                string_of_int (time + 1);
-                Printf.sprintf "p%d" (p + 1);
-                "write";
-                Printf.sprintf "r%d" (phys_reg + 1);
-                Fmt.str "%a" (P.pp_value cfg) value;
-                (match overwrote with
-                | Some q when q <> p -> Printf.sprintf "overwrites p%d" (q + 1)
-                | _ -> "");
-              ]
-        in
-        Repro_util.Text_table.add_row tbl row)
-      (events t);
+      (fun (_, row) -> Repro_util.Text_table.add_row tbl row)
+      (List.stable_sort (fun (k1, _) (k2, _) -> compare k1 k2) rows);
     tbl
 
   let pp_covering ppf c =

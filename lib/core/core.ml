@@ -216,6 +216,31 @@ let verify_snapshot_model ?(n = 3) ?(inputs = None) ?max_states () =
     ~invariant:(snapshot_invariant cfg inputs)
     ~cfg ~inputs ()
 
+module Snapshot_fault_mc =
+  Modelcheck.Fault_explorer.Make (Modelcheck.Codecs.Snapshot)
+
+(** Exhaustively verify the strong snapshot invariant under at most
+    [max_crashes] injected crash-stops: for every wiring (processor 0
+    pinned to the identity) and every interleaving, the search also
+    branches on crashing any live processor at any point, which covers
+    every timed crash-stop plan with at most [max_crashes] crashes.  The
+    default [n = 2] completes in well under a second; [n = 3] is feasible
+    but expensive (the crash branching multiplies the fault-free space).
+
+    Only safety is checked — crashed processors trivially never
+    terminate, so wait-freedom questions under crashes are the fuzzer's
+    territory (a crash-stopped processor is exactly one that is never
+    scheduled again). *)
+let verify_snapshot_model_crashes ?(n = 2) ?(inputs = None) ?(max_crashes = 1)
+    ?max_states () =
+  let inputs =
+    match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1)
+  in
+  let cfg = Algorithms.Snapshot.standard ~n in
+  Snapshot_fault_mc.check_all_wirings ?max_states ~max_crashes
+    ~invariant:(snapshot_invariant cfg inputs)
+    ~cfg ~inputs ()
+
 module Consensus_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Consensus)
 
 (** Bounded model checking of the Figure-5 consensus algorithm (an

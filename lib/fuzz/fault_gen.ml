@@ -1,0 +1,85 @@
+(** Seeded generation of {!Anonmem.Fault} plans for fuzzing campaigns.
+
+    A {e profile} names a family of fault plans; {!random} draws a
+    concrete plan from a profile and an {!Repro_util.Rng.t}, so — exactly
+    like {!Schedule.random} — the same profile and seed always yield the
+    same plan.  Profiles are deliberately coarse: the interesting choice
+    for a campaign is {e which kinds} of faults the algorithm must
+    survive; the fuzzer explores the placements. *)
+
+open Repro_util
+
+type profile =
+  | No_faults
+  | Crash_stop_only  (** processors stop forever (the paper's usual fault) *)
+  | Crash_recover  (** amnesiac restarts on the original input *)
+  | Omission  (** individual writes silently dropped *)
+  | Stuck  (** a register stops accepting writes *)
+  | Stale  (** individual reads return the previous register value *)
+  | Mixed  (** any of the above, combined *)
+
+let all = [ No_faults; Crash_stop_only; Crash_recover; Omission; Stuck; Stale; Mixed ]
+
+let name = function
+  | No_faults -> "none"
+  | Crash_stop_only -> "crash"
+  | Crash_recover -> "recover"
+  | Omission -> "omission"
+  | Stuck -> "stuck"
+  | Stale -> "stale"
+  | Mixed -> "mixed"
+
+let of_string s =
+  List.find_opt (fun p -> name p = String.trim s) all
+
+let names = List.map name all
+let pp = Fmt.of_to_string name
+
+(** Draw a plan for [n] processors and [m] registers with event times
+    below [horizon].  Crash profiles keep at least one processor
+    uncrashed, so runs cannot be trivially vacuous. *)
+let random rng ~profile ~n ~m ~horizon : Anonmem.Fault.plan =
+  let at () = Rng.int rng (max 1 horizon) in
+  let p () = Rng.int rng n in
+  let some_events lo hi mk =
+    List.init (lo + Rng.int rng (hi - lo + 1)) (fun _ -> mk ())
+  in
+  let crash_stops () =
+    (* Crash at most n-1 distinct processors. *)
+    let survivor = p () in
+    some_events 1 (max 1 (n - 1)) (fun () ->
+        Anonmem.Fault.Crash_stop { p = p (); at = at () })
+    |> List.filter (function
+         | Anonmem.Fault.Crash_stop { p; _ } -> p <> survivor
+         | _ -> true)
+  in
+  let plan =
+    match profile with
+    | No_faults -> []
+    | Crash_stop_only -> crash_stops ()
+    | Crash_recover ->
+        some_events 1 2 (fun () ->
+            Anonmem.Fault.Crash_recover { p = p (); at = at () })
+    | Omission ->
+        some_events 1 3 (fun () -> Anonmem.Fault.Omit_write { p = p (); at = at () })
+    | Stuck -> [ Anonmem.Fault.Stuck_register { reg = Rng.int rng m; at = at () } ]
+    | Stale ->
+        some_events 1 2 (fun () -> Anonmem.Fault.Stale_read { p = p (); at = at () })
+    | Mixed ->
+        let one () =
+          match Rng.int rng 5 with
+          | 0 -> Anonmem.Fault.Crash_stop { p = p (); at = at () }
+          | 1 -> Anonmem.Fault.Crash_recover { p = p (); at = at () }
+          | 2 -> Anonmem.Fault.Omit_write { p = p (); at = at () }
+          | 3 -> Anonmem.Fault.Stale_read { p = p (); at = at () }
+          | _ -> Anonmem.Fault.Stuck_register { reg = Rng.int rng m; at = at () }
+        in
+        let events = some_events 1 4 one in
+        (* Keep one survivor here too: drop crashes of processor 0. *)
+        List.filter
+          (function
+            | Anonmem.Fault.Crash_stop { p; _ } -> p <> 0
+            | _ -> true)
+          events
+  in
+  Anonmem.Fault.normalize plan

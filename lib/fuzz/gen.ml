@@ -16,6 +16,7 @@ type case = {
   inputs : int array;  (** group identifier of each processor *)
   wiring_perms : int list list;  (** each processor's private permutation *)
   shape : Schedule.shape;
+  faults : Anonmem.Fault.plan;  (** injected fault plan ([[]] = none) *)
   max_steps : int;
 }
 
@@ -33,7 +34,8 @@ let random_inputs rng ~n =
   let groups = 1 + Rng.int rng n in
   Array.init n (fun _ -> 1 + Rng.int rng groups)
 
-let case ~seed ~n_range:(n_lo, n_hi) ?m ~m_range ~max_steps () =
+let case ~seed ~n_range:(n_lo, n_hi) ?m ~m_range
+    ?(fault_profile = Fault_gen.No_faults) ~max_steps () =
   if n_lo < 1 || n_hi < n_lo then invalid_arg "Gen.case: bad processor range";
   let rng = Rng.create ~seed in
   let n = n_lo + Rng.int rng (n_hi - n_lo + 1) in
@@ -46,15 +48,17 @@ let case ~seed ~n_range:(n_lo, n_hi) ?m ~m_range ~max_steps () =
         m_lo + Rng.int rng (m_hi - m_lo + 1)
   in
   let wiring = Anonmem.Wiring.random rng ~n ~m in
-  {
-    seed;
-    n;
-    m;
-    inputs = random_inputs rng ~n;
-    wiring_perms = perms_of_wiring wiring;
-    shape = Schedule.random rng ~n ~horizon:max_steps;
-    max_steps;
-  }
+  let inputs = random_inputs rng ~n in
+  let shape = Schedule.random rng ~n ~horizon:max_steps in
+  (* Fault times live in the early part of the run, where processors are
+     still taking steps worth perturbing. *)
+  let faults =
+    match fault_profile with
+    | Fault_gen.No_faults -> []
+    | profile ->
+        Fault_gen.random rng ~profile ~n ~m ~horizon:(min max_steps (50 * n))
+  in
+  { seed; n; m; inputs; wiring_perms = perms_of_wiring wiring; shape; faults; max_steps }
 
 (** The rng driving the schedule of [c]'s execution.  Derived from the
     case seed by one extra split so that regenerating the case and
@@ -63,7 +67,11 @@ let schedule_rng c = Rng.split (Rng.create ~seed:(c.seed lxor 0x5EED))
 
 let pp ppf c =
   Fmt.pf ppf
-    "@[<v>seed %d: n=%d m=%d@,inputs %a@,wiring %a@,adversary %a@]" c.seed c.n
+    "@[<v>seed %d: n=%d m=%d@,inputs %a@,wiring %a@,adversary %a%a@]" c.seed c.n
     c.m
     Fmt.(array ~sep:(any ",") int)
     c.inputs Anonmem.Wiring.pp (wiring c) Schedule.pp c.shape
+    (fun ppf -> function
+      | [] -> ()
+      | plan -> Fmt.pf ppf "@,faults %a" Anonmem.Fault.pp plan)
+    c.faults

@@ -17,15 +17,17 @@
     carries a standalone scripted instance replayable from the command
     line. *)
 
-(** A standalone, fully explicit execution: replaying [script] from the
-    initial state of [(n, m, wiring, inputs)] deterministically reproduces
-    the run.  This is the serializable form of a counterexample. *)
+(** A standalone, fully explicit execution: replaying [script] (with
+    [faults] re-injected at the same global step times) from the initial
+    state of [(n, m, wiring, inputs)] deterministically reproduces the
+    run.  This is the serializable form of a counterexample. *)
 type instance = {
   n : int;
   m : int;
   wiring_perms : int list list;
   inputs : int array;
   script : int list;
+  faults : Anonmem.Fault.plan;
 }
 
 type counterexample = {
@@ -53,10 +55,14 @@ let ints_1based l = String.concat "," (List.map (fun i -> string_of_int (i + 1))
     p1/r1 convention of every other renderer in the library. *)
 let replay_command ~key inst =
   Printf.sprintf
-    "fuzz.exe replay --protocol %s --inputs %s --wiring '%s' --script '%s'" key
+    "fuzz.exe replay --protocol %s --inputs %s --wiring '%s' --script '%s'%s" key
     (String.concat "," (List.map string_of_int (Array.to_list inst.inputs)))
     (String.concat ";" (List.map ints_1based inst.wiring_perms))
     (ints_1based inst.script)
+    (match inst.faults with
+    | [] -> ""
+    | plan ->
+        Printf.sprintf " --fault-plan '%s'" (Anonmem.Fault.to_string plan))
 
 module Make (T : Target.S) = struct
   module Sys = Anonmem.System.Make (T.P)
@@ -70,7 +76,7 @@ module Make (T : Target.S) = struct
     trace : Tr.t;
   }
 
-  let exec ~cfg ~wiring ~inputs ~sched ~max_steps =
+  let exec ~cfg ~wiring ~inputs ~sched ~faults ~max_steps =
     let state = Sys.init ~cfg ~wiring ~inputs in
     let trace = Tr.create () in
     let step_counts = Array.make (T.P.processors cfg) 0 in
@@ -80,7 +86,17 @@ module Make (T : Target.S) = struct
       | Sys.Read_ev { p; _ } | Sys.Write_ev { p; _ } ->
           step_counts.(p) <- step_counts.(p) + 1
     in
-    let stop, steps = Sys.run ~max_steps ~sched ~on_event state in
+    (* Dropped writes consume a scheduler step without emitting an event,
+       so they count toward the processor's steps (wait-freedom budgets
+       must see them) and are re-merged into [Tr.pids]. *)
+    let on_fault ~time nt =
+      Tr.on_fault trace ~time nt;
+      match nt with
+      | Sys.Dropped_write { p; _ } -> step_counts.(p) <- step_counts.(p) + 1
+      | _ -> ()
+    in
+    let faults = match faults with [] -> None | plan -> Some plan in
+    let stop, steps = Sys.run ~max_steps ?faults ~sched ~on_event ~on_fault state in
     { stop; steps; outputs = Sys.outputs state; step_counts; trace }
 
   let run_case (c : Gen.case) =
@@ -88,7 +104,7 @@ module Make (T : Target.S) = struct
       ~cfg:(T.cfg ~n:c.n ~m:c.m)
       ~wiring:(Gen.wiring c) ~inputs:c.inputs
       ~sched:(Schedule.scheduler (Gen.schedule_rng c) c.shape)
-      ~max_steps:c.max_steps
+      ~faults:c.faults ~max_steps:c.max_steps
 
   let run_instance inst =
     exec
@@ -96,6 +112,7 @@ module Make (T : Target.S) = struct
       ~wiring:(Anonmem.Wiring.of_lists inst.wiring_perms)
       ~inputs:inst.inputs
       ~sched:(Anonmem.Scheduler.script inst.script)
+      ~faults:inst.faults
       ~max_steps:(List.length inst.script + 1)
 
   let participated run = Array.map (fun c -> c > 0) run.step_counts
@@ -145,6 +162,7 @@ module Make (T : Target.S) = struct
               (fun q ->
                 if q = p then None else Some (if q > p then q - 1 else q))
               inst.script;
+          faults = Anonmem.Fault.drop_processor ~p inst.faults;
         }
 
   (* Remove physical register [r]: delete the local index mapped to it in
@@ -165,6 +183,7 @@ module Make (T : Target.S) = struct
                     else Some (if phys > r then phys - 1 else phys))
                   row)
               inst.wiring_perms;
+          faults = Anonmem.Fault.drop_register ~reg:r inst.faults;
         }
 
   let shrink_instance ~fails inst =
@@ -177,6 +196,18 @@ module Make (T : Target.S) = struct
         inst indices
     in
     let round inst =
+      (* Fault events first: a counterexample that survives without a
+         fault was never fault-induced, and the smaller plan keeps every
+         later (schedule/processor/register) shrink step cheap. *)
+      let inst =
+        {
+          inst with
+          faults =
+            Shrink.list
+              ~still_failing:(fun f -> fails { inst with faults = f })
+              inst.faults;
+        }
+      in
       let inst =
         {
           inst with
@@ -238,6 +269,7 @@ module Make (T : Target.S) = struct
         wiring_perms = case.wiring_perms;
         inputs = case.inputs;
         script = Tr.pids run.trace;
+        faults = case.faults;
       }
     in
     assert (fails inst0);
@@ -260,7 +292,7 @@ module Make (T : Target.S) = struct
   let case_seed ~seed i = (seed * 1_000_003) + i
 
   let campaign ?(now = Stdlib.Sys.time) ?time_budget ?m ?(n_range = (2, 5))
-      ?(max_steps = 5_000) ~seed ~iterations () =
+      ?(max_steps = 5_000) ?fault_profile ~seed ~iterations () =
     let t0 = now () in
     let finish i total cex found =
       {
@@ -282,7 +314,7 @@ module Make (T : Target.S) = struct
       else
         let case =
           Gen.case ~seed:(case_seed ~seed i) ~n_range ?m ~m_range:T.m_range
-            ~max_steps ()
+            ?fault_profile ~max_steps ()
         in
         let run = run_case case in
         match verdict ~n:case.n ~m:case.m ~inputs:case.inputs run with
@@ -309,7 +341,7 @@ module Make (T : Target.S) = struct
        %a@,\
        shrunk instance: n=%d m=%d inputs %a wiring %a@,\
        script: %s@,\
-       failure: %a@,\
+       %afailure: %a@,\
        replay: %s@,\
        @,\
        %a@]"
@@ -319,7 +351,11 @@ module Make (T : Target.S) = struct
       Fmt.(array ~sep:(any ",") int)
       inst.inputs Anonmem.Wiring.pp
       (Anonmem.Wiring.of_lists inst.wiring_perms)
-      (ints_1based inst.script) Tasks.Task_failure.pp cex.failure
+      (ints_1based inst.script)
+      (fun ppf -> function
+        | [] -> ()
+        | plan -> Fmt.pf ppf "faults: %a@," Anonmem.Fault.pp plan)
+      inst.faults Tasks.Task_failure.pp cex.failure
       (replay_command ~key inst)
       Repro_util.Text_table.pp (trace_table inst)
 

@@ -21,7 +21,11 @@ open Repro_util
 type shape =
   | Uniform
   | Weighted of int array  (** weight of each processor, [>= 1] *)
-  | Crashy of int option array  (** global time at which each processor crashes *)
+  | Crashy of Anonmem.Fault.plan
+      (** crash-stop events ({!Anonmem.Fault.Crash_stop}, global times) —
+          the same representation the fault injector consumes, so the
+          schedule-level and memory-level readings of crash-stop cannot
+          drift apart *)
   | Periodic of { prefix : int list; cycle : int list }
 
 let name = function
@@ -34,10 +38,7 @@ let pp ppf = function
   | Uniform -> Fmt.string ppf "uniform"
   | Weighted w ->
       Fmt.pf ppf "weighted(%a)" Fmt.(array ~sep:(any ",") int) w
-  | Crashy c ->
-      Fmt.pf ppf "crashy(%a)"
-        Fmt.(array ~sep:(any ",") (option ~none:(any "-") int))
-        c
+  | Crashy plan -> Fmt.pf ppf "crashy(%a)" Anonmem.Fault.pp plan
   | Periodic { prefix; cycle } ->
       Fmt.pf ppf "periodic(%a | %a)"
         Fmt.(list ~sep:(any ",") int)
@@ -68,8 +69,7 @@ let weighted_scheduler rng weights =
 let scheduler rng = function
   | Uniform -> Anonmem.Scheduler.random rng
   | Weighted w -> weighted_scheduler rng w
-  | Crashy crash_at ->
-      Anonmem.Scheduler.crash ~crash_at (Anonmem.Scheduler.random rng)
+  | Crashy plan -> Anonmem.Scheduler.crash_faults ~plan (Anonmem.Scheduler.random rng)
   | Periodic { prefix; cycle } ->
       Anonmem.Scheduler.script_then_cycle ~prefix ~cycle
 
@@ -83,8 +83,11 @@ let random rng ~n ~horizon =
       Weighted (Array.init n (fun _ -> 1 lsl (3 * Rng.int rng 3)))
   | 5 | 6 ->
       Crashy
-        (Array.init n (fun _ ->
-             if Rng.bool rng then Some (Rng.int rng (max 1 horizon)) else None))
+        (List.concat
+           (List.init n (fun p ->
+                if Rng.bool rng then
+                  [ Anonmem.Fault.Crash_stop { p; at = Rng.int rng (max 1 horizon) } ]
+                else [])))
   | _ ->
       let pids len = List.init len (fun _ -> Rng.int rng n) in
       let prefix = pids (Rng.int rng (3 * n)) in

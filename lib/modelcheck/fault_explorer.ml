@@ -1,0 +1,214 @@
+(** Bounded-fault exploration: exhaustive safety checking under at most
+    [k] injected crash-stops.
+
+    The fault-free checker ({!Explorer}) quantifies over schedules only;
+    this module additionally quantifies over {e when and whom} crash-stop
+    faults hit.  A crash-stop is time-abstract here: instead of fixing
+    fault times as the simulator's {!Anonmem.Fault.plan} does, the search
+    branches on "processor [p] crashes {e now}" at every reachable state,
+    which covers every timed plan with at most [k] crashes (and more — a
+    crash between any two global steps, under any schedule).  A safety
+    certificate from this search therefore subsumes every seeded
+    crash-stop campaign of the fuzzer at the same sizes.
+
+    States are pairs of a core protocol state and a crashed-set bitmask.
+    The crash budget is not part of the key: it is determined by the mask
+    ([budget = max_crashes - popcount mask]), so two paths reaching the
+    same core state with the same crashed set are genuinely the same
+    search node.  Crashing an already-halted processor is skipped — it
+    removes no enabled steps, so the successor state is behaviourally
+    identical and would only pad the space.
+
+    Only safety (a state invariant) is checked: wait-freedom is trivially
+    lost for the crashed processors themselves, and the surviving
+    processors' termination under crash-stop is already the fuzzer's
+    wait-freedom oracle territory.  The search graph is explored BFS-first
+    so a reported violation has a minimal-length witness. *)
+
+module Make (P : Explorer.CHECKABLE) = struct
+  module E = Explorer.Make (P)
+
+  type step =
+    | Step of int  (** processor id takes its pending protocol step *)
+    | Crash of int  (** processor id crash-stops (no memory effect) *)
+
+  let pp_step ppf = function
+    | Step p -> Fmt.pf ppf "p%d" (p + 1)
+    | Crash p -> Fmt.pf ppf "crash:p%d" (p + 1)
+
+  type violation = {
+    message : string;
+    state : E.state;  (** the violating core state *)
+    crashed : int;  (** bitmask of crash-stopped processors *)
+    steps : step list;  (** minimal-length witness from the initial state *)
+  }
+
+  type stats = {
+    states : int;  (** distinct (core state, crashed set) pairs *)
+    transitions : int;
+    crash_branches : int;  (** how many of the transitions were crashes *)
+  }
+
+  type result =
+    | Safe of stats
+    | Invariant_failed of violation
+    | State_limit of int
+
+  let popcount mask =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go mask 0
+
+  (* Parent encoding: (parent_id lsl 5) lor (crash_bit lsl 4) lor pid.
+     Explorer packs pids in 4 bits; the extra bit distinguishes crash
+     edges from protocol steps. *)
+  let explore ?(max_states = 50_000_000) ?(max_crashes = 1) ~invariant ~cfg
+      ~wiring ~inputs () =
+    let n = P.processors cfg in
+    if n >= Explorer.max_processors then
+      invalid_arg "Fault_explorer.explore: too many processors";
+    if max_crashes < 0 then invalid_arg "Fault_explorer.explore: max_crashes";
+    let table : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 16) in
+    let keys : string Repro_util.Vec.t = Repro_util.Vec.create () in
+    let parent : int Repro_util.Vec.t = Repro_util.Vec.create () in
+    let queue = Queue.create () in
+    let violation = ref None in
+    let transitions = ref 0 and crash_branches = ref 0 in
+    let key_of st mask = E.encode_state cfg st ^ String.make 1 (Char.chr mask) in
+    let add_state st mask ~from =
+      let key = key_of st mask in
+      match Hashtbl.find_opt table key with
+      | Some id -> id
+      | None ->
+          let id = Repro_util.Vec.push keys key in
+          Hashtbl.add table key id;
+          ignore (Repro_util.Vec.push parent from);
+          (match invariant st with
+          | Ok () -> ()
+          | Error message ->
+              if !violation = None then violation := Some (id, mask, message));
+          Queue.add id queue;
+          id
+    in
+    let decode key =
+      let core = String.sub key 0 (String.length key - 1) in
+      let mask = Char.code key.[String.length key - 1] in
+      (E.decode_state cfg core, mask)
+    in
+    let steps_to id =
+      let rec up id acc =
+        let packed = Repro_util.Vec.get parent id in
+        if packed < 0 then acc
+        else
+          let from = packed asr 5 in
+          let step =
+            if packed land 16 <> 0 then Crash (packed land 15)
+            else Step (packed land 15)
+          in
+          up from (step :: acc)
+      in
+      up id []
+    in
+    ignore (add_state (E.init_state ~cfg ~inputs) 0 ~from:(-1));
+    let limit_hit = ref false in
+    while (not (Queue.is_empty queue)) && !violation = None && not !limit_hit do
+      let id = Queue.pop queue in
+      let st, mask = decode (Repro_util.Vec.get keys id) in
+      let live =
+        List.filter (fun p -> mask land (1 lsl p) = 0) (E.enabled cfg st)
+      in
+      let budget = max_crashes - popcount mask in
+      let expand_one ~crash p =
+        if Repro_util.Vec.length keys >= max_states then limit_hit := true
+        else begin
+          incr transitions;
+          let st', mask' =
+            if crash then begin
+              incr crash_branches;
+              (st, mask lor (1 lsl p))
+            end
+            else (E.successor cfg wiring st p, mask)
+          in
+          let tag = (id lsl 5) lor (if crash then 16 else 0) lor p in
+          ignore (add_state st' mask' ~from:tag)
+        end
+      in
+      List.iter (expand_one ~crash:false) live;
+      (* Crash branches: only live (enabled, uncrashed) processors — a
+         crash of a halted processor changes nothing observable. *)
+      if budget > 0 then List.iter (expand_one ~crash:true) live
+    done;
+    if !limit_hit then State_limit (Repro_util.Vec.length keys)
+    else
+      match !violation with
+      | Some (id, mask, message) ->
+          let st, _ = decode (Repro_util.Vec.get keys id) in
+          Invariant_failed
+            { message; state = st; crashed = mask; steps = steps_to id }
+      | None ->
+          Safe
+            {
+              states = Repro_util.Vec.length keys;
+              transitions = !transitions;
+              crash_branches = !crash_branches;
+            }
+
+  type summary = {
+    wirings_checked : int;
+    total_states : int;
+    total_transitions : int;
+    total_crash_branches : int;
+  }
+
+  (** Check the invariant across every wiring (processor 0 pinned to the
+      identity — lossless by register anonymity) for one input
+      assignment, under at most [max_crashes] crash-stops injected at
+      arbitrary points. *)
+  let check_all_wirings ?max_states ?max_crashes ?wirings ~invariant ~cfg
+      ~inputs () =
+    let n = P.processors cfg and m = P.registers cfg in
+    let wirings =
+      match wirings with
+      | Some ws -> ws
+      | None -> Anonmem.Wiring.enumerate ~n ~m ~fix_first:true
+    in
+    let rec go summary = function
+      | [] -> Ok summary
+      | wiring :: rest -> (
+          match
+            explore ?max_states ?max_crashes ~invariant ~cfg ~wiring ~inputs ()
+          with
+          | State_limit k -> Error (Fmt.str "state limit hit at %d states" k)
+          | Invariant_failed v ->
+              Error
+                (Fmt.str
+                   "invariant violated under wiring %a with crashes {%a}: %s \
+                    (witness: %a)"
+                   Anonmem.Wiring.pp wiring
+                   Fmt.(list ~sep:comma int)
+                   (List.filter
+                      (fun p -> v.crashed land (1 lsl p) <> 0)
+                      (List.init n (fun p -> p)))
+                   v.message
+                   Fmt.(list ~sep:(any " ") pp_step)
+                   v.steps)
+          | Safe stats ->
+              go
+                {
+                  wirings_checked = summary.wirings_checked + 1;
+                  total_states = summary.total_states + stats.states;
+                  total_transitions =
+                    summary.total_transitions + stats.transitions;
+                  total_crash_branches =
+                    summary.total_crash_branches + stats.crash_branches;
+                }
+                rest)
+    in
+    go
+      {
+        wirings_checked = 0;
+        total_states = 0;
+        total_transitions = 0;
+        total_crash_branches = 0;
+      }
+      wirings
+end

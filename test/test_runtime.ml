@@ -76,8 +76,125 @@ let test_write_scan_timeout_tolerated () =
   | Ok r ->
       Array.iter
         (fun o -> Alcotest.(check bool) "no outputs" true (o = None))
-        r.R.outputs
+        r.R.outputs;
+      (* The timeout must carry the real operation count, not zero. *)
+      Array.iter
+        (fun s -> Alcotest.(check int) "real step count on timeout" 5_000 s)
+        r.R.steps;
+      Array.iter
+        (fun st ->
+          Alcotest.(check bool) "status is timed out" true (st = R.Timed_out))
+        r.R.statuses
   | Error e -> Alcotest.fail e
+
+(* A protocol whose code raises after a few operations: the supervisor
+   must catch it inside the domain and report a structured error naming
+   the processor, after joining every domain. *)
+module Bomb = struct
+  type cfg = { n : int }
+  type value = int
+  type input = int
+  type output = int
+  type local = int
+
+  let name = "bomb"
+  let processors cfg = cfg.n
+  let registers _ = 1
+  let register_init _ = 0
+  let init _ _ = 0
+  let next _ _ = Some (Anonmem.Protocol.Read 0)
+
+  let apply_read _ l ~reg:_ _ =
+    if l >= 3 then failwith "boom" else l + 1
+
+  let apply_write _ l = l
+  let output _ _ = None
+  let pp_value _ = Fmt.int
+  let pp_local _ = Fmt.int
+  let pp_output _ = Fmt.int
+end
+
+let test_exception_reported_structured () =
+  let module R = Runtime_shm.Make (Bomb) in
+  match R.run ~cfg:{ Bomb.n = 2 } ~inputs:[| 0; 0 |] () with
+  | Ok _ -> Alcotest.fail "the bomb must go off"
+  | Error e ->
+      Alcotest.(check bool) "names a processor" true
+        (String.length e >= 10 && String.sub e 0 10 = "processor ")
+
+let test_injected_crash_stop_degrades_gracefully () =
+  let module R = Runtime_shm.Snapshot_run in
+  let cfg = Algorithms.Snapshot.standard ~n:3 in
+  let faults = [ Anonmem.Fault.Crash_stop { p = 1; at = 0 } ] in
+  match R.run ~seed:2 ~faults ~cfg ~inputs:[| 1; 2; 3 |] () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "p2 crashed (injected)" true
+        (match r.R.statuses.(1) with
+        | R.Crashed { injected = true; _ } -> true
+        | _ -> false);
+      Alcotest.(check bool) "p2 silent" true (r.R.outputs.(1) = None);
+      Alcotest.(check int) "p2 took no operation" 0 r.R.steps.(1);
+      (* The survivors still terminate (wait-freedom) with valid outputs. *)
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "survivor done" true (r.R.statuses.(p) = R.Done);
+          match r.R.outputs.(p) with
+          | Some o ->
+              Alcotest.(check bool) "own input present" true (Iset.mem (p + 1) o)
+          | None -> Alcotest.fail "survivor must produce an output")
+        [ 0; 2 ]
+
+let test_injected_crash_recover_restarts () =
+  let module R = Runtime_shm.Snapshot_run in
+  let cfg = Algorithms.Snapshot.standard ~n:2 in
+  let faults = [ Anonmem.Fault.Crash_recover { p = 0; at = 2 } ] in
+  match R.run ~seed:3 ~faults ~cfg ~inputs:[| 1; 2 |] () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "p1 restarted once" true
+        (r.R.statuses.(0) = R.Restarted 1);
+      (match r.R.outputs.(0) with
+      | Some o -> Alcotest.(check bool) "valid output" true (Iset.mem 1 o)
+      | None -> Alcotest.fail "recovered processor must terminate");
+      Alcotest.(check bool) "steps cumulative across the respawn" true
+        (r.R.steps.(0) > 2)
+
+let test_respawn_budget_exhausts () =
+  let module R = Runtime_shm.Snapshot_run in
+  let cfg = Algorithms.Snapshot.standard ~n:2 in
+  (* More recoveries than the respawn budget allows. *)
+  let faults =
+    List.init 5 (fun i -> Anonmem.Fault.Crash_recover { p = 0; at = 2 + i })
+  in
+  match R.run ~seed:3 ~faults ~max_restarts:2 ~cfg ~inputs:[| 1; 2 |] () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "respawn budget exhausted" true
+        (match r.R.statuses.(0) with
+        | R.Crashed { injected = true; _ } -> true
+        | _ -> false)
+
+let test_parallel_renaming_with_crash () =
+  (* Domains-backed renaming under an injected crash-stop: the survivors'
+     names must still satisfy the adaptive renaming task. *)
+  let inputs = [| 1; 2; 3; 4 |] in
+  let cfg = Algorithms.Renaming.standard ~n:4 in
+  let faults = [ Anonmem.Fault.Crash_stop { p = 2; at = 5 } ] in
+  match Runtime_shm.Renaming_run.run ~seed:7 ~faults ~cfg ~inputs () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let outcome =
+        Tasks.Outcome.make ~inputs
+          ~outputs:
+            (Array.map
+               (Option.map (fun (o : Algorithms.Renaming.output) -> o.name_out))
+               r.Runtime_shm.Renaming_run.outputs)
+          ()
+      in
+      (match Tasks.Renaming_task.check outcome with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Tasks.Task_failure.to_string e))
 
 let test_fixed_wiring_respected () =
   (* With the identity wiring and a single processor the snapshot output is
@@ -120,5 +237,18 @@ let () =
             test_write_scan_timeout_tolerated;
           Alcotest.test_case "fixed wiring" `Quick test_fixed_wiring_respected;
           Alcotest.test_case "input validation" `Quick test_bad_inputs_rejected;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "protocol exception reported structured" `Quick
+            test_exception_reported_structured;
+          Alcotest.test_case "injected crash-stop degrades gracefully" `Quick
+            test_injected_crash_stop_degrades_gracefully;
+          Alcotest.test_case "injected crash-recover restarts" `Quick
+            test_injected_crash_recover_restarts;
+          Alcotest.test_case "respawn budget exhausts" `Quick
+            test_respawn_budget_exhausts;
+          Alcotest.test_case "renaming survives a crash" `Quick
+            test_parallel_renaming_with_crash;
         ] );
     ]
