@@ -1,4 +1,4 @@
-.PHONY: build test bench fuzz-smoke fuzz-long fault-smoke faults-long clean
+.PHONY: build test bench bench-mc mc-smoke mc-long fuzz-smoke fuzz-long fault-smoke faults-long clean
 
 build:
 	dune build @all
@@ -8,6 +8,26 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Model-checking engine benchmark: states visited + wall-clock for
+# sequential vs symmetry-reduced vs parallel x {1,2,4} domains on the
+# snapshot explorations.  Writes BENCH_mc.json (several minutes; the
+# 3-processor rows explore ~2M states each).
+bench-mc:
+	dune build bench/bench_mc.exe
+	cd $(CURDIR) && ./_build/default/bench/bench_mc.exe
+
+# The quick cross-engine differential pass that runtest already includes.
+mc-smoke:
+	dune build @mc-smoke
+
+# The full differential matrix: every 3-processor wiring, the unbounded
+# single-group 3-processor reduction run, deeper level bounds, a slice of
+# the C2 cyclic-refinement refutation, and 500-case QCheck properties.
+# Several minutes.
+mc-long:
+	dune build test/test_par_explorer.exe
+	MC_LONG=1 ./_build/default/test/test_par_explorer.exe
 
 # The bounded fuzzing pass that runtest already includes (a few seconds).
 fuzz-smoke:

@@ -1,0 +1,133 @@
+(* Model-checking benchmark: states visited and wall-clock for the
+   snapshot exploration under the four engine configurations —
+   sequential, sequential + symmetry reduction, parallel x {1,2,4}
+   domains, with and without reduction.  Results go to BENCH_mc.json
+   (hand-rolled JSON, no external dependency) and a human-readable table
+   on stdout; EXPERIMENTS.md table X6 is generated from this output.
+
+   The headline case is the 3-processor identity-wiring snapshot with a
+   single input class — the largest symmetry group (|G| = 6) and the
+   configuration whose full space is infeasible to sweep inside the test
+   suite.  On a single-core host the parallel rows measure overhead, not
+   speedup; the acceptance claim is carried by the visited-state
+   reduction column. *)
+
+module Snap = Algorithms.Snapshot
+module P = Modelcheck.Codecs.Snapshot
+module E = Modelcheck.Explorer.Make (P)
+module Par = Modelcheck.Par_explorer.Make (P)
+
+type row = {
+  case : string;
+  engine : string; (* "seq" | "par" *)
+  domains : int;
+  reduction : bool;
+  states : int;
+  transitions : int;
+  wall_s : float;
+}
+
+let rows : row list ref = ref []
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let seq_case ~case ~reduction ~cfg ~wiring ~inputs () =
+  let (states, transitions), wall_s =
+    time (fun () ->
+        match E.explore ~reduction ~cfg ~wiring ~inputs () with
+        | E.Explored sp -> (E.state_count sp, E.transition_count sp)
+        | _ -> failwith (case ^ ": sequential exploration did not complete"))
+  in
+  rows :=
+    { case; engine = "seq"; domains = 1; reduction; states; transitions; wall_s }
+    :: !rows;
+  Printf.printf "%-24s seq        %s %9d states %9d trans %8.2fs\n%!" case
+    (if reduction then "red  " else "full ")
+    states transitions wall_s
+
+let par_case ~case ~domains ~reduction ~cfg ~wiring ~inputs () =
+  let (states, transitions), wall_s =
+    time (fun () ->
+        match Par.explore ~reduction ~domains ~cfg ~wiring ~inputs () with
+        | Par.Par_ok { stats; _ } -> (stats.Par.states, stats.Par.transitions)
+        | _ -> failwith (case ^ ": parallel exploration did not complete"))
+  in
+  rows :=
+    { case; engine = "par"; domains; reduction; states; transitions; wall_s }
+    :: !rows;
+  Printf.printf "%-24s par x%d     %s %9d states %9d trans %8.2fs\n%!" case
+    domains
+    (if reduction then "red  " else "full ")
+    states transitions wall_s
+
+let run_matrix ~case ~domain_counts ~cfg ~wiring ~inputs () =
+  List.iter
+    (fun reduction ->
+      seq_case ~case ~reduction ~cfg ~wiring ~inputs ();
+      List.iter
+        (fun domains -> par_case ~case ~domains ~reduction ~cfg ~wiring ~inputs ())
+        domain_counts)
+    [ false; true ]
+
+let json_of_rows rows ~reduction_factor =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"mc\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string b
+    (Printf.sprintf "  \"snapshot3_state_reduction_factor\": %.2f,\n"
+       reduction_factor);
+  Buffer.add_string b "  \"cases\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"case\": %S, \"engine\": %S, \"domains\": %d, \"reduction\": \
+            %b, \"states\": %d, \"transitions\": %d, \"wall_s\": %.3f}%s\n"
+           r.case r.engine r.domains r.reduction r.states r.transitions r.wall_s
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let () =
+  let quick = Array.mem "--quick" Sys.argv in
+  (* n = 2, the wiring with a nontrivial automorphism and one input
+     class: the smallest configuration where reduction bites. *)
+  let cfg2 = Snap.standard ~n:2 in
+  let group_wiring2 =
+    match Anonmem.Wiring.enumerate ~n:2 ~m:2 ~fix_first:true with
+    | _ :: w :: _ -> w
+    | _ -> assert false
+  in
+  run_matrix ~case:"snapshot_n2_group" ~domain_counts:[ 1; 2; 4 ] ~cfg:cfg2
+    ~wiring:group_wiring2 ~inputs:[| 1; 1 |] ();
+  (* n = 3, identity wiring, single input class: |G| = 6, ~2M raw states. *)
+  if not quick then
+    run_matrix ~case:"snapshot_n3_identity" ~domain_counts:[ 1; 2; 4 ]
+      ~cfg:(Snap.standard ~n:3)
+      ~wiring:(Anonmem.Wiring.identity ~n:3 ~m:3)
+      ~inputs:[| 1; 1; 1 |] ();
+  let ordered = List.rev !rows in
+  let headline = if quick then "snapshot_n2_group" else "snapshot_n3_identity" in
+  let find ~reduction =
+    List.find_opt
+      (fun r -> r.case = headline && r.engine = "seq" && r.reduction = reduction)
+      ordered
+  in
+  let reduction_factor =
+    match (find ~reduction:false, find ~reduction:true) with
+    | Some full, Some red when red.states > 0 ->
+        float_of_int full.states /. float_of_int red.states
+    | _ -> nan
+  in
+  let oc = open_out "BENCH_mc.json" in
+  output_string oc (json_of_rows ordered ~reduction_factor);
+  close_out oc;
+  Printf.printf "\n%s: %.2fx visited-state reduction; wrote BENCH_mc.json\n"
+    headline reduction_factor

@@ -147,8 +147,31 @@ let check_snapshot_cmd =
              covers every timed crash plan with at most K crashes.  Safety \
              only: crashed processors trivially never terminate.")
   in
-  let run n max_states crashes =
-    match Core.verify_snapshot_model ~n ?max_states () with
+  let par_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "par" ] ~docv:"N"
+          ~doc:
+            "Explore with N worker domains (the sharded layer-synchronous \
+             parallel engine).  N=1 keeps the sequential explorer.")
+  in
+  let reduce_arg =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:
+            "Quotient each per-wiring state space by its anonymity \
+             symmetries (orbit-minimum canonicalization).  Pays off exactly \
+             when several processors share an input; with all-distinct \
+             inputs the symmetry group is trivial.")
+  in
+  let run n max_states crashes par reduce =
+    if par < 1 then `Error (true, "--par must be at least 1")
+    else
+    match
+      Core.verify_snapshot_model ~n ?max_states ~reduction:reduce ~domains:par
+        ()
+    with
     | Error e -> `Error (false, e)
     | Ok s -> (
         Printf.printf
@@ -156,14 +179,14 @@ let check_snapshot_cmd =
         Printf.printf
           "wirings: %d, states: %d (largest space %d), transitions: %d, \
            terminal states: %d\n"
-          s.Core.Snapshot_mc.wirings_checked s.Core.Snapshot_mc.total_states
-          s.Core.Snapshot_mc.max_space_states s.Core.Snapshot_mc.total_transitions
-          s.Core.Snapshot_mc.terminal_states;
+          s.Modelcheck.Explorer.wirings_checked s.Modelcheck.Explorer.total_states
+          s.Modelcheck.Explorer.max_space_states s.Modelcheck.Explorer.total_transitions
+          s.Modelcheck.Explorer.terminal_states;
         if crashes <= 0 then `Ok ()
         else
           match
             Core.verify_snapshot_model_crashes ~n ~max_crashes:crashes
-              ?max_states ()
+              ?max_states ~reduction:reduce ()
           with
           | Error e -> `Error (false, e)
           | Ok fs ->
@@ -186,8 +209,13 @@ let check_snapshot_cmd =
          "Exhaustively model-check the Figure-3 snapshot algorithm \
           (containment safety + wait-freedom) over all wirings — the \
           paper's TLC claim.  With $(b,--crashes) K, additionally \
-          re-verify safety under at most K injected crash-stop faults.")
-    Term.(ret (const run $ n_arg ~default:2 $ max_states_arg $ crashes_arg))
+          re-verify safety under at most K injected crash-stop faults.  \
+          $(b,--par) N shards the exploration over N domains; $(b,--reduce) \
+          switches on symmetry reduction.")
+    Term.(
+      ret
+        (const run $ n_arg ~default:2 $ max_states_arg $ crashes_arg $ par_arg
+       $ reduce_arg))
 
 (* check-nonatomic: the Section-8 claim *)
 

@@ -138,15 +138,15 @@ let claim_c1 () =
       Printf.printf
         "n=2: VERIFIED over %d wirings; %d states, %d transitions, %d \
          terminal states; wait-free: %b\n"
-        s.Core.Snapshot_mc.wirings_checked s.Core.Snapshot_mc.total_states
-        s.Core.Snapshot_mc.total_transitions s.Core.Snapshot_mc.terminal_states
-        s.Core.Snapshot_mc.all_wait_free
+        s.Modelcheck.Explorer.wirings_checked s.Modelcheck.Explorer.total_states
+        s.Modelcheck.Explorer.total_transitions s.Modelcheck.Explorer.terminal_states
+        s.Modelcheck.Explorer.all_wait_free
   | Error e -> Printf.printf "n=2 FAILED: %s\n" e);
   (* group inputs at n=2: both processors in one group *)
   (match Core.verify_snapshot_model ~n:2 ~inputs:(Some [| 1; 1 |]) () with
   | Ok s ->
       Printf.printf "n=2 (one group, inputs 1,1): VERIFIED; %d states\n"
-        s.Core.Snapshot_mc.total_states
+        s.Modelcheck.Explorer.total_states
   | Error e -> Printf.printf "n=2 groups FAILED: %s\n" e);
   (* n=3 uses the bit-packed specialized checker (Modelcheck.Snapshot3):
      a single wiring's space is ~10^8 states.  First cross-validate its

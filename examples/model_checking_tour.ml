@@ -18,10 +18,10 @@ let () =
   | Ok s ->
       Printf.printf
         "   verified: containment safety and wait-freedom over %d wirings\n"
-        s.Core.Snapshot_mc.wirings_checked;
+        s.Modelcheck.Explorer.wirings_checked;
       Printf.printf "   %d states, %d transitions, %d terminal states\n\n"
-        s.Core.Snapshot_mc.total_states s.Core.Snapshot_mc.total_transitions
-        s.Core.Snapshot_mc.terminal_states
+        s.Modelcheck.Explorer.total_states s.Modelcheck.Explorer.total_transitions
+        s.Modelcheck.Explorer.terminal_states
   | Error e -> failwith e);
 
   print_endline "2. Wait-freedom as acyclicity: the write-scan loop diverges";

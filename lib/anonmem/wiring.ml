@@ -34,6 +34,50 @@ let enumerate ~n ~m ~fix_first =
   in
   List.map (fun perms -> make (Array.of_list perms)) (go 0)
 
+let automorphisms t ~classes =
+  let n = processors t and m = registers t in
+  if Array.length classes <> n then
+    invalid_arg "Wiring.automorphisms: classes array has wrong arity";
+  let class_preserving pi =
+    let ok = ref true in
+    for p = 0 to n - 1 do
+      if classes.(Permutation.apply pi p) <> classes.(p) then ok := false
+    done;
+    !ok
+  in
+  List.filter_map
+    (fun pi ->
+      if not (class_preserving pi) then None
+      else
+        (* The register permutation is forced: moving processor 0's slot to
+           processor [pi 0] rewires reads of physical register sigma_0(i) to
+           sigma_{pi 0}(i), so rho = sigma_{pi 0} o sigma_0^{-1}; the pair is
+           an automorphism only if the same rho reconciles every processor. *)
+        let rho =
+          Permutation.compose
+            t.perms.(Permutation.apply pi 0)
+            t.inverses.(0)
+        in
+        let consistent = ref true in
+        for p = 0 to n - 1 do
+          if
+            not
+              (Permutation.equal
+                 t.perms.(Permutation.apply pi p)
+                 (Permutation.compose rho t.perms.(p)))
+          then consistent := false
+        done;
+        if !consistent then Some (pi, rho) else None)
+    (Permutation.enumerate n)
+  |> fun syms ->
+  assert (
+    List.exists
+      (fun (pi, rho) ->
+        Permutation.equal pi (Permutation.identity n)
+        && Permutation.equal rho (Permutation.identity m))
+      syms);
+  syms
+
 let equal a b =
   Array.length a.perms = Array.length b.perms
   && Array.for_all2 Permutation.equal a.perms b.perms

@@ -44,5 +44,22 @@ val enumerate : n:int -> m:int -> fix_first:bool -> t list
     (global register renaming), which shrinks the model checker's wiring
     space from [(m!)^n] to [(m!)^(n-1)] without losing behaviours. *)
 
+val automorphisms :
+  t -> classes:int array -> (Permutation.t * Permutation.t) list
+(** The symmetry group of a wired system whose processors are partitioned
+    into interchangeability classes (same class = same program and same
+    input, which full anonymity makes indistinguishable): all pairs
+    [(pi, rho)] of a processor permutation [pi] preserving [classes] and a
+    register permutation [rho] such that [perm (pi p) = rho ∘ perm p] for
+    every [p].  Relabelling processors by [pi] {e and} physical registers by
+    [rho] is then an automorphism of the fixed-wiring transition system:
+    local states carry over verbatim (private indices are reinterpreted
+    through the moved permutations) and every read/write lands on the
+    correspondingly relabelled register.  The list always contains the
+    identity pair and is closed under composition (it is a subgroup of
+    [S_n × S_m]), which is what makes orbit-minimum canonicalization sound;
+    see {!Modelcheck.Canon}.  Raises [Invalid_argument] if [classes] does
+    not have one entry per processor. *)
+
 val equal : t -> t -> bool
 val pp : t Fmt.t

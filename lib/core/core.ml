@@ -179,6 +179,8 @@ let figure2_table ?actions () =
 let lower_bound_demo ~n () = Analysis.Lower_bound.run ~n ()
 
 module Snapshot_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Snapshot)
+module Snapshot_par_mc =
+  Modelcheck.Par_explorer.Make (Modelcheck.Codecs.Snapshot)
 
 (** The strong snapshot invariant checked during model checking: every
     pair of outputs produced so far is related by containment, every
@@ -208,13 +210,26 @@ let snapshot_invariant cfg inputs (st : Snapshot_mc.state) =
     given inputs and {e every} wiring (processor 0 pinned to the identity —
     lossless by register anonymity), explore all interleavings, check the
     strong snapshot invariant and wait-freedom.  [n = 3] reproduces the
-    paper's TLC claim. *)
-let verify_snapshot_model ?(n = 3) ?(inputs = None) ?max_states () =
+    paper's TLC claim.
+
+    [~reduction:true] quotients each per-wiring space by its anonymity
+    symmetries (a gain exactly when [inputs] has repeated values — with
+    all-distinct inputs the symmetry group is trivial); [~domains > 1]
+    switches to the parallel engine ({!Modelcheck.Par_explorer}) with that
+    many worker domains.  Both engines return the same summary type and
+    agree on every verdict (asserted by the differential suite). *)
+let verify_snapshot_model ?(n = 3) ?(inputs = None) ?max_states
+    ?(reduction = false) ?(domains = 1) () =
   let inputs = match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1) in
   let cfg = Algorithms.Snapshot.standard ~n in
-  Snapshot_mc.check_all_wirings ?max_states
-    ~invariant:(snapshot_invariant cfg inputs)
-    ~cfg ~inputs ()
+  if domains > 1 then
+    Snapshot_par_mc.check_all_wirings ?max_states ~reduction ~domains
+      ~invariant:(snapshot_invariant cfg inputs)
+      ~cfg ~inputs ()
+  else
+    Snapshot_mc.check_all_wirings ?max_states ~reduction
+      ~invariant:(snapshot_invariant cfg inputs)
+      ~cfg ~inputs ()
 
 module Snapshot_fault_mc =
   Modelcheck.Fault_explorer.Make (Modelcheck.Codecs.Snapshot)
@@ -232,12 +247,12 @@ module Snapshot_fault_mc =
     territory (a crash-stopped processor is exactly one that is never
     scheduled again). *)
 let verify_snapshot_model_crashes ?(n = 2) ?(inputs = None) ?(max_crashes = 1)
-    ?max_states () =
+    ?max_states ?(reduction = false) () =
   let inputs =
     match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1)
   in
   let cfg = Algorithms.Snapshot.standard ~n in
-  Snapshot_fault_mc.check_all_wirings ?max_states ~max_crashes
+  Snapshot_fault_mc.check_all_wirings ?max_states ~max_crashes ~reduction
     ~invariant:(snapshot_invariant cfg inputs)
     ~cfg ~inputs ()
 
@@ -251,7 +266,7 @@ module Consensus_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Consensus)
     the full algorithm iff it holds for every bound, so each run is a
     genuine bounded-safety certificate. *)
 let verify_consensus_bounded ?(n = 2) ?(inputs = None) ?(max_ts = 5)
-    ?max_states () =
+    ?max_states ?(reduction = false) () =
   let inputs =
     match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1)
   in
@@ -282,7 +297,7 @@ let verify_consensus_bounded ?(n = 2) ?(inputs = None) ?(max_ts = 5)
     | wiring :: rest -> (
         match
           Consensus_mc.check_exhaustive ?max_states ~fail_on_cycle:false
-            ~invariant ~stop_expansion ~cfg ~wiring ~inputs ()
+            ~reduction ~invariant ~stop_expansion ~cfg ~wiring ~inputs ()
         with
         | Consensus_mc.Dfs_ok s -> go (total + s.Consensus_mc.dfs_states) rest
         | Consensus_mc.Dfs_cycle _ -> assert false

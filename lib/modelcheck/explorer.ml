@@ -25,7 +25,17 @@
     {e all} executions of the anonymous model the caller iterates
     exploration over {!Anonmem.Wiring.enumerate} (with register-symmetry
     reduction) and the relevant input assignments; see
-    {!Make.check_all_wirings}. *)
+    {!Make.check_all_wirings}.
+
+    Two scaling levers sit on top of the sequential passes: the opt-in
+    [~reduction] flag quotients the space by the wiring's anonymity
+    symmetries ({!Canon}; sound because canonical keys are orbit minima
+    under genuine automorphisms, see DESIGN.md), and {!Par_explorer} runs
+    the BFS on a pool of OCaml 5 domains.  Under reduction, invariants and
+    [stop_expansion] predicates must themselves be symmetric — invariant
+    under permuting same-input processors together with the induced
+    register relabelling — which holds for every property shipped here
+    (containment, agreement, memory-content sets, timestamp bounds). *)
 
 open Repro_util
 
@@ -47,6 +57,48 @@ end
    destination in a parallel one; dense state ids stay well below 2^59 and
    processor counts below 16 in any feasible exploration. *)
 let max_processors = 16
+
+exception
+  Unsupported_processors of { engine : string; processors : int; limit : int }
+(** Structured rejection of configurations whose processor count would
+    silently corrupt the packed edge/parent encodings (pids occupy 4 bits;
+    {!Fault_explorer} additionally packs the crash mask in one byte, so its
+    limit is 8).  Raised eagerly by every exploration entry point. *)
+
+let () =
+  Printexc.register_printer (function
+    | Unsupported_processors { engine; processors; limit } ->
+        Some
+          (Printf.sprintf
+             "%s: %d processors exceed the supported maximum of %d (packed \
+              pid/crash-mask encoding)"
+             engine processors limit)
+    | _ -> None)
+
+let guard_processors ~engine ?(limit = max_processors - 1) n =
+  if n > limit then raise (Unsupported_processors { engine; processors = n; limit })
+
+type summary = {
+  wirings_checked : int;
+  total_states : int;
+  max_space_states : int;
+  total_transitions : int;
+  terminal_states : int;
+  all_wait_free : bool;
+}
+(** Aggregate of a [check_all_wirings] sweep.  Defined outside the functor
+    so the sequential and parallel engines ({!Par_explorer}) share one
+    summary type and can be swapped behind a single interface. *)
+
+let empty_summary =
+  {
+    wirings_checked = 0;
+    total_states = 0;
+    max_space_states = 0;
+    total_transitions = 0;
+    terminal_states = 0;
+    all_wait_free = true;
+  }
 
 module Make (P : CHECKABLE) = struct
   type state = { locals : P.local array; registers : P.value array }
@@ -101,10 +153,53 @@ module Make (P : CHECKABLE) = struct
 
   let outputs cfg st = Array.map (P.output cfg) st.locals
 
+  (** The symmetry group of [(cfg, wiring, inputs)]: processors in the same
+      input class permute together with the induced register relabelling.
+      The [~reduction] flags below build exactly this. *)
+  let canon_of ~cfg ~wiring ~inputs =
+    Canon.make
+      ~local_width:(P.local_width cfg)
+      ~value_width:(P.value_width cfg)
+      ~wiring
+      ~classes:(Canon.classes_of_inputs inputs)
+
+  (** Replay a chain of {e canonical} keys into a concrete execution: from
+      [init_state], at each key pick an enabled processor whose successor
+      canonicalizes to that key.  Any such choice is a valid concrete step
+      (two choices hitting the same orbit are symmetric), so traces of
+      reduced explorations stay replayable counterexamples. *)
+  let concretize ~cfg ~wiring ~canon ~inputs keys =
+    let rec go st acc = function
+      | [] -> List.rev acc
+      | key :: rest ->
+          let n = Array.length st.locals in
+          let rec pick p =
+            if p >= n then
+              invalid_arg
+                "Explorer.concretize: canonical key chain has no concrete \
+                 refinement (asymmetric invariant?)"
+            else if P.next cfg st.locals.(p) = None then pick (p + 1)
+            else
+              let st' = successor cfg wiring st p in
+              if
+                String.equal
+                  (Canon.canonicalize canon (encode_state cfg st'))
+                  key
+              then (p, st')
+              else pick (p + 1)
+          in
+          let p, st' = pick 0 in
+          go st' ((p, st') :: acc) rest
+    in
+    go (init_state ~cfg ~inputs) [] keys
+
   type space = {
     cfg : P.cfg;
     wiring : Anonmem.Wiring.t;
     inputs : P.input array;
+    reduction : Canon.t option;
+        (** present iff the space is a symmetry quotient: keys are orbit
+            minima and traces are concretized on demand *)
     keys : string Vec.t;  (** id -> encoded state; id 0 is initial *)
     parent : int Vec.t;  (** id -> (parent_id lsl 4) lor pid; -1 at root *)
     edge_src : int Vec.t;  (** (src lsl 4) lor pid *)
@@ -121,7 +216,7 @@ module Make (P : CHECKABLE) = struct
     message : string;
     trace : (int * state) list;
         (** steps [(pid, post-state)] from the initial state to the
-            violating state *)
+            violating state; concretized when the space is reduced *)
   }
 
   type result =
@@ -130,24 +225,40 @@ module Make (P : CHECKABLE) = struct
     | State_limit of int  (** exploration aborted at this many states *)
 
   let trace_to space id =
-    let rec up id acc =
-      let packed = Vec.get space.parent id in
-      if packed < 0 then acc
-      else
-        let parent = packed asr 4 and pid = packed land 15 in
-        up parent ((pid, state_of space id) :: acc)
-    in
-    up id []
+    match space.reduction with
+    | None ->
+        let rec up id acc =
+          let packed = Vec.get space.parent id in
+          if packed < 0 then acc
+          else
+            let parent = packed asr 4 and pid = packed land 15 in
+            up parent ((pid, state_of space id) :: acc)
+        in
+        up id []
+    | Some canon ->
+        let rec up id acc =
+          let packed = Vec.get space.parent id in
+          if packed < 0 then acc
+          else up (packed asr 4) (Vec.get space.keys id :: acc)
+        in
+        concretize ~cfg:space.cfg ~wiring:space.wiring ~canon
+          ~inputs:space.inputs (up id [])
 
   (** Breadth-first exploration.  [invariant] is checked on every state as
       it is discovered; the first failure aborts with a minimal-length
       counterexample trace.  [stop_expansion] (default: never) marks states
       whose successors should not be explored — used to bound protocols
-      with unbounded state.  [progress] is called every [2^20] states. *)
+      with unbounded state.  [progress] is called every [2^20] states.
+      [reduction] explores the symmetry quotient instead (visited keys are
+      canonical orbit minima); invariant and [stop_expansion] must then be
+      symmetric predicates. *)
   let explore ?(max_states = 50_000_000) ?invariant ?stop_expansion ?progress
-      ~cfg ~wiring ~inputs () =
-    if P.processors cfg >= max_processors then
-      invalid_arg "Explorer.explore: too many processors to pack edges";
+      ?(reduction = false) ~cfg ~wiring ~inputs () =
+    guard_processors ~engine:"Explorer.explore" (P.processors cfg);
+    let canon = if reduction then Some (canon_of ~cfg ~wiring ~inputs) else None in
+    let canonical key =
+      match canon with Some c -> Canon.canonicalize c key | None -> key
+    in
     let table : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 16) in
     let keys : string Vec.t = Vec.create () in
     let parent : int Vec.t = Vec.create () in
@@ -157,7 +268,7 @@ module Make (P : CHECKABLE) = struct
     let queue = Queue.create () in
     let violation = ref None in
     let add_state st ~from =
-      let key = encode_state cfg st in
+      let key = canonical (encode_state cfg st) in
       match Hashtbl.find_opt table key with
       | Some id -> id
       | None ->
@@ -166,6 +277,9 @@ module Make (P : CHECKABLE) = struct
           ignore (Vec.push parent from);
           (match invariant with
           | Some check -> (
+              (* check the representative: symmetric invariants have the
+                 same verdict on every member of the orbit *)
+              let st = if canon = None then st else decode_state cfg key in
               match check st with
               | Ok () -> ()
               | Error message ->
@@ -208,6 +322,7 @@ module Make (P : CHECKABLE) = struct
           cfg;
           wiring;
           inputs;
+          reduction = canon;
           keys;
           parent;
           edge_src;
@@ -242,72 +357,16 @@ module Make (P : CHECKABLE) = struct
     done;
     (deg, adj)
 
-  (* Iterative Tarjan over the CSR graph. *)
   let scc_ids space =
-    let n = state_count space in
     let off, adj = csr space in
-    let index = Array.make n (-1) in
-    let lowlink = Array.make n 0 in
-    let on_stack = Bytes.make n '\000' in
-    let comp = Array.make n (-1) in
-    let stack = ref [] in
-    let next_index = ref 0 in
-    let comp_count = ref 0 in
-    let visit root =
-      let frames = ref [ (root, ref off.(root)) ] in
-      index.(root) <- !next_index;
-      lowlink.(root) <- !next_index;
-      incr next_index;
-      stack := root :: !stack;
-      Bytes.set on_stack root '\001';
-      while !frames <> [] do
-        match !frames with
-        | [] -> ()
-        | (v, cursor) :: parent_frames -> (
-            if !cursor < off.(v + 1) then begin
-              let w = adj.(!cursor) in
-              incr cursor;
-              if index.(w) = -1 then begin
-                index.(w) <- !next_index;
-                lowlink.(w) <- !next_index;
-                incr next_index;
-                stack := w :: !stack;
-                Bytes.set on_stack w '\001';
-                frames := (w, ref off.(w)) :: !frames
-              end
-              else if Bytes.get on_stack w = '\001' then
-                lowlink.(v) <- min lowlink.(v) index.(w)
-            end
-            else begin
-              if lowlink.(v) = index.(v) then begin
-                let continue = ref true in
-                while !continue do
-                  match !stack with
-                  | [] -> continue := false
-                  | w :: tl ->
-                      stack := tl;
-                      Bytes.set on_stack w '\000';
-                      comp.(w) <- !comp_count;
-                      if w = v then continue := false
-                done;
-                incr comp_count
-              end;
-              frames := parent_frames;
-              match parent_frames with
-              | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
-              | [] -> ()
-            end)
-      done
-    in
-    for v = 0 to n - 1 do
-      if index.(v) = -1 then visit v
-    done;
-    (comp, !comp_count)
+    Scc.tarjan ~n:(state_count space) ~off ~adj
 
   (** Processors that can take infinitely many steps without terminating:
       those with an edge inside a strongly connected component of the
       transition graph.  Empty result = the protocol is wait-free for this
-      wiring and input assignment. *)
+      wiring and input assignment.  (On a reduced space the reported pids
+      are representatives of their symmetry class: a quotient cycle lifts
+      to a concrete divergence because automorphisms have finite order.) *)
   let divergent_processors space =
     let comp, _ = scc_ids space in
     let bad = Hashtbl.create 8 in
@@ -347,7 +406,10 @@ module Make (P : CHECKABLE) = struct
       processor can then take infinitely many steps without terminating),
       and acyclicity is exactly the absence of back edges in a DFS.  The
       DFS keeps only the visited table (key → id), one color byte per
-      state, and the current path. *)
+      state, and the current path.  Acyclicity of the symmetry quotient
+      coincides with acyclicity of the full graph (project a cycle down;
+      lift a quotient cycle by iterating its automorphism to its finite
+      order), so [~reduction] is sound here too. *)
 
   type dfs_stats = {
     dfs_states : int;
@@ -360,16 +422,18 @@ module Make (P : CHECKABLE) = struct
     | Dfs_ok of dfs_stats
     | Dfs_invariant_failed of {
         message : string;
-        state : state;  (** the violating state *)
+        state : state;  (** the violating state (concrete) *)
         path : int list;
             (** processor ids of the steps from the initial state to the
-                violating state — replay them to rematerialize the trace *)
+                violating state — replay them to rematerialize the trace;
+                concretized when the run is reduced *)
         stats : dfs_stats;
       }
     | Dfs_cycle of {
         processors : int list;
             (** processors taking steps on the cycle found: each of them
-                can run forever without terminating *)
+                can run forever without terminating (symmetry-class
+                representatives under [~reduction]) *)
         stats : dfs_stats;
       }
     | Dfs_state_limit of int
@@ -379,9 +443,13 @@ module Make (P : CHECKABLE) = struct
       obstruction-free (e.g. consensus), where cycles are expected and only
       the invariant is being checked. *)
   let check_exhaustive ?(max_states = 100_000_000) ?(fail_on_cycle = true)
-      ?invariant ?stop_expansion ?progress ~cfg ~wiring ~inputs () =
-    if P.processors cfg >= max_processors then
-      invalid_arg "Explorer.check_exhaustive: too many processors";
+      ?invariant ?stop_expansion ?progress ?(reduction = false) ~cfg ~wiring
+      ~inputs () =
+    guard_processors ~engine:"Explorer.check_exhaustive" (P.processors cfg);
+    let canon = if reduction then Some (canon_of ~cfg ~wiring ~inputs) else None in
+    let canonical key =
+      match canon with Some c -> Canon.canonicalize c key | None -> key
+    in
     let table : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 20) in
     let colors = Vec.create () in
     (* 1 = gray (on the DFS path), 2 = black (done) *)
@@ -412,28 +480,44 @@ module Make (P : CHECKABLE) = struct
           | Ok () -> ()
           | Error message ->
               if !outcome = None then
-                let path =
-                  List.rev_map (fun (_, _, pid, _, _) -> pid) !stack
-                  |> List.filter (fun pid -> pid >= 0)
+                let record =
+                  match canon with
+                  | None ->
+                      let path =
+                        (List.rev_map (fun (_, _, pid, _, _) -> pid) !stack
+                        |> List.filter (fun pid -> pid >= 0))
+                        @ (if entered_by >= 0 then [ entered_by ] else [])
+                      in
+                      Dfs_invariant_failed
+                        { message; state = st; path; stats = stats () }
+                  | Some c ->
+                      let keys =
+                        match List.rev_map (fun (_, k, _, _, _) -> k) !stack with
+                        | [] -> []  (* violation at the initial state *)
+                        | _root :: ancestors -> ancestors @ [ key ]
+                      in
+                      let steps = concretize ~cfg ~wiring ~canon:c ~inputs keys in
+                      let state =
+                        match List.rev steps with (_, s) :: _ -> s | [] -> st
+                      in
+                      Dfs_invariant_failed
+                        {
+                          message;
+                          state;
+                          path = List.map fst steps;
+                          stats = stats ();
+                        }
                 in
-                let path = if entered_by >= 0 then path @ [ entered_by ] else path in
-                outcome :=
-                  Some
-                    (Dfs_invariant_failed
-                       {
-                         message;
-                         state = st;
-                         path = path @ [ entered_by ];
-                         stats = stats ();
-                       }))
+                outcome := Some record)
       | None -> ());
       stack := (id, key, entered_by, ref 0, ref false) :: !stack;
       incr depth;
       if !depth > !max_depth then max_depth := !depth;
       id
     in
-    let key0 = encode_state cfg (init_state ~cfg ~inputs) in
-    ignore (add_state key0 ~entered_by:(-1) (init_state ~cfg ~inputs));
+    let init = init_state ~cfg ~inputs in
+    let key0 = canonical (encode_state cfg init) in
+    ignore (add_state key0 ~entered_by:(-1) init);
     let limit = ref false in
     while !stack <> [] && !outcome = None && not !limit do
       match !stack with
@@ -460,7 +544,7 @@ module Make (P : CHECKABLE) = struct
               any_enabled := true;
               incr transitions;
               let st' = successor cfg wiring st p in
-              let key' = encode_state cfg st' in
+              let key' = canonical (encode_state cfg st') in
               match Hashtbl.find_opt table key' with
               | None ->
                   if Vec.length colors >= max_states then limit := true
@@ -490,32 +574,15 @@ module Make (P : CHECKABLE) = struct
     if !limit then Dfs_state_limit (Vec.length colors)
     else match !outcome with Some r -> r | None -> Dfs_ok (stats ())
 
-  type summary = {
-    wirings_checked : int;
-    total_states : int;
-    max_space_states : int;
-    total_transitions : int;
-    terminal_states : int;
-    all_wait_free : bool;
-  }
-
-  let empty_summary =
-    {
-      wirings_checked = 0;
-      total_states = 0;
-      max_space_states = 0;
-      total_transitions = 0;
-      terminal_states = 0;
-      all_wait_free = true;
-    }
-
   (** Check an invariant and wait-freedom across a set of wirings —
       by default every wiring with processor 0's permutation pinned to the
       identity (register anonymity makes the restriction lossless) — for
       one input assignment, using the lean DFS pass.  [on_wiring] observes
-      each per-wiring result as it completes. *)
+      each per-wiring result as it completes.  [~reduction:true]
+      additionally quotients each per-wiring space by its anonymity
+      symmetries. *)
   let check_all_wirings ?max_states ?invariant ?(require_wait_free = true)
-      ?on_wiring ?wirings ~cfg ~inputs () =
+      ?on_wiring ?wirings ?(reduction = false) ~cfg ~inputs () =
     let n = P.processors cfg and m = P.registers cfg in
     let wirings =
       match wirings with
@@ -525,7 +592,10 @@ module Make (P : CHECKABLE) = struct
     let rec go summary = function
       | [] -> Ok summary
       | wiring :: rest -> (
-          match check_exhaustive ?max_states ?invariant ~cfg ~wiring ~inputs () with
+          match
+            check_exhaustive ?max_states ?invariant ~reduction ~cfg ~wiring
+              ~inputs ()
+          with
           | Dfs_state_limit k -> Error (Fmt.str "state limit hit at %d states" k)
           | Dfs_invariant_failed { message; _ } ->
               Error
@@ -552,13 +622,13 @@ module Make (P : CHECKABLE) = struct
           | Dfs_ok stats ->
               let summary =
                 {
+                  summary with
                   wirings_checked = summary.wirings_checked + 1;
                   total_states = summary.total_states + stats.dfs_states;
                   max_space_states = max summary.max_space_states stats.dfs_states;
                   total_transitions =
                     summary.total_transitions + stats.dfs_transitions;
                   terminal_states = summary.terminal_states + stats.dfs_terminals;
-                  all_wait_free = summary.all_wait_free;
                 }
               in
               (match on_wiring with Some f -> f wiring summary | None -> ());

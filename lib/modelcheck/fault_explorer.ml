@@ -60,20 +60,40 @@ module Make (P : Explorer.CHECKABLE) = struct
 
   (* Parent encoding: (parent_id lsl 5) lor (crash_bit lsl 4) lor pid.
      Explorer packs pids in 4 bits; the extra bit distinguishes crash
-     edges from protocol steps. *)
-  let explore ?(max_states = 50_000_000) ?(max_crashes = 1) ~invariant ~cfg
-      ~wiring ~inputs () =
+     edges from protocol steps.  The crash mask occupies one key byte, so
+     at most 8 processors are supported (structured rejection beyond). *)
+  let explore ?(max_states = 50_000_000) ?(max_crashes = 1)
+      ?(reduction = false) ~invariant ~cfg ~wiring ~inputs () =
     let n = P.processors cfg in
-    if n >= Explorer.max_processors then
-      invalid_arg "Fault_explorer.explore: too many processors";
+    Explorer.guard_processors ~engine:"Fault_explorer.explore" ~limit:8 n;
     if max_crashes < 0 then invalid_arg "Fault_explorer.explore: max_crashes";
+    let canon =
+      if reduction then Some (E.canon_of ~cfg ~wiring ~inputs) else None
+    in
     let table : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 16) in
     let keys : string Repro_util.Vec.t = Repro_util.Vec.create () in
     let parent : int Repro_util.Vec.t = Repro_util.Vec.create () in
     let queue = Queue.create () in
     let violation = ref None in
     let transitions = ref 0 and crash_branches = ref 0 in
-    let key_of st mask = E.encode_state cfg st ^ String.make 1 (Char.chr mask) in
+    let raw_key st mask =
+      E.encode_state cfg st ^ String.make 1 (Char.chr mask)
+    in
+    let key_of st mask =
+      let raw = raw_key st mask in
+      (* Crash masks canonicalize with their processors: the automorphism
+         permuting the local-state slices permutes the mask bits too, so a
+         crashed processor's identity follows its slice into the orbit
+         minimum. *)
+      match canon with
+      | Some c -> Canon.canonicalize_masked c raw
+      | None -> raw
+    in
+    let decode key =
+      let core = String.sub key 0 (String.length key - 1) in
+      let mask = Char.code key.[String.length key - 1] in
+      (E.decode_state cfg core, mask)
+    in
     let add_state st mask ~from =
       let key = key_of st mask in
       match Hashtbl.find_opt table key with
@@ -82,17 +102,13 @@ module Make (P : Explorer.CHECKABLE) = struct
           let id = Repro_util.Vec.push keys key in
           Hashtbl.add table key id;
           ignore (Repro_util.Vec.push parent from);
-          (match invariant st with
-          | Ok () -> ()
-          | Error message ->
-              if !violation = None then violation := Some (id, mask, message));
+          (let st = if canon = None then st else fst (decode key) in
+           match invariant st with
+           | Ok () -> ()
+           | Error message ->
+               if !violation = None then violation := Some (id, message));
           Queue.add id queue;
           id
-    in
-    let decode key =
-      let core = String.sub key 0 (String.length key - 1) in
-      let mask = Char.code key.[String.length key - 1] in
-      (E.decode_state cfg core, mask)
     in
     let steps_to id =
       let rec up id acc =
@@ -107,6 +123,51 @@ module Make (P : Explorer.CHECKABLE) = struct
           up from (step :: acc)
       in
       up id []
+    in
+    let keys_to id =
+      let rec up id acc =
+        let packed = Repro_util.Vec.get parent id in
+        if packed < 0 then acc
+        else up (packed asr 5) (Repro_util.Vec.get keys id :: acc)
+      in
+      up id []
+    in
+    (* Replay a chain of canonical (state, mask) keys into a concrete
+       witness: at each key pick a live processor whose protocol step or
+       crash reproduces that orbit minimum (cf. Explorer.concretize). *)
+    let concretize_masked c chain =
+      let rec go st mask acc = function
+        | [] -> (List.rev acc, st, mask)
+        | key :: rest ->
+            let live =
+              List.filter (fun p -> mask land (1 lsl p) = 0) (E.enabled cfg st)
+            in
+            let candidates =
+              List.concat_map
+                (fun p ->
+                  [
+                    (Step p, E.successor cfg wiring st p, mask);
+                    (Crash p, st, mask lor (1 lsl p));
+                  ])
+                live
+            in
+            let rec pick = function
+              | [] ->
+                  invalid_arg
+                    "Fault_explorer: canonical witness has no concrete \
+                     refinement"
+              | (step, st', mask') :: tl ->
+                  if
+                    String.equal
+                      (Canon.canonicalize_masked c (raw_key st' mask'))
+                      key
+                  then (step, st', mask')
+                  else pick tl
+            in
+            let step, st', mask' = pick candidates in
+            go st' mask' (step :: acc) rest
+      in
+      go (E.init_state ~cfg ~inputs) 0 [] chain
     in
     ignore (add_state (E.init_state ~cfg ~inputs) 0 ~from:(-1));
     let limit_hit = ref false in
@@ -140,10 +201,15 @@ module Make (P : Explorer.CHECKABLE) = struct
     if !limit_hit then State_limit (Repro_util.Vec.length keys)
     else
       match !violation with
-      | Some (id, mask, message) ->
-          let st, _ = decode (Repro_util.Vec.get keys id) in
-          Invariant_failed
-            { message; state = st; crashed = mask; steps = steps_to id }
+      | Some (id, message) -> (
+          match canon with
+          | None ->
+              let st, mask = decode (Repro_util.Vec.get keys id) in
+              Invariant_failed
+                { message; state = st; crashed = mask; steps = steps_to id }
+          | Some c ->
+              let steps, st, mask = concretize_masked c (keys_to id) in
+              Invariant_failed { message; state = st; crashed = mask; steps })
       | None ->
           Safe
             {
@@ -163,8 +229,8 @@ module Make (P : Explorer.CHECKABLE) = struct
       identity — lossless by register anonymity) for one input
       assignment, under at most [max_crashes] crash-stops injected at
       arbitrary points. *)
-  let check_all_wirings ?max_states ?max_crashes ?wirings ~invariant ~cfg
-      ~inputs () =
+  let check_all_wirings ?max_states ?max_crashes ?(reduction = false) ?wirings
+      ~invariant ~cfg ~inputs () =
     let n = P.processors cfg and m = P.registers cfg in
     let wirings =
       match wirings with
@@ -175,7 +241,8 @@ module Make (P : Explorer.CHECKABLE) = struct
       | [] -> Ok summary
       | wiring :: rest -> (
           match
-            explore ?max_states ?max_crashes ~invariant ~cfg ~wiring ~inputs ()
+            explore ?max_states ?max_crashes ~reduction ~invariant ~cfg ~wiring
+              ~inputs ()
           with
           | State_limit k -> Error (Fmt.str "state limit hit at %d states" k)
           | Invariant_failed v ->

@@ -133,6 +133,33 @@ module Search (P : Anonmem.Protocol.S) = struct
     go seed_base
 end
 
+(** Replay validation of counterexample traces: a trace is only a proof if
+    it is a real execution, i.e. every listed processor is enabled when it
+    moves and the steps land where the checker said they would.  The
+    differential suite replays every counterexample produced by the
+    sequential, reduced and parallel engines through this module. *)
+module Replay (P : Explorer.CHECKABLE) = struct
+  module E = Explorer.Make (P)
+
+  (** Replay a pid path from the initial state, returning the state after
+      each step.  Raises [Invalid_argument] if some pid is halted when its
+      turn comes — i.e. succeeds only on genuine executions. *)
+  let run ~cfg ~wiring ~inputs path =
+    let st = ref (E.init_state ~cfg ~inputs) in
+    List.map
+      (fun p ->
+        st := E.successor cfg wiring !st p;
+        (p, !st))
+      path
+
+  (** Final state of the replayed path. *)
+  let final ~cfg ~wiring ~inputs path =
+    List.fold_left
+      (fun st p -> E.successor cfg wiring st p)
+      (E.init_state ~cfg ~inputs)
+      path
+end
+
 module Exhaustive (P : Explorer.CHECKABLE) = struct
   type witness = {
     wiring : Anonmem.Wiring.t;

@@ -28,6 +28,31 @@
 
 open Repro_util
 
+(** Watchdog budgets used by the supervision tests.
+
+    The tests bound non-terminating protocols (write-scan, the Bomb) with
+    step budgets; on a loaded box — e.g. when the model checker's domain
+    pool shares the cores — a hard-coded literal is a flake magnet.  Every
+    test-side timeout derives from this single wall-clock constant, which
+    [ANONSIM_TEST_WATCHDOG] (seconds, a float) overrides without
+    recompiling, so a slow CI runner is one environment variable away from
+    green. *)
+module Watchdog = struct
+  let env_var = "ANONSIM_TEST_WATCHDOG"
+  let default_seconds = 5.0
+
+  let seconds () =
+    match Sys.getenv_opt env_var with
+    | Some s -> ( match float_of_string_opt s with Some f when f > 0. -> f | _ -> default_seconds)
+    | None -> default_seconds
+
+  (* Conversion used to derive *step* budgets from the wall-clock budget:
+     deliberately conservative (atomics sustain millions of ops/s, so this
+     budget expires long before the wall clock would). *)
+  let steps_per_second = 1_000
+  let steps () = max 1 (int_of_float (seconds () *. float_of_int steps_per_second))
+end
+
 module Make (P : Anonmem.Protocol.S) = struct
   type status =
     | Done

@@ -145,18 +145,18 @@ let test_snapshot_n1_acyclic () =
 let test_verify_snapshot_n2_all_wirings () =
   match Core.verify_snapshot_model ~n:2 () with
   | Ok s ->
-      Alcotest.(check int) "2 wirings" 2 s.Core.Snapshot_mc.wirings_checked;
+      Alcotest.(check int) "2 wirings" 2 s.Modelcheck.Explorer.wirings_checked;
       Alcotest.(check bool) "wait-free everywhere" true
-        s.Core.Snapshot_mc.all_wait_free;
+        s.Modelcheck.Explorer.all_wait_free;
       Alcotest.(check bool) "nontrivial spaces" true
-        (s.Core.Snapshot_mc.total_states > 100)
+        (s.Modelcheck.Explorer.total_states > 100)
   | Error e -> Alcotest.fail e
 
 let test_verify_snapshot_n2_groups () =
   match Core.verify_snapshot_model ~n:2 ~inputs:(Some [| 1; 1 |]) () with
   | Ok s ->
       Alcotest.(check bool) "single group verified" true
-        s.Core.Snapshot_mc.all_wait_free
+        s.Modelcheck.Explorer.all_wait_free
   | Error e -> Alcotest.fail e
 
 let test_bfs_and_dfs_agree_on_counts () =

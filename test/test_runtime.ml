@@ -61,25 +61,42 @@ let test_parallel_consensus_agreement () =
     | Error e -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed e)
   done
 
+(* All watchdog budgets in these tests derive from the single
+   env-overridable constant (ANONSIM_TEST_WATCHDOG, seconds): inline step
+   literals flaked once the model checker's domain pool started sharing
+   the cores with the runtime's domains. *)
+let watchdog_steps = Runtime_shm.Watchdog.steps ()
+let watchdog_seconds = Runtime_shm.Watchdog.seconds ()
+
 let test_write_scan_times_out () =
   (* A non-terminating protocol must hit the step budget and report it. *)
   let module R = Runtime_shm.Make (Algorithms.Write_scan) in
   let cfg = Algorithms.Write_scan.cfg ~n:2 ~m:2 in
-  match R.run ~seed:1 ~max_steps:5_000 ~cfg ~inputs:[| 1; 2 |] () with
+  match
+    R.run ~seed:1 ~max_steps:watchdog_steps ~timeout:watchdog_seconds ~cfg
+      ~inputs:[| 1; 2 |] ()
+  with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "write-scan must not terminate"
 
 let test_write_scan_timeout_tolerated () =
   let module R = Runtime_shm.Make (Algorithms.Write_scan) in
   let cfg = Algorithms.Write_scan.cfg ~n:2 ~m:2 in
-  match R.run ~seed:1 ~max_steps:5_000 ~allow_timeout:true ~cfg ~inputs:[| 1; 2 |] () with
+  match
+    R.run ~seed:1 ~max_steps:watchdog_steps ~allow_timeout:true ~cfg
+      ~inputs:[| 1; 2 |] ()
+  with
   | Ok r ->
       Array.iter
         (fun o -> Alcotest.(check bool) "no outputs" true (o = None))
         r.R.outputs;
-      (* The timeout must carry the real operation count, not zero. *)
+      (* The timeout must carry a real operation count — nonzero, within
+         budget.  (Not asserted equal to the budget: a wall-clock watchdog
+         firing first legitimately stops short of it.) *)
       Array.iter
-        (fun s -> Alcotest.(check int) "real step count on timeout" 5_000 s)
+        (fun s ->
+          Alcotest.(check bool) "real step count on timeout" true
+            (s > 0 && s <= watchdog_steps))
         r.R.steps;
       Array.iter
         (fun st ->
