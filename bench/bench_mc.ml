@@ -1,18 +1,30 @@
-(* Model-checking benchmark: states visited and wall-clock for the
-   snapshot exploration under the four engine configurations —
+(* Model-checking benchmark: states visited, wall-clock and peak memory
+   for the snapshot exploration under the four engine configurations —
    sequential, sequential + symmetry reduction, parallel x {1,2,4}
    domains, with and without reduction.  Results go to BENCH_mc.json
    (hand-rolled JSON, no external dependency) and a human-readable table
-   on stdout; EXPERIMENTS.md table X6 is generated from this output.
+   on stdout; EXPERIMENTS.md tables X6/X7 are generated from this output.
 
    The headline case is the 3-processor identity-wiring snapshot with a
    single input class — the largest symmetry group (|G| = 6) and the
    configuration whose full space is infeasible to sweep inside the test
    suite.  On a single-core host the parallel rows measure overhead, not
-   speedup; the acceptance claim is carried by the visited-state
-   reduction column. *)
+   speedup; the acceptance claims are carried by the visited-state
+   reduction column and by the arena-vs-seed-layout memory comparison.
 
+   Memory columns.  [live_words] is the retained size of the explored
+   space: GC-compacted live words after the run minus the compacted
+   baseline before it, with the result value kept alive across the final
+   compaction.  [top_heap_words] is the process-wide heap high-water mark
+   when the row finishes (monotone across rows — cases run smallest
+   first, so the headline rows own the peak).  The headline full row is
+   additionally rebuilt in the pre-arena seed layout (string Hashtbl +
+   boxed key vector + int edge vectors) and measured the same way, so
+   the compaction factor compares identical state/transition counts. *)
+
+open Repro_util
 module Snap = Algorithms.Snapshot
+module St = Modelcheck.State_table
 module P = Modelcheck.Codecs.Snapshot
 module E = Modelcheck.Explorer.Make (P)
 module Par = Modelcheck.Par_explorer.Make (P)
@@ -25,54 +37,145 @@ type row = {
   states : int;
   transitions : int;
   wall_s : float;
+  live_words : int;  (** retained words of the explored space *)
+  top_heap_words : int;  (** process heap high-water mark at row end *)
 }
 
 let rows : row list ref = ref []
 
-let time f =
+let measure f =
+  Gc.compact ();
+  let live0 = (Gc.stat ()).Gc.live_words in
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Gc.compact ();
+  let st = Gc.stat () in
+  (r, wall_s, st.Gc.live_words - live0, st.Gc.top_heap_words)
 
-let seq_case ~case ~reduction ~cfg ~wiring ~inputs () =
-  let (states, transitions), wall_s =
-    time (fun () ->
-        match E.explore ~reduction ~cfg ~wiring ~inputs () with
-        | E.Explored sp -> (E.state_count sp, E.transition_count sp)
+(* Rebuild [space] in the pre-arena layout this benchmark used before the
+   State_table rewrite — (string, id) Hashtbl over boxed key strings, a
+   string Vec for id -> key (sharing the same strings, as the seed did),
+   an int Vec of packed parents and two int Vecs of packed edges — and
+   return its retained size in words, measured exactly like [measure]
+   does.  States, transitions and per-entry contents are identical to the
+   arena space, so the ratio to the arena row's [live_words] is a
+   like-for-like compaction factor. *)
+let seed_layout_words (space : E.space) =
+  let n = E.state_count space in
+  (* Allocated before the baseline so the offsets array (scaffolding, not
+     part of either layout) cancels out of the delta. *)
+  let off = E.csr_offsets space in
+  Gc.compact ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let table : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 16) in
+  let keys : string Vec.t = Vec.create () in
+  St.iter
+    (fun id key ->
+      ignore (Vec.push keys key);
+      Hashtbl.add table key id)
+    space.E.table;
+  let parent : int Vec.t = Vec.create () in
+  for id = 0 to n - 1 do
+    ignore (Vec.push parent (E.parent_packed space id))
+  done;
+  let edge_src : int Vec.t = Vec.create () in
+  let edge_dst : int Vec.t = Vec.create () in
+  for u = 0 to n - 1 do
+    for i = off.(u) to off.(u + 1) - 1 do
+      let packed = St.Packed_vec.get space.E.succ i in
+      ignore (Vec.push edge_src ((u lsl 4) lor (packed land 15)));
+      ignore (Vec.push edge_dst (packed asr 4))
+    done
+  done;
+  Gc.compact ();
+  let words = (Gc.stat ()).Gc.live_words - live0 in
+  (* Everything counted in the baseline must still be live at the final
+     stat — [space] and [off] have their last real use above, and
+     letting the compactor reclaim them mid-measurement would subtract
+     their size from the replica's. *)
+  ignore (Sys.opaque_identity (space, off, table, keys, parent, edge_src, edge_dst));
+  words
+
+(* (seed_layout_words, arena live_words) of the headline full seq row. *)
+let layout_comparison : (int * int) option ref = ref None
+
+let mib_of_words w = float_of_int (w * (Sys.word_size / 8)) /. 1048576.
+
+let seq_case ?stop_expansion ~case ~reduction ~cfg ~wiring ~inputs () =
+  let space, wall_s, live_words, top_heap_words =
+    measure (fun () ->
+        match E.explore ?stop_expansion ~reduction ~cfg ~wiring ~inputs () with
+        | E.Explored sp -> sp
         | _ -> failwith (case ^ ": sequential exploration did not complete"))
   in
+  let states = E.state_count space
+  and transitions = E.transition_count space in
   rows :=
-    { case; engine = "seq"; domains = 1; reduction; states; transitions; wall_s }
+    {
+      case;
+      engine = "seq";
+      domains = 1;
+      reduction;
+      states;
+      transitions;
+      wall_s;
+      live_words;
+      top_heap_words;
+    }
     :: !rows;
-  Printf.printf "%-24s seq        %s %9d states %9d trans %8.2fs\n%!" case
+  Printf.printf "%-24s seq        %s %9d states %9d trans %8.2fs %8.1f MiB\n%!"
+    case
     (if reduction then "red  " else "full ")
-    states transitions wall_s
+    states transitions wall_s (mib_of_words live_words);
+  (space, live_words)
 
 let par_case ~case ~domains ~reduction ~cfg ~wiring ~inputs () =
-  let (states, transitions), wall_s =
-    time (fun () ->
+  let stats, wall_s, live_words, top_heap_words =
+    measure (fun () ->
         match Par.explore ~reduction ~domains ~cfg ~wiring ~inputs () with
-        | Par.Par_ok { stats; _ } -> (stats.Par.states, stats.Par.transitions)
+        | Par.Par_ok { stats; _ } -> stats
         | _ -> failwith (case ^ ": parallel exploration did not complete"))
   in
+  let states = stats.Par.states and transitions = stats.Par.transitions in
   rows :=
-    { case; engine = "par"; domains; reduction; states; transitions; wall_s }
+    {
+      case;
+      engine = "par";
+      domains;
+      reduction;
+      states;
+      transitions;
+      wall_s;
+      live_words;
+      top_heap_words;
+    }
     :: !rows;
-  Printf.printf "%-24s par x%d     %s %9d states %9d trans %8.2fs\n%!" case
-    domains
+  Printf.printf "%-24s par x%d     %s %9d states %9d trans %8.2fs %8.1f MiB\n%!"
+    case domains
     (if reduction then "red  " else "full ")
-    states transitions wall_s
+    states transitions wall_s (mib_of_words live_words)
 
-let run_matrix ~case ~domain_counts ~cfg ~wiring ~inputs () =
+let run_matrix ?(measure_layout = false) ~case ~domain_counts ~cfg ~wiring
+    ~inputs () =
   List.iter
     (fun reduction ->
-      seq_case ~case ~reduction ~cfg ~wiring ~inputs ();
+      let space, live = seq_case ~case ~reduction ~cfg ~wiring ~inputs () in
+      if measure_layout && not reduction then begin
+        let seed = seed_layout_words space in
+        layout_comparison := Some (seed, live);
+        Printf.printf
+          "%-24s seed-layout replica: %8.1f MiB vs arena %8.1f MiB (%.2fx)\n%!"
+          case (mib_of_words seed) (mib_of_words live)
+          (float_of_int seed /. float_of_int live)
+      end;
       List.iter
-        (fun domains -> par_case ~case ~domains ~reduction ~cfg ~wiring ~inputs ())
+        (fun domains ->
+          par_case ~case ~domains ~reduction ~cfg ~wiring ~inputs ())
         domain_counts)
     [ false; true ]
 
-let json_of_rows rows ~reduction_factor =
+let json_of_rows rows ~reduction_factor ~layout =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"bench\": \"mc\",\n";
@@ -82,14 +185,26 @@ let json_of_rows rows ~reduction_factor =
   Buffer.add_string b
     (Printf.sprintf "  \"snapshot3_state_reduction_factor\": %.2f,\n"
        reduction_factor);
+  (match layout with
+  | Some (seed, arena) ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"headline_seed_layout_words\": %d,\n" seed);
+      Buffer.add_string b
+        (Printf.sprintf "  \"headline_arena_words\": %d,\n" arena);
+      Buffer.add_string b
+        (Printf.sprintf "  \"headline_memory_factor\": %.2f,\n"
+           (float_of_int seed /. float_of_int arena))
+  | None -> ());
   Buffer.add_string b "  \"cases\": [\n";
   List.iteri
     (fun i r ->
       Buffer.add_string b
         (Printf.sprintf
            "    {\"case\": %S, \"engine\": %S, \"domains\": %d, \"reduction\": \
-            %b, \"states\": %d, \"transitions\": %d, \"wall_s\": %.3f}%s\n"
+            %b, \"states\": %d, \"transitions\": %d, \"wall_s\": %.3f, \
+            \"live_words\": %d, \"top_heap_words\": %d}%s\n"
            r.case r.engine r.domains r.reduction r.states r.transitions r.wall_s
+           r.live_words r.top_heap_words
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ]\n}\n";
@@ -105,14 +220,41 @@ let () =
     | _ :: w :: _ -> w
     | _ -> assert false
   in
-  run_matrix ~case:"snapshot_n2_group" ~domain_counts:[ 1; 2; 4 ] ~cfg:cfg2
-    ~wiring:group_wiring2 ~inputs:[| 1; 1 |] ();
+  run_matrix ~measure_layout:quick ~case:"snapshot_n2_group"
+    ~domain_counts:[ 1; 2; 4 ] ~cfg:cfg2 ~wiring:group_wiring2
+    ~inputs:[| 1; 1 |] ();
   (* n = 3, identity wiring, single input class: |G| = 6, ~2M raw states. *)
-  if not quick then
-    run_matrix ~case:"snapshot_n3_identity" ~domain_counts:[ 1; 2; 4 ]
+  if not quick then begin
+    run_matrix ~measure_layout:true ~case:"snapshot_n3_identity"
+      ~domain_counts:[ 1; 2; 4 ]
       ~cfg:(Snap.standard ~n:3)
       ~wiring:(Anonmem.Wiring.identity ~n:3 ~m:3)
       ~inputs:[| 1; 1; 1 |] ();
+    (* n = 4, identity wiring, bounded depth: expansion stops once two
+       processors have completed a scan — a symmetric predicate, so the
+       reduced run explores the true quotient of the bounded space.
+       Even the |G| = 24 quotient holds ~28.5M states; the raw space
+       overflows the explorer's default state limit (measured > 60M
+       states without completing), and in the seed's boxed layout its
+       keys, hashtable chains and 2x8-byte edge words would not fit
+       this host alongside GC copying headroom.  The arena keeps the
+       quotient row in flat bytes.  Sequential engine only — the
+       parallel engine takes no stop predicate, and on this host it
+       measures overhead. *)
+    let stop_two_scans (st : E.state) =
+      let c = ref 0 in
+      Array.iter
+        (fun l -> if Snap.level_of_local l >= 1 then incr c)
+        st.E.locals;
+      !c >= 2
+    in
+    let cfg4 = Snap.cfg ~n:4 ~m:4 in
+    let wiring4 = Anonmem.Wiring.identity ~n:4 ~m:4 in
+    let inputs4 = [| 1; 1; 1; 1 |] in
+    ignore
+      (seq_case ~stop_expansion:stop_two_scans ~case:"snapshot_n4_bounded"
+         ~reduction:true ~cfg:cfg4 ~wiring:wiring4 ~inputs:inputs4 ())
+  end;
   let ordered = List.rev !rows in
   let headline = if quick then "snapshot_n2_group" else "snapshot_n3_identity" in
   let find ~reduction =
@@ -127,7 +269,18 @@ let () =
     | _ -> nan
   in
   let oc = open_out "BENCH_mc.json" in
-  output_string oc (json_of_rows ordered ~reduction_factor);
+  output_string oc
+    (json_of_rows ordered ~reduction_factor ~layout:!layout_comparison);
   close_out oc;
-  Printf.printf "\n%s: %.2fx visited-state reduction; wrote BENCH_mc.json\n"
-    headline reduction_factor
+  (match !layout_comparison with
+  | Some (seed, arena) ->
+      Printf.printf
+        "\n\
+         %s: %.2fx visited-state reduction, %.2fx memory reduction vs \
+         seed layout; wrote BENCH_mc.json\n"
+        headline reduction_factor
+        (float_of_int seed /. float_of_int arena)
+  | None ->
+      Printf.printf
+        "\n%s: %.2fx visited-state reduction; wrote BENCH_mc.json\n" headline
+        reduction_factor)

@@ -20,8 +20,11 @@
     The state spaces reach tens of millions of states for 3 processors, so
     states are stored only as compact byte strings: checkable protocols
     supply fixed-width codecs ({!CHECKABLE}, instances in {!Codecs}), the
-    visited set maps key bytes to dense ids, edges are packed into integer
-    vectors, and the SCC pass runs over a CSR image of the graph.  To cover
+    visited set is an arena-backed open-addressing table ({!State_table})
+    holding the key bytes inline with dense insertion-order ids, successor
+    edges are five-byte packed words grouped by source (a CSR image built
+    on the fly, since BFS pops states in id order), and the SCC pass reads
+    that image in place.  To cover
     {e all} executions of the anonymous model the caller iterates
     exploration over {!Anonmem.Wiring.enumerate} (with register-symmetry
     reduction) and the relevant input assignments; see
@@ -37,8 +40,6 @@
     register relabelling — which holds for every property shipped here
     (containment, agreement, memory-content sets, timestamp bounds). *)
 
-open Repro_util
-
 (** A protocol whose states can be exhaustively explored: local states and
     register values serialize to fixed-width byte strings.  Codecs must be
     exact inverses; widths may depend on the configuration. *)
@@ -53,9 +54,10 @@ module type CHECKABLE = sig
   val decode_local : cfg -> Bytes.t -> int -> local
 end
 
-(* Edges are packed as (src lsl 4) lor pid in one int vector and the
-   destination in a parallel one; dense state ids stay well below 2^59 and
-   processor counts below 16 in any feasible exploration. *)
+(* BFS successor edges are packed as (dst lsl 4) lor pid in five-byte
+   arena words grouped by source ({!Make.space}); parent links pack
+   (parent lsl 4) lor pid the same way.  Dense state ids stay well below
+   2^31 and processor counts below 16 in any feasible exploration. *)
 let max_processors = 16
 
 exception
@@ -193,6 +195,11 @@ module Make (P : CHECKABLE) = struct
     in
     go (init_state ~cfg ~inputs) [] keys
 
+  (** Width of the encoded-state keys for [cfg]. *)
+  let key_width cfg =
+    (P.processors cfg * P.local_width cfg)
+    + (P.registers cfg * P.value_width cfg)
+
   type space = {
     cfg : P.cfg;
     wiring : Anonmem.Wiring.t;
@@ -200,16 +207,23 @@ module Make (P : CHECKABLE) = struct
     reduction : Canon.t option;
         (** present iff the space is a symmetry quotient: keys are orbit
             minima and traces are concretized on demand *)
-    keys : string Vec.t;  (** id -> encoded state; id 0 is initial *)
-    parent : int Vec.t;  (** id -> (parent_id lsl 4) lor pid; -1 at root *)
-    edge_src : int Vec.t;  (** (src lsl 4) lor pid *)
-    edge_dst : int Vec.t;
+    table : State_table.t;
+        (** arena of encoded states; dense id = discovery order, id 0 is
+            the initial state *)
+    parent : State_table.Packed_vec.t;
+        (** id -> ((parent_id lsl 4) lor pid) + 1; 0 at the root *)
+    succ : State_table.Packed_vec.t;
+        (** (dst lsl 4) lor pid, grouped by source in id order — BFS pops
+            ids in ascending order, so edge emission is already a CSR
+            adjacency image; [deg] delimits the per-source runs *)
+    deg : State_table.Packed_vec.t;  (** id -> out-degree (expanded ids) *)
     terminal : int list;  (** ids of states where all processors halted *)
   }
 
-  let state_count space = Vec.length space.keys
-  let transition_count space = Vec.length space.edge_dst
-  let state_of space id = decode_state space.cfg (Vec.get space.keys id)
+  let state_count space = State_table.length space.table
+  let transition_count space = State_table.Packed_vec.length space.succ
+  let state_of space id =
+    decode_state space.cfg (State_table.key_of_id space.table id)
 
   type violation = {
     state_id : int;
@@ -224,11 +238,15 @@ module Make (P : CHECKABLE) = struct
     | Invariant_failed of space * violation
     | State_limit of int  (** exploration aborted at this many states *)
 
+  (* Parent words store the packed value plus one so the root's -1 becomes
+     0, the natural zero of the unsigned packed representation. *)
+  let parent_packed space id = State_table.Packed_vec.get space.parent id - 1
+
   let trace_to space id =
     match space.reduction with
     | None ->
         let rec up id acc =
-          let packed = Vec.get space.parent id in
+          let packed = parent_packed space id in
           if packed < 0 then acc
           else
             let parent = packed asr 4 and pid = packed land 15 in
@@ -237,9 +255,9 @@ module Make (P : CHECKABLE) = struct
         up id []
     | Some canon ->
         let rec up id acc =
-          let packed = Vec.get space.parent id in
+          let packed = parent_packed space id in
           if packed < 0 then acc
-          else up (packed asr 4) (Vec.get space.keys id :: acc)
+          else up (packed asr 4) (State_table.key_of_id space.table id :: acc)
         in
         concretize ~cfg:space.cfg ~wiring:space.wiring ~canon
           ~inputs:space.inputs (up id [])
@@ -259,63 +277,70 @@ module Make (P : CHECKABLE) = struct
     let canonical key =
       match canon with Some c -> Canon.canonicalize c key | None -> key
     in
-    let table : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 16) in
-    let keys : string Vec.t = Vec.create () in
-    let parent : int Vec.t = Vec.create () in
-    let edge_src : int Vec.t = Vec.create () in
-    let edge_dst : int Vec.t = Vec.create () in
+    let table = State_table.create ~log2_slots:16 ~key_width:(key_width cfg) () in
+    let parent = State_table.Packed_vec.create ~stride:5 () in
+    let succ = State_table.Packed_vec.create ~stride:5 () in
+    let deg = State_table.Packed_vec.create ~stride:1 () in
     let terminal = ref [] in
     let queue = Queue.create () in
     let violation = ref None in
     let add_state st ~from =
       let key = canonical (encode_state cfg st) in
-      match Hashtbl.find_opt table key with
-      | Some id -> id
-      | None ->
-          let id = Vec.push keys key in
-          Hashtbl.add table key id;
-          ignore (Vec.push parent from);
-          (match invariant with
-          | Some check -> (
-              (* check the representative: symmetric invariants have the
-                 same verdict on every member of the orbit *)
-              let st = if canon = None then st else decode_state cfg key in
-              match check st with
-              | Ok () -> ()
-              | Error message ->
-                  if !violation = None then violation := Some (id, message))
-          | None -> ());
-          (match progress with
-          | Some f when id land ((1 lsl 20) - 1) = 0 -> f id
-          | _ -> ());
-          Queue.add id queue;
-          id
+      let before = State_table.length table in
+      let id = State_table.intern table key in
+      if id = before then begin
+        (* fresh state *)
+        ignore (State_table.Packed_vec.push parent (from + 1));
+        (match invariant with
+        | Some check -> (
+            (* check the representative: symmetric invariants have the
+               same verdict on every member of the orbit *)
+            let st = if canon = None then st else decode_state cfg key in
+            match check st with
+            | Ok () -> ()
+            | Error message ->
+                if !violation = None then violation := Some (id, message))
+        | None -> ());
+        (match progress with
+        | Some f when id land ((1 lsl 20) - 1) = 0 -> f id
+        | _ -> ());
+        Queue.add id queue
+      end;
+      id
     in
     ignore (add_state (init_state ~cfg ~inputs) ~from:(-1));
     let limit_hit = ref false in
     while (not (Queue.is_empty queue)) && !violation = None && not !limit_hit do
       let id = Queue.pop queue in
-      let st = decode_state cfg (Vec.get keys id) in
+      let st = decode_state cfg (State_table.key_of_id table id) in
       let expand =
         match stop_expansion with Some f -> not (f st) | None -> true
       in
+      let edges_before = State_table.Packed_vec.length succ in
       if expand then begin
         match enabled cfg st with
         | [] -> terminal := id :: !terminal
         | en ->
             List.iter
               (fun p ->
-                if Vec.length keys >= max_states then limit_hit := true
+                if State_table.length table >= max_states then
+                  limit_hit := true
                 else begin
                   let st' = successor cfg wiring st p in
                   let id' = add_state st' ~from:((id lsl 4) lor p) in
-                  ignore (Vec.push edge_src ((id lsl 4) lor p));
-                  ignore (Vec.push edge_dst id')
+                  ignore
+                    (State_table.Packed_vec.push succ ((id' lsl 4) lor p))
                 end)
               en
-      end
+      end;
+      (* Pops happen in id order, so this row is deg.(id); a violation or
+         state limit leaves deg shorter than the table — the CSR builder
+         pads the never-popped tail with zeros. *)
+      ignore
+        (State_table.Packed_vec.push deg
+           (State_table.Packed_vec.length succ - edges_before))
     done;
-    if !limit_hit then State_limit (Vec.length keys)
+    if !limit_hit then State_limit (State_table.length table)
     else begin
       let space =
         {
@@ -323,10 +348,10 @@ module Make (P : CHECKABLE) = struct
           wiring;
           inputs;
           reduction = canon;
-          keys;
+          table;
           parent;
-          edge_src;
-          edge_dst;
+          succ;
+          deg;
           terminal = List.rev !terminal;
         }
       in
@@ -337,29 +362,26 @@ module Make (P : CHECKABLE) = struct
       | None -> Explored space
     end
 
-  (* CSR image of the transition graph for the SCC pass. *)
-  let csr space =
-    let n = state_count space and e = transition_count space in
-    let deg = Array.make (n + 1) 0 in
-    for i = 0 to e - 1 do
-      let u = Vec.get space.edge_src i asr 4 in
-      deg.(u + 1) <- deg.(u + 1) + 1
+  (* Offsets of the CSR image: [space.succ] is already grouped by source
+     in id order, so the offsets are just prefix sums of the out-degrees.
+     States never popped (discovered after a violation aborted the BFS)
+     have no deg row and contribute zero. *)
+  let csr_offsets space =
+    let n = state_count space in
+    let d = State_table.Packed_vec.length space.deg in
+    let off = Array.make (n + 1) 0 in
+    for u = 0 to n - 1 do
+      let du = if u < d then State_table.Packed_vec.get space.deg u else 0 in
+      off.(u + 1) <- off.(u) + du
     done;
-    for i = 1 to n do
-      deg.(i) <- deg.(i) + deg.(i - 1)
-    done;
-    let adj = Array.make e 0 in
-    let cursor = Array.copy deg in
-    for i = 0 to e - 1 do
-      let u = Vec.get space.edge_src i asr 4 in
-      adj.(cursor.(u)) <- Vec.get space.edge_dst i;
-      cursor.(u) <- cursor.(u) + 1
-    done;
-    (deg, adj)
+    off
+
+  let adj_of space i = State_table.Packed_vec.get space.succ i asr 4
 
   let scc_ids space =
-    let off, adj = csr space in
-    Scc.tarjan ~n:(state_count space) ~off ~adj
+    Scc.tarjan ~n:(state_count space)
+      ~off:(Array.get (csr_offsets space))
+      ~adj:(adj_of space)
 
   (** Processors that can take infinitely many steps without terminating:
       those with an edge inside a strongly connected component of the
@@ -368,13 +390,18 @@ module Make (P : CHECKABLE) = struct
       are representatives of their symmetry class: a quotient cycle lifts
       to a concrete divergence because automorphisms have finite order.) *)
   let divergent_processors space =
-    let comp, _ = scc_ids space in
+    let off = csr_offsets space in
+    let comp, _ =
+      Scc.tarjan ~n:(state_count space) ~off:(Array.get off)
+        ~adj:(adj_of space)
+    in
     let bad = Hashtbl.create 8 in
-    for i = 0 to transition_count space - 1 do
-      let packed = Vec.get space.edge_src i in
-      let u = packed asr 4 and p = packed land 15 in
-      let v = Vec.get space.edge_dst i in
-      if comp.(u) = comp.(v) then Hashtbl.replace bad p ()
+    for u = 0 to state_count space - 1 do
+      for i = off.(u) to off.(u + 1) - 1 do
+        let packed = State_table.Packed_vec.get space.succ i in
+        let v = packed asr 4 and p = packed land 15 in
+        if comp.(u) = comp.(v) then Hashtbl.replace bad p ()
+      done
     done;
     List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) bad [])
 
@@ -395,11 +422,12 @@ module Make (P : CHECKABLE) = struct
   (** {1 Exhaustive depth-first checking}
 
       The BFS {!explore} materializes the transition graph (needed for
-      terminal-outcome analyses and shortest counterexamples) but costs
-      ~130 bytes per state; the 3-processor snapshot spaces run to tens of
-      millions of states per wiring, which calls for a leaner pass.  This
-      DFS checks the same two properties — a state invariant, and
-      wait-freedom — without storing any edges:
+      terminal-outcome analyses and shortest counterexamples) but still
+      costs the key bytes plus roughly five bytes per transition; the
+      3-processor snapshot spaces run to tens of millions of states per
+      wiring, which calls for a leaner pass.  This DFS checks the same two
+      properties — a state invariant, and wait-freedom — without storing
+      any edges:
 
       wait-freedom for {e every} processor is equivalent to the transition
       graph being acyclic (any cycle contains an edge, and that edge's
@@ -450,14 +478,14 @@ module Make (P : CHECKABLE) = struct
     let canonical key =
       match canon with Some c -> Canon.canonicalize c key | None -> key
     in
-    let table : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 20) in
-    let colors = Vec.create () in
+    let table = State_table.create ~log2_slots:20 ~key_width:(key_width cfg) () in
+    let colors = State_table.Packed_vec.create ~stride:1 () in
     (* 1 = gray (on the DFS path), 2 = black (done) *)
     let n = P.processors cfg in
     let transitions = ref 0 and terminals = ref 0 and max_depth = ref 0 in
     let stats () =
       {
-        dfs_states = Vec.length colors;
+        dfs_states = State_table.length table;
         dfs_transitions = !transitions;
         dfs_terminals = !terminals;
         dfs_max_depth = !max_depth;
@@ -468,9 +496,11 @@ module Make (P : CHECKABLE) = struct
        processor index to try).  The decoded state is rebuilt per
        successor; keeping it would bloat the path. *)
     let stack = ref [] and depth = ref 0 in
+    (* Only called for keys [probe]d absent, so [intern] always inserts and
+       the returned id equals the colors index pushed alongside. *)
     let add_state key ~entered_by st =
-      let id = Vec.push colors 1 in
-      Hashtbl.add table key id;
+      let id = State_table.intern table key in
+      ignore (State_table.Packed_vec.push colors 1);
       (match progress with
       | Some f when id land ((1 lsl 20) - 1) = 0 -> f id
       | _ -> ());
@@ -532,7 +562,7 @@ module Make (P : CHECKABLE) = struct
              | _ -> ());
           if !next_p >= n then begin
             if not !any_enabled then incr terminals;
-            Vec.set colors id 2;
+            State_table.Packed_vec.set colors id 2;
             stack := rest;
             decr depth
           end
@@ -545,12 +575,15 @@ module Make (P : CHECKABLE) = struct
               incr transitions;
               let st' = successor cfg wiring st p in
               let key' = canonical (encode_state cfg st') in
-              match Hashtbl.find_opt table key' with
+              match State_table.find table key' with
               | None ->
-                  if Vec.length colors >= max_states then limit := true
+                  if State_table.length table >= max_states then limit := true
                   else ignore (add_state key' ~entered_by:p st')
               | Some id' ->
-                  if fail_on_cycle && Vec.get colors id' = 1 then begin
+                  if
+                    fail_on_cycle
+                    && State_table.Packed_vec.get colors id' = 1
+                  then begin
                     (* back edge: a cycle through id'.  Collect the pids of
                        the path segment from id' to here, plus p. *)
                     let rec collect acc = function
@@ -571,7 +604,7 @@ module Make (P : CHECKABLE) = struct
             end
           end
     done;
-    if !limit then Dfs_state_limit (Vec.length colors)
+    if !limit then Dfs_state_limit (State_table.length table)
     else match !outcome with Some r -> r | None -> Dfs_ok (stats ())
 
   (** Check an invariant and wait-freedom across a set of wirings —

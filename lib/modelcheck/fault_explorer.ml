@@ -70,9 +70,12 @@ module Make (P : Explorer.CHECKABLE) = struct
     let canon =
       if reduction then Some (E.canon_of ~cfg ~wiring ~inputs) else None
     in
-    let table : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 16) in
-    let keys : string Repro_util.Vec.t = Repro_util.Vec.create () in
-    let parent : int Repro_util.Vec.t = Repro_util.Vec.create () in
+    (* Keys are the core encoded state plus one crash-mask byte. *)
+    let table =
+      State_table.create ~log2_slots:16 ~key_width:(E.key_width cfg + 1) ()
+    in
+    (* Packed parent words plus one, so the root's -1 packs to 0. *)
+    let parent = State_table.Packed_vec.create ~stride:5 () in
     let queue = Queue.create () in
     let violation = ref None in
     let transitions = ref 0 and crash_branches = ref 0 in
@@ -96,23 +99,24 @@ module Make (P : Explorer.CHECKABLE) = struct
     in
     let add_state st mask ~from =
       let key = key_of st mask in
-      match Hashtbl.find_opt table key with
-      | Some id -> id
-      | None ->
-          let id = Repro_util.Vec.push keys key in
-          Hashtbl.add table key id;
-          ignore (Repro_util.Vec.push parent from);
-          (let st = if canon = None then st else fst (decode key) in
-           match invariant st with
-           | Ok () -> ()
-           | Error message ->
-               if !violation = None then violation := Some (id, message));
-          Queue.add id queue;
-          id
+      let before = State_table.length table in
+      let id = State_table.intern table key in
+      if id = before then begin
+        (* fresh (core state, crashed set) pair *)
+        ignore (State_table.Packed_vec.push parent (from + 1));
+        (let st = if canon = None then st else fst (decode key) in
+         match invariant st with
+         | Ok () -> ()
+         | Error message ->
+             if !violation = None then violation := Some (id, message));
+        Queue.add id queue
+      end;
+      id
     in
+    let parent_packed id = State_table.Packed_vec.get parent id - 1 in
     let steps_to id =
       let rec up id acc =
-        let packed = Repro_util.Vec.get parent id in
+        let packed = parent_packed id in
         if packed < 0 then acc
         else
           let from = packed asr 5 in
@@ -126,9 +130,9 @@ module Make (P : Explorer.CHECKABLE) = struct
     in
     let keys_to id =
       let rec up id acc =
-        let packed = Repro_util.Vec.get parent id in
+        let packed = parent_packed id in
         if packed < 0 then acc
-        else up (packed asr 5) (Repro_util.Vec.get keys id :: acc)
+        else up (packed asr 5) (State_table.key_of_id table id :: acc)
       in
       up id []
     in
@@ -173,13 +177,13 @@ module Make (P : Explorer.CHECKABLE) = struct
     let limit_hit = ref false in
     while (not (Queue.is_empty queue)) && !violation = None && not !limit_hit do
       let id = Queue.pop queue in
-      let st, mask = decode (Repro_util.Vec.get keys id) in
+      let st, mask = decode (State_table.key_of_id table id) in
       let live =
         List.filter (fun p -> mask land (1 lsl p) = 0) (E.enabled cfg st)
       in
       let budget = max_crashes - popcount mask in
       let expand_one ~crash p =
-        if Repro_util.Vec.length keys >= max_states then limit_hit := true
+        if State_table.length table >= max_states then limit_hit := true
         else begin
           incr transitions;
           let st', mask' =
@@ -198,13 +202,13 @@ module Make (P : Explorer.CHECKABLE) = struct
          crash of a halted processor changes nothing observable. *)
       if budget > 0 then List.iter (expand_one ~crash:true) live
     done;
-    if !limit_hit then State_limit (Repro_util.Vec.length keys)
+    if !limit_hit then State_limit (State_table.length table)
     else
       match !violation with
       | Some (id, message) -> (
           match canon with
           | None ->
-              let st, mask = decode (Repro_util.Vec.get keys id) in
+              let st, mask = decode (State_table.key_of_id table id) in
               Invariant_failed
                 { message; state = st; crashed = mask; steps = steps_to id }
           | Some c ->
@@ -213,7 +217,7 @@ module Make (P : Explorer.CHECKABLE) = struct
       | None ->
           Safe
             {
-              states = Repro_util.Vec.length keys;
+              states = State_table.length table;
               transitions = !transitions;
               crash_branches = !crash_branches;
             }

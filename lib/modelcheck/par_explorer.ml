@@ -120,8 +120,9 @@ module Make (P : Explorer.CHECKABLE) = struct
     | Par_state_limit of int
 
   type shard = {
-    table : (string, int) Hashtbl.t;  (** canonical key -> local id *)
-    keys : string Vec.t;
+    table : State_table.t;
+        (** canonical key -> local id, keys held inline in the shard's
+            arena (local id = per-shard insertion order) *)
     parent : int Vec.t;  (** (predecessor gid lsl 4) lor pid; -1 at root *)
     edge_src : int Vec.t;  (** (src gid lsl 4) lor pid *)
     edge_dst : int Vec.t;  (** dst gid *)
@@ -158,8 +159,8 @@ module Make (P : Explorer.CHECKABLE) = struct
     let shards =
       Array.init nd (fun _ ->
           {
-            table = Hashtbl.create (1 lsl 12);
-            keys = Vec.create ();
+            table =
+              State_table.create ~key_width:(E.key_width cfg) ();
             parent = Vec.create ();
             edge_src = Vec.create ();
             edge_dst = Vec.create ();
@@ -181,9 +182,9 @@ module Make (P : Explorer.CHECKABLE) = struct
       let gid lid = (lid * nd) + w in
       let added = ref 0 in
       let frontier = ref [] and next_frontier = ref [] in
+      (* Only called for keys just probed absent, so [intern] inserts. *)
       let create key ~from =
-        let lid = Vec.push shard.keys key in
-        Hashtbl.add shard.table key lid;
+        let lid = State_table.intern shard.table key in
         ignore (Vec.push shard.parent from);
         incr added;
         next_frontier := lid :: !next_frontier;
@@ -206,7 +207,7 @@ module Make (P : Explorer.CHECKABLE) = struct
         (* Owner-side arrival: resolve or mint the id, then record the
            edge (the destination's owner records every edge). *)
         let lid =
-          match Hashtbl.find_opt shard.table key with
+          match State_table.find shard.table key with
           | Some lid -> lid
           | None -> create key ~from
         in
@@ -225,7 +226,9 @@ module Make (P : Explorer.CHECKABLE) = struct
         let batches = Array.make nd [] in
         List.iter
           (fun lid ->
-            let st = E.decode_state cfg (Vec.get shard.keys lid) in
+            let st =
+              E.decode_state cfg (State_table.key_of_id shard.table lid)
+            in
             let expand =
               match stop_expansion with Some f -> not (f st) | None -> true
             in
@@ -255,7 +258,7 @@ module Make (P : Explorer.CHECKABLE) = struct
               (List.rev (Chan.drain chans.(src).(w)))
         done;
         shard.layer_added <- !added;
-        shard.size_snapshot <- Vec.length shard.keys;
+        shard.size_snapshot <- State_table.length shard.table;
         shard.violation_seen <- Atomic.get violation <> None;
         added := 0;
         Barrier.await barrier;
@@ -286,7 +289,9 @@ module Make (P : Explorer.CHECKABLE) = struct
     worker 0;
     Array.iter Domain.join pool;
     (* Post-pool: the calling domain owns everything again. *)
-    let states = Array.fold_left (fun a s -> a + Vec.length s.keys) 0 shards in
+    let states =
+      Array.fold_left (fun a s -> a + State_table.length s.table) 0 shards
+    in
     let stats =
       {
         domains = nd;
@@ -296,7 +301,7 @@ module Make (P : Explorer.CHECKABLE) = struct
         layers = Atomic.get layers;
       }
     in
-    let key_of gid = Vec.get shards.(gid mod nd).keys (gid / nd) in
+    let key_of gid = State_table.key_of_id shards.(gid mod nd).table (gid / nd) in
     let parent_of gid = Vec.get shards.(gid mod nd).parent (gid / nd) in
     let trace_of gid =
       let rec up gid acc =
@@ -321,7 +326,7 @@ module Make (P : Explorer.CHECKABLE) = struct
              gids are not contiguous) and run the shared SCC pass. *)
           let offset = Array.make (nd + 1) 0 in
           for s = 0 to nd - 1 do
-            offset.(s + 1) <- offset.(s) + Vec.length shards.(s).keys
+            offset.(s + 1) <- offset.(s) + State_table.length shards.(s).table
           done;
           let dense gid = offset.(gid mod nd) + (gid / nd) in
           let e = stats.transitions in
@@ -350,7 +355,9 @@ module Make (P : Explorer.CHECKABLE) = struct
                   cursor.(u) <- cursor.(u) + 1)
                 s.edge_src)
             shards;
-          let comp, _ = Scc.tarjan ~n:states ~off:deg ~adj in
+          let comp, _ =
+            Scc.tarjan ~n:states ~off:(Array.get deg) ~adj:(Array.get adj)
+          in
           let bad = Hashtbl.create 8 in
           for u = 0 to states - 1 do
             for i = deg.(u) to deg.(u + 1) - 1 do

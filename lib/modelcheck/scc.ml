@@ -7,11 +7,14 @@
     Tarjan — the state graphs run to millions of nodes, so no recursion. *)
 
 (** [tarjan ~n ~off ~adj] labels the [n] nodes of the graph whose
-    out-neighbours of [u] are [adj.(off.(u)) .. adj.(off.(u+1) - 1)] with
-    component ids, returning [(comp, count)].  Component ids are assigned
-    in reverse topological completion order; only equality of ids is
-    meaningful to callers. *)
-let tarjan ~n ~off ~adj =
+    out-neighbours of [u] are [adj (off u) .. adj (off (u+1) - 1)] with
+    component ids, returning [(comp, count)].  [off] and [adj] are
+    accessor functions rather than arrays so callers can serve them
+    straight from packed byte representations ({!State_table.Packed_vec})
+    without materializing an intermediate [int array] copy of the edge
+    image.  Component ids are assigned in reverse topological completion
+    order; only equality of ids is meaningful to callers. *)
+let tarjan ~n ~(off : int -> int) ~(adj : int -> int) =
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
   let on_stack = Bytes.make (max n 1) '\000' in
@@ -20,7 +23,7 @@ let tarjan ~n ~off ~adj =
   let next_index = ref 0 in
   let comp_count = ref 0 in
   let visit root =
-    let frames = ref [ (root, ref off.(root)) ] in
+    let frames = ref [ (root, ref (off root)) ] in
     index.(root) <- !next_index;
     lowlink.(root) <- !next_index;
     incr next_index;
@@ -30,8 +33,8 @@ let tarjan ~n ~off ~adj =
       match !frames with
       | [] -> ()
       | (v, cursor) :: parent_frames -> (
-          if !cursor < off.(v + 1) then begin
-            let w = adj.(!cursor) in
+          if !cursor < off (v + 1) then begin
+            let w = adj !cursor in
             incr cursor;
             if index.(w) = -1 then begin
               index.(w) <- !next_index;
@@ -39,7 +42,7 @@ let tarjan ~n ~off ~adj =
               incr next_index;
               stack := w :: !stack;
               Bytes.set on_stack w '\001';
-              frames := (w, ref off.(w)) :: !frames
+              frames := (w, ref (off w)) :: !frames
             end
             else if Bytes.get on_stack w = '\001' then
               lowlink.(v) <- min lowlink.(v) index.(w)

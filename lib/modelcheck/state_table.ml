@@ -1,0 +1,243 @@
+(* Arena-backed open-addressing visited table.  See state_table.mli for
+   the layout rationale; the short version:
+
+     arena : Bytes.t     all interned keys, back to back; key [id] is the
+                         [key_width] bytes at offset [id * key_width]
+     slots : Bytes.t     capacity * 4 bytes, little-endian u32 per slot,
+                         storing id + 1 so that all-zero = empty (which is
+                         what [Bytes.make _ '\000'] gives us for free)
+     tags  : Bytes.t     capacity * 1 byte: bits 55..62 of the key's hash,
+                         disjoint from the low bits that select the slot,
+                         so a tag mismatch rejects a colliding key without
+                         reading the arena
+
+   Probing is linear (step 1).  With power-of-two capacities, load kept
+   at or below 3/4 and an 8-bit tag filter, the expected number of arena
+   comparisons per lookup stays within a few percent of one. *)
+
+type t = {
+  key_width : int;
+  mutable arena : Bytes.t; (* count * key_width bytes in use *)
+  mutable count : int;
+  mutable slots : Bytes.t; (* 4 bytes per slot, u32 LE, id + 1; 0 = empty *)
+  mutable tags : Bytes.t; (* 1 byte per slot, valid iff slot nonzero *)
+  mutable mask : int; (* capacity - 1 *)
+}
+
+(* 64-bit FNV-1a, folded into OCaml's 63-bit nonnegative int range.  The
+   canonical offset basis 0xcbf29ce484222325 exceeds max_int on 64-bit
+   OCaml, so we start from its value mod 2^63; multiplication already
+   happens mod 2^63 in native ints, and the final [land max_int] keeps the
+   result nonnegative after the sign bit is discarded. *)
+let fnv_offset = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let hash key =
+  let h = ref fnv_offset in
+  for i = 0 to String.length key - 1 do
+    h := (!h lxor Char.code (String.unsafe_get key i)) * fnv_prime
+  done;
+  !h land max_int
+
+let tag_of_hash h = (h lsr 55) land 0xff
+
+let create ?(log2_slots = 12) ~key_width () =
+  if key_width < 0 then invalid_arg "State_table.create: negative key_width";
+  let log2 = max 3 log2_slots in
+  let cap = 1 lsl log2 in
+  {
+    key_width;
+    arena = Bytes.create (max 64 (64 * key_width));
+    count = 0;
+    slots = Bytes.make (4 * cap) '\000';
+    tags = Bytes.create cap;
+    mask = cap - 1;
+  }
+
+let key_width t = t.key_width
+let length t = t.count
+let capacity t = t.mask + 1
+
+let slot_get t i =
+  (* [Bytes.get_int32_le] sign-extends via Int32, hence the mask. *)
+  Int32.to_int (Bytes.get_int32_le t.slots (4 * i)) land 0xFFFFFFFF
+
+let slot_set t i v = Bytes.set_int32_le t.slots (4 * i) (Int32.of_int v)
+
+(* Keys are compared against the arena without materializing a string. *)
+let arena_equals t id key =
+  let off = id * t.key_width in
+  let rec go i =
+    i = t.key_width
+    || Char.equal (Bytes.unsafe_get t.arena (off + i)) (String.unsafe_get key i)
+       && go (i + 1)
+  in
+  go 0
+
+(* Find the slot holding [key], or the first empty slot of its probe
+   sequence.  Returns the id if present, [lnot slot_index] if absent —
+   an int encoding rather than a variant so the hot path stays
+   allocation-free. *)
+let probe t key h =
+  let tag = tag_of_hash h in
+  let rec go i =
+    let s = slot_get t i in
+    if s = 0 then lnot i
+    else
+      let id = s - 1 in
+      if Char.code (Bytes.unsafe_get t.tags i) = tag && arena_equals t id key
+      then id
+      else go ((i + 1) land t.mask)
+  in
+  go (h land t.mask)
+
+let check_width t key name =
+  if String.length key <> t.key_width then
+    invalid_arg
+      (Printf.sprintf "State_table.%s: key of width %d, table of width %d" name
+         (String.length key) t.key_width)
+
+let key_of_id t id =
+  if id < 0 || id >= t.count then
+    invalid_arg
+      (Printf.sprintf "State_table.key_of_id: id %d outside [0..%d]" id
+         (t.count - 1));
+  Bytes.sub_string t.arena (id * t.key_width) t.key_width
+
+let iter f t =
+  for id = 0 to t.count - 1 do
+    f id (Bytes.sub_string t.arena (id * t.key_width) t.key_width)
+  done
+
+(* Double the slot array, re-deriving each key's hash from the arena.
+   Insertion order (hence every dense id) is untouched. *)
+let grow_slots t =
+  let cap = 2 * (t.mask + 1) in
+  t.slots <- Bytes.make (4 * cap) '\000';
+  t.tags <- Bytes.create cap;
+  t.mask <- cap - 1;
+  let buf = Bytes.create t.key_width in
+  for id = 0 to t.count - 1 do
+    Bytes.blit t.arena (id * t.key_width) buf 0 t.key_width;
+    let h = hash (Bytes.unsafe_to_string buf) in
+    let rec free i = if slot_get t i = 0 then i else free ((i + 1) land t.mask) in
+    let i = free (h land t.mask) in
+    slot_set t i (id + 1);
+    Bytes.set t.tags i (Char.chr (tag_of_hash h))
+  done
+
+let ensure_arena t =
+  let need = (t.count + 1) * t.key_width in
+  if need > Bytes.length t.arena then begin
+    let cap = max need (Bytes.length t.arena + (Bytes.length t.arena / 2)) in
+    let arena = Bytes.create cap in
+    Bytes.blit t.arena 0 arena 0 (t.count * t.key_width);
+    t.arena <- arena
+  end
+
+let max_id = 0xFFFF_FFFE (* slots store id + 1 in a u32 *)
+
+let intern t key =
+  check_width t key "intern";
+  let h = hash key in
+  let r = probe t key h in
+  if r >= 0 then r
+  else begin
+    if t.count > max_id then
+      invalid_arg "State_table.intern: table full (2^32 - 1 keys)";
+    let id = t.count in
+    ensure_arena t;
+    Bytes.blit_string key 0 t.arena (id * t.key_width) t.key_width;
+    t.count <- id + 1;
+    let i = lnot r in
+    slot_set t i (id + 1);
+    Bytes.set t.tags i (Char.chr (tag_of_hash h));
+    (* Grow at 3/4 load, after insertion so [i] was still valid. *)
+    if 4 * t.count >= 3 * (t.mask + 1) then grow_slots t;
+    id
+  end
+
+let find t key =
+  check_width t key "find";
+  let r = probe t key (hash key) in
+  if r >= 0 then Some r else None
+
+let mem t key =
+  check_width t key "mem";
+  probe t key (hash key) >= 0
+
+let words t =
+  (* Bytes payloads round up to whole words, plus a 1-word header each;
+     the record itself is 7 fields + header. *)
+  let bytes_words b = 2 + (Bytes.length b / (Sys.word_size / 8)) in
+  8 + bytes_words t.arena + bytes_words t.slots + bytes_words t.tags
+
+module Packed_vec = struct
+  type t = {
+    stride : int;
+    limit : int; (* exclusive upper bound on element values *)
+    mutable buf : Bytes.t;
+    mutable len : int; (* in elements *)
+  }
+
+  let create ?(capacity = 64) ~stride () =
+    if stride < 1 || stride > 7 then
+      invalid_arg "Packed_vec.create: stride outside [1..7]";
+    {
+      stride;
+      limit = 1 lsl (8 * stride);
+      buf = Bytes.create (max 1 capacity * stride);
+      len = 0;
+    }
+
+  let stride t = t.stride
+  let length t = t.len
+
+  let get t i =
+    if i < 0 || i >= t.len then
+      invalid_arg
+        (Printf.sprintf "Packed_vec.get: index %d outside [0..%d]" i (t.len - 1));
+    let off = i * t.stride in
+    let v = ref 0 in
+    for k = t.stride - 1 downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.unsafe_get t.buf (off + k))
+    done;
+    !v
+
+  let put t i x =
+    let off = i * t.stride in
+    let v = ref x in
+    for k = 0 to t.stride - 1 do
+      Bytes.unsafe_set t.buf (off + k) (Char.unsafe_chr (!v land 0xff));
+      v := !v lsr 8
+    done
+
+  let check_range t x name =
+    if x < 0 || x >= t.limit then
+      invalid_arg
+        (Printf.sprintf "Packed_vec.%s: value %d does not fit %d byte(s)" name x
+           t.stride)
+
+  let set t i x =
+    if i < 0 || i >= t.len then
+      invalid_arg
+        (Printf.sprintf "Packed_vec.set: index %d outside [0..%d]" i (t.len - 1));
+    check_range t x "set";
+    put t i x
+
+  let push t x =
+    check_range t x "push";
+    let need = (t.len + 1) * t.stride in
+    if need > Bytes.length t.buf then begin
+      let cap = max need (Bytes.length t.buf + (Bytes.length t.buf / 2)) in
+      let buf = Bytes.create cap in
+      Bytes.blit t.buf 0 buf 0 (t.len * t.stride);
+      t.buf <- buf
+    end;
+    let i = t.len in
+    t.len <- i + 1;
+    put t i x;
+    i
+
+  let words t = 6 + (Bytes.length t.buf / (Sys.word_size / 8))
+end

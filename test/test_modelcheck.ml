@@ -339,6 +339,252 @@ let test_consensus_codec_bounds () =
     (Invalid_argument "Codecs.Consensus: (value, timestamp) out of bounds")
     (fun () -> ignore (Cc.pair_index (1, 99)))
 
+(* --- codec round-trip properties (QCheck) ---------------------------------- *)
+
+(* [decode (encode x) = x] over random reachable-shaped states for all
+   five protocol codecs.  The generators draw every field from the range
+   the codec documents (views as byte bitmasks, scan positions below the
+   register count, consensus pairs within the pair-index bounds), so a
+   failure is a genuine codec bug, not an out-of-contract input.  The
+   driven-execution roundtrips above stay: they cover correlations the
+   independent field generators cannot (QCheck covers the full field
+   product, the executions cover realism). *)
+
+let qcheck_count =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> int_of_string s
+  | None -> 300
+
+let gen_iset = QCheck.Gen.(map Iset.of_bits (int_bound 255))
+
+module SC = Algorithms.Snapshot.Core
+
+let gen_snap_phase =
+  QCheck.Gen.(
+    oneof
+      [
+        return SC.Writing;
+        map3
+          (fun pos all_own min_level ->
+            SC.Scanning { SC.pos; all_own; min_level })
+          (int_bound 7) bool (int_bound 7);
+      ])
+
+let gen_snap_local =
+  QCheck.Gen.(
+    map3
+      (fun view level (next_write, phase) ->
+        { SC.view; level; next_write; phase })
+      gen_iset (int_bound 7)
+      (pair (int_bound 7) gen_snap_phase))
+
+let codec_roundtrip (type l) name ~(width : int) ~(gen : l QCheck.Gen.t)
+    ~(encode : l -> Bytes.t -> int -> unit) ~(decode : Bytes.t -> int -> l)
+    ?(eq : l -> l -> bool = ( = )) () =
+  QCheck.Test.make
+    ~name:(name ^ ": decode (encode x) = x")
+    ~count:qcheck_count (QCheck.make gen) (fun x ->
+      let b = Bytes.make width '\000' in
+      encode x b 0;
+      eq (decode b 0) x)
+
+let prop_snapshot_local =
+  let cfg = Snap.standard ~n:3 in
+  codec_roundtrip "snapshot local" ~width:(SnapC.local_width cfg)
+    ~gen:gen_snap_local
+    ~encode:(SnapC.encode_local cfg)
+    ~decode:(SnapC.decode_local cfg)
+    ()
+
+let prop_snapshot_value =
+  let cfg = Snap.standard ~n:3 in
+  codec_roundtrip "snapshot value" ~width:(SnapC.value_width cfg)
+    ~gen:
+      QCheck.Gen.(
+        map2 (fun view level -> { Snap.view; level }) gen_iset (int_bound 7))
+    ~encode:(SnapC.encode_value cfg)
+    ~decode:(SnapC.decode_value cfg)
+    ()
+
+let prop_write_scan_local =
+  let module W = Algorithms.Write_scan in
+  let cfg = W.cfg ~n:3 ~m:3 in
+  codec_roundtrip "write-scan local" ~width:(WsC.local_width cfg)
+    ~gen:
+      QCheck.Gen.(
+        map3
+          (fun view next_write phase -> { W.view; next_write; phase })
+          gen_iset (int_bound 7)
+          (oneof
+             [
+               return W.Writing;
+               map (fun pos -> W.Scanning { W.pos }) (int_bound 7);
+             ]))
+    ~encode:(WsC.encode_local cfg)
+    ~decode:(WsC.decode_local cfg)
+    ()
+
+let prop_double_collect_local =
+  let module D = Algorithms.Double_collect in
+  let cfg = D.standard ~n:3 in
+  codec_roundtrip "double-collect local" ~width:(DcC.local_width cfg)
+    ~gen:
+      QCheck.Gen.(
+        map3
+          (fun view (next_write, streak) phase ->
+            { D.view; next_write; streak; phase })
+          gen_iset
+          (pair (int_bound 7) (int_bound 7))
+          (oneof
+             [
+               return D.Writing;
+               map2
+                 (fun pos all_own -> D.Scanning { D.pos; all_own })
+                 (int_bound 7) bool;
+             ]))
+    ~encode:(DcC.encode_local cfg)
+    ~decode:(DcC.decode_local cfg)
+    ()
+
+module Cc = Modelcheck.Codecs.Consensus
+module Cons = Algorithms.Consensus
+
+(* Pair sets as random 24-bit masks: exactly the codec's own value space
+   ((value, timestamp) with value in 1..3, timestamp in 0..7). *)
+let gen_pset = QCheck.Gen.(map Cc.pset_of_bits (int_bound ((1 lsl 24) - 1)))
+
+let gen_consensus_snap_local =
+  QCheck.Gen.(
+    map3
+      (fun view level (next_write, phase) ->
+        { Cons.Snap.Core.view; level; next_write; phase })
+      gen_pset (int_bound 7)
+      (pair (int_bound 7)
+         (oneof
+            [
+              return Cons.Snap.Core.Writing;
+              map3
+                (fun pos all_own min_level ->
+                  Cons.Snap.Core.Scanning
+                    { Cons.Snap.Core.pos; all_own; min_level })
+                (int_bound 7) bool (int_bound 7);
+            ])))
+
+let prop_consensus_local =
+  let cfg = Cons.standard ~n:3 in
+  (* [input] decodes as [pref] and [rounds] as 0 by design (the ghost
+     fields are quotiented away), so generate states already in that
+     normal form — on those the codec must be an exact inverse. *)
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun (pref, ts) decided snap ->
+          { Cons.input = pref; pref; ts; decided; rounds = 0; snap })
+        (pair (1 -- 3) (int_bound 7))
+        (oneof [ return None; map (fun v -> Some v) (1 -- 3) ])
+        gen_consensus_snap_local)
+  in
+  codec_roundtrip "consensus local" ~width:(Cc.local_width cfg) ~gen
+    ~encode:(Cc.encode_local cfg)
+    ~decode:(Cc.decode_local cfg)
+    ()
+
+let prop_consensus_value =
+  let cfg = Cons.standard ~n:3 in
+  codec_roundtrip "consensus value" ~width:(Cc.value_width cfg)
+    ~gen:
+      QCheck.Gen.(
+        map2
+          (fun view level -> { Cons.Snap.Core.view; level })
+          gen_pset (int_bound 7))
+    ~encode:(Cc.encode_value cfg)
+    ~decode:(Cc.decode_value cfg)
+    ()
+
+module RenC = Modelcheck.Codecs.Renaming
+module Ren = Algorithms.Renaming
+
+let prop_renaming_local =
+  let cfg = Ren.standard ~n:3 in
+  codec_roundtrip "renaming local" ~width:(RenC.local_width cfg)
+    ~gen:
+      QCheck.Gen.(
+        map2 (fun group core -> { Ren.group; core }) (int_bound 7)
+          gen_snap_local)
+    ~encode:(RenC.encode_local cfg)
+    ~decode:(RenC.decode_local cfg)
+    ()
+
+(* Out-of-range fields must raise the structured byte-range error and
+   leave every byte outside the encoding slot untouched: the buffer is a
+   shared state arena in the explorers, so a partial encode must never
+   bleed into a neighbouring processor's slice. *)
+let check_out_of_range name width encode =
+  let b = Bytes.make (width + 2) '\xAB' in
+  (match encode b 1 with
+  | exception Invalid_argument msg ->
+      Alcotest.(check string)
+        (name ^ ": structured error")
+        "Codecs: field out of byte range" msg
+  | exception e ->
+      Alcotest.failf "%s: expected byte-range error, got %s" name
+        (Printexc.to_string e)
+  | () -> Alcotest.failf "%s: out-of-range field encoded" name);
+  Alcotest.(check char) (name ^ ": left neighbour intact") '\xAB' (Bytes.get b 0);
+  Alcotest.(check char)
+    (name ^ ": right neighbour intact")
+    '\xAB'
+    (Bytes.get b (width + 1))
+
+let test_codecs_out_of_range_structured () =
+  let scfg = Snap.standard ~n:3 in
+  check_out_of_range "snapshot level=300" (SnapC.local_width scfg) (fun b off ->
+      SnapC.encode_local scfg
+        { SC.view = Iset.empty; level = 300; next_write = 0; phase = SC.Writing }
+        b off);
+  let wcfg = Algorithms.Write_scan.cfg ~n:3 ~m:3 in
+  check_out_of_range "write-scan next_write=256" (WsC.local_width wcfg)
+    (fun b off ->
+      WsC.encode_local wcfg
+        {
+          Algorithms.Write_scan.view = Iset.empty;
+          next_write = 256;
+          phase = Algorithms.Write_scan.Writing;
+        }
+        b off);
+  let dcfg = Algorithms.Double_collect.standard ~n:3 in
+  check_out_of_range "double-collect streak=-1" (DcC.local_width dcfg)
+    (fun b off ->
+      DcC.encode_local dcfg
+        {
+          Algorithms.Double_collect.view = Iset.empty;
+          next_write = 0;
+          streak = -1;
+          phase = Algorithms.Double_collect.Writing;
+        }
+        b off);
+  let ccfg = Cons.standard ~n:3 in
+  check_out_of_range "consensus ts=999" (Cc.local_width ccfg) (fun b off ->
+      Cc.encode_local ccfg
+        {
+          Cons.input = 1;
+          pref = 1;
+          ts = 999;
+          decided = None;
+          rounds = 0;
+          snap = Cons.Snap.init ccfg (1, 0);
+        }
+        b off);
+  let rcfg = Ren.standard ~n:3 in
+  check_out_of_range "renaming group=300" (RenC.local_width rcfg) (fun b off ->
+      RenC.encode_local rcfg
+        {
+          Ren.group = 300;
+          core =
+            { SC.view = Iset.empty; level = 0; next_write = 0; phase = SC.Writing };
+        }
+        b off)
+
 let () =
   Alcotest.run "modelcheck"
     [
@@ -394,5 +640,17 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_consensus_codec_roundtrip;
           Alcotest.test_case "bounds" `Quick test_consensus_codec_bounds;
+        ] );
+      ( "codec-qcheck",
+        [
+          QCheck_alcotest.to_alcotest prop_snapshot_local;
+          QCheck_alcotest.to_alcotest prop_snapshot_value;
+          QCheck_alcotest.to_alcotest prop_write_scan_local;
+          QCheck_alcotest.to_alcotest prop_double_collect_local;
+          QCheck_alcotest.to_alcotest prop_consensus_local;
+          QCheck_alcotest.to_alcotest prop_consensus_value;
+          QCheck_alcotest.to_alcotest prop_renaming_local;
+          Alcotest.test_case "out-of-range leaves neighbours intact" `Quick
+            test_codecs_out_of_range_structured;
         ] );
     ]

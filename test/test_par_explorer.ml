@@ -81,7 +81,7 @@ module Diff (P : Modelcheck.Explorer.CHECKABLE) = struct
      each domain count, unreduced (exact count parity) and reduced (exact
      parity between reduced runs, verdict parity against unreduced);
      plus DFS verdict agreement on acyclic spaces. *)
-  let cell ?invariant ?stop_expansion ?(domain_counts = [ 2 ]) ~name ~cfg
+  let cell ?invariant ?stop_expansion ?(domain_counts = [ 1; 2; 4 ]) ~name ~cfg
       ~wiring ~inputs () =
     let seq = seq_bfs ?invariant ?stop_expansion ~cfg ~wiring ~inputs () in
     let red =
@@ -135,8 +135,8 @@ module Diff (P : Modelcheck.Explorer.CHECKABLE) = struct
      report the violation, BFS traces must have equal (minimal) length,
      and every trace must replay through Witness.Replay to a state the
      invariant rejects. *)
-  let violation_cell ?(domain_counts = [ 2 ]) ?(reduction = false) ~name ~cfg
-      ~wiring ~inputs ~invariant () =
+  let violation_cell ?(domain_counts = [ 1; 2; 4 ]) ?(reduction = false) ~name
+      ~cfg ~wiring ~inputs ~invariant () =
     let replay_and_check nm path =
       let final = Replay.final ~cfg ~wiring ~inputs path in
       match invariant final with
@@ -201,8 +201,7 @@ let test_snapshot_n2_matrix () =
     (fun wiring ->
       List.iter
         (fun inputs ->
-          SnapDiff.cell
-            ~domain_counts:(if long_mode then [ 1; 2; 4 ] else [ 1; 2 ])
+          SnapDiff.cell ~domain_counts:[ 1; 2; 4 ]
             ~name:
               (Fmt.str "snapshot n=2 %a %a" Anonmem.Wiring.pp wiring
                  Fmt.(Dump.array int)
@@ -388,6 +387,40 @@ let test_planted_double_collect_counterexample () =
     ~cfg
     ~wiring:(Anonmem.Wiring.identity ~n:2 ~m:2)
     ~inputs:[| 1; 2 |] ~invariant ()
+
+let test_planted_trace_ids_from_arena_table () =
+  (* A planted 3-processor violation deep enough for a nontrivial space:
+     the BFS counterexample is reconstructed purely from packed parent
+     words and [key_of_id] arena reads of the new State_table, must
+     replay through Witness.Replay to a state the invariant rejects, and
+     every state along the trace must be interned in the final table. *)
+  let cfg = Snap.standard ~n:3 in
+  let wiring = Anonmem.Wiring.identity ~n:3 ~m:3 in
+  let inputs = [| 1; 2; 3 |] in
+  let module E = SnapDiff.E in
+  let invariant (st : E.state) =
+    if Array.exists (fun l -> Snap.level_of_local l >= 2) st.E.locals then
+      Error "planted: level 2 reached"
+    else Ok ()
+  in
+  match E.explore ~invariant ~cfg ~wiring ~inputs () with
+  | E.Invariant_failed (space, v) ->
+      let module St = Modelcheck.State_table in
+      let path = List.map fst v.E.trace in
+      Alcotest.(check bool) "nontrivial trace" true (List.length path > 5);
+      let final = SnapDiff.Replay.final ~cfg ~wiring ~inputs path in
+      (match invariant final with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "replayed trace ends in a non-violating state");
+      Alcotest.(check string) "replay endpoint is the reported state"
+        (E.encode_state cfg (snd (List.nth v.E.trace (List.length v.E.trace - 1))))
+        (E.encode_state cfg final);
+      List.iter
+        (fun (_, st) ->
+          Alcotest.(check bool) "trace state interned in the arena table" true
+            (St.mem space.E.table (E.encode_state cfg st)))
+        v.E.trace
+  | _ -> Alcotest.fail "planted n=3 violation missed"
 
 let test_fault_explorer_reduced_witness () =
   (* Crash masks must canonicalize with their processors: under a
@@ -689,6 +722,8 @@ let () =
             test_planted_snapshot_counterexample_reduced;
           Alcotest.test_case "planted double-collect bug" `Quick
             test_planted_double_collect_counterexample;
+          Alcotest.test_case "trace ids from the arena table replay" `Quick
+            test_planted_trace_ids_from_arena_table;
           Alcotest.test_case "fault explorer reduced witness" `Quick
             test_fault_explorer_reduced_witness;
           Alcotest.test_case "snapshot3 ND search" `Quick
