@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-mc mc-smoke mc-long fuzz-smoke fuzz-long fault-smoke faults-long clean
+.PHONY: build test bench bench-mc bench-fuzz mc-smoke mc-long fuzz-smoke fuzz-long fault-smoke faults-long clean
 
 build:
 	dune build @all
@@ -20,6 +20,16 @@ bench:
 bench-mc:
 	dune build bench/bench_mc.exe
 	cd $(CURDIR) && ./_build/default/bench/bench_mc.exe
+
+# Fuzzing-throughput benchmark: cases/s, steps/s and allocated words per
+# step for the legacy (list-view, traced) execution core vs the bitset
+# views traced and on the zero-observer fast path, plus campaign
+# wall-clock at 1 vs N domains.  Writes BENCH_fuzz.json; the
+# EXPERIMENTS.md fuzzing table comes from this output.  Pass
+# BENCH_FUZZ_FLAGS=--quick for the CI-sized run.
+bench-fuzz:
+	dune build bench/bench_fuzz.exe
+	cd $(CURDIR) && ./_build/default/bench/bench_fuzz.exe $(BENCH_FUZZ_FLAGS)
 
 # The quick cross-engine differential pass that runtest already includes.
 mc-smoke:

@@ -12,15 +12,21 @@
    speedup; the acceptance claims are carried by the visited-state
    reduction column and by the arena-vs-seed-layout memory comparison.
 
-   Memory columns.  [live_words] is the retained size of the explored
-   space: GC-compacted live words after the run minus the compacted
-   baseline before it, with the result value kept alive across the final
-   compaction.  [top_heap_words] is the process-wide heap high-water mark
-   when the row finishes (monotone across rows — cases run smallest
-   first, so the headline rows own the peak).  The headline full row is
-   additionally rebuilt in the pre-arena seed layout (string Hashtbl +
-   boxed key vector + int edge vectors) and measured the same way, so
-   the compaction factor compares identical state/transition counts. *)
+   Memory columns.  [live_words] is the exact retained size of the row's
+   result value, [Obj.reachable_words] over the explored space for
+   sequential rows (the parallel engine discards its space and retains
+   only a stats record, so par rows report a handful of words).  Earlier
+   revisions reported a GC live-word delta instead, which went negative
+   on rows that spawn and join domains — joined domains fold their minor
+   heaps back into the major heap, so the "before" baseline is not
+   comparable to the "after" reading.  Reachable words are non-negative
+   by construction and count shared blocks once.  [top_heap_words] is
+   the process-wide heap high-water mark when the row finishes (monotone
+   across rows — cases run smallest first, so the headline rows own the
+   peak).  The headline full row is additionally rebuilt in the
+   pre-arena seed layout (string Hashtbl + boxed key vector + int edge
+   vectors) and measured the same way, so the compaction factor compares
+   identical state/transition counts. *)
 
 open Repro_util
 module Snap = Algorithms.Snapshot
@@ -45,29 +51,24 @@ let rows : row list ref = ref []
 
 let measure f =
   Gc.compact ();
-  let live0 = (Gc.stat ()).Gc.live_words in
   let t0 = Unix.gettimeofday () in
   let r = f () in
   let wall_s = Unix.gettimeofday () -. t0 in
-  Gc.compact ();
-  let st = Gc.stat () in
-  (r, wall_s, st.Gc.live_words - live0, st.Gc.top_heap_words)
+  let live_words = Obj.reachable_words (Obj.repr r) in
+  (r, wall_s, live_words, (Gc.stat ()).Gc.top_heap_words)
 
 (* Rebuild [space] in the pre-arena layout this benchmark used before the
    State_table rewrite — (string, id) Hashtbl over boxed key strings, a
    string Vec for id -> key (sharing the same strings, as the seed did),
    an int Vec of packed parents and two int Vecs of packed edges — and
    return its retained size in words, measured exactly like [measure]
-   does.  States, transitions and per-entry contents are identical to the
-   arena space, so the ratio to the arena row's [live_words] is a
-   like-for-like compaction factor. *)
+   does ([Obj.reachable_words] over the rebuilt structures).  States,
+   transitions and per-entry contents are identical to the arena space,
+   so the ratio to the arena row's [live_words] is a like-for-like
+   compaction factor. *)
 let seed_layout_words (space : E.space) =
   let n = E.state_count space in
-  (* Allocated before the baseline so the offsets array (scaffolding, not
-     part of either layout) cancels out of the delta. *)
   let off = E.csr_offsets space in
-  Gc.compact ();
-  let live0 = (Gc.stat ()).Gc.live_words in
   let table : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 16) in
   let keys : string Vec.t = Vec.create () in
   St.iter
@@ -88,14 +89,7 @@ let seed_layout_words (space : E.space) =
       ignore (Vec.push edge_dst (packed asr 4))
     done
   done;
-  Gc.compact ();
-  let words = (Gc.stat ()).Gc.live_words - live0 in
-  (* Everything counted in the baseline must still be live at the final
-     stat — [space] and [off] have their last real use above, and
-     letting the compactor reclaim them mid-measurement would subtract
-     their size from the replica's. *)
-  ignore (Sys.opaque_identity (space, off, table, keys, parent, edge_src, edge_dst));
-  words
+  Obj.reachable_words (Obj.repr (table, keys, parent, edge_src, edge_dst))
 
 (* (seed_layout_words, arena live_words) of the headline full seq row. *)
 let layout_comparison : (int * int) option ref = ref None

@@ -396,7 +396,7 @@ let faults_cmd =
             let wiring = Anonmem.Wiring.random rng ~n ~m in
             let cfg = T.cfg ~n ~m in
             let run =
-              H.exec ~cfg ~wiring ~inputs
+              H.exec ~record:true ~cfg ~wiring ~inputs
                 ~sched:(Anonmem.Scheduler.random (Repro_util.Rng.split rng))
                 ~faults ~max_steps
             in

@@ -64,6 +64,17 @@ let max_steps_arg =
     & info [ "max-steps" ] ~docv:"K"
         ~doc:"Global step budget of each generated execution.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Shard campaign iterations across $(docv) OCaml domains.  Case \
+           seeds derive from (campaign seed, iteration) alone and the \
+           smallest failing iteration wins, so the reported counterexample \
+           and its shrunk instance are identical for every domain count \
+           (absent --time-budget).")
+
 let fault_profile_arg =
   Arg.(
     value
@@ -97,8 +108,8 @@ let with_target key f =
 
 (* campaign (default command) *)
 
-let run_campaign key seed iterations time_budget min_n max_n m max_steps
-    fault_profile expect_bug =
+let run_campaign key seed iterations time_budget domains min_n max_n m
+    max_steps fault_profile expect_bug =
   match Fuzzing.Fault_gen.of_string fault_profile with
   | None ->
       `Error
@@ -110,7 +121,7 @@ let run_campaign key seed iterations time_budget min_n max_n m max_steps
   with_target key (fun (module T : Fuzzing.Target.S) ->
       let module H = Fuzzing.Harness.Make (T) in
       let report =
-        H.campaign ~now:Unix.gettimeofday ?time_budget ?m
+        H.campaign ~now:Unix.gettimeofday ?time_budget ~domains ?m
           ~n_range:(min_n, max_n) ~max_steps ~fault_profile ~seed ~iterations ()
       in
       Fmt.pr "%a@." (H.pp_report ~key) report;
@@ -129,8 +140,8 @@ let campaign_term =
   Term.(
     ret
       (const run_campaign $ protocol_arg $ seed_arg $ iterations_arg
-     $ time_budget_arg $ min_n_arg $ max_n_arg $ m_arg $ max_steps_arg
-     $ fault_profile_arg $ expect_bug_arg))
+     $ time_budget_arg $ domains_arg $ min_n_arg $ max_n_arg $ m_arg
+     $ max_steps_arg $ fault_profile_arg $ expect_bug_arg))
 
 (* replay *)
 

@@ -61,6 +61,9 @@ let register_init = Snap.register_init
 let init c input =
   { input; pref = input; ts = 0; decided = None; rounds = 0; snap = Snap.init c (input, 0) }
 
+let halted c l =
+  match l.decided with Some _ -> true | None -> Snap.halted c l.snap
+
 let next c l =
   match l.decided with None -> Snap.next c l.snap | Some _ -> None
 

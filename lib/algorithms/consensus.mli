@@ -62,6 +62,7 @@ val processors : cfg -> int
 val registers : cfg -> int
 val register_init : cfg -> value
 val init : cfg -> input -> local
+val halted : cfg -> local -> bool
 val next : cfg -> local -> value Anonmem.Protocol.operation option
 val apply_read : cfg -> local -> reg:int -> value -> local
 val apply_write : cfg -> local -> local

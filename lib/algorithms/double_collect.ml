@@ -50,6 +50,8 @@ let init _ input =
 
 let terminated l = l.streak >= 2 && l.phase = Writing
 
+let halted _ l = terminated l
+
 let next _ l =
   if terminated l then None
   else

@@ -45,6 +45,7 @@ struct
   (** The current invocation has terminated; its output is {!output_view}.
       The processor takes no steps until {!invoke} is called again. *)
 
+  let halted = ready
   let next c l = if ready c l then None else Some (Core.next c l)
   let apply_read = Core.apply_read
   let apply_write = Core.apply_write

@@ -52,6 +52,8 @@ let registers c = c.n
 let register_init _ = None
 let init _ id = { id; prev = None; phase = Announce; result = None }
 
+let halted _ l = l.result <> None
+
 let next c l =
   match l.result with
   | Some _ -> None

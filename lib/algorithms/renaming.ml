@@ -39,6 +39,8 @@ let registers = Snapshot.registers
 let register_init = Snapshot.register_init
 let init c input = { group = input; core = Snapshot.init c input }
 
+let halted c l = Snapshot.halted c l.core
+
 let next c l =
   match Snapshot.next c l.core with None -> None | Some op -> Some op
 

@@ -33,6 +33,7 @@ let register_init = Core.register_init
 let init = Core.init
 
 let terminated c (l : local) = Core.reached_level c l
+let halted = terminated
 let next c l = if terminated c l then None else Some (Core.next c l)
 let apply_read = Core.apply_read
 let apply_write = Core.apply_write

@@ -35,6 +35,8 @@ let registers cfg = cfg.m
 let register_init _ = Iset.empty
 let init _ input = { view = Iset.singleton input; next_write = 0; phase = Writing }
 
+let halted _ _ = false
+
 let next _cfg l =
   match l.phase with
   | Writing -> Some (Anonmem.Protocol.Write (l.next_write, l.view))

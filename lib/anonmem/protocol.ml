@@ -54,6 +54,11 @@ module type S = sig
   (** The pending operation, or [None] when the processor has terminated
       (takes no further steps). *)
 
+  val halted : cfg -> local -> bool
+  (** [halted cfg l] iff [next cfg l = None].  The execution loops poll
+      this every step; implementations answer from a field test instead of
+      constructing {!next}'s result, keeping the polling allocation-free. *)
+
   val apply_read : cfg -> local -> reg:int -> value -> local
   (** State after the pending [Read reg] returned [value]. *)
 

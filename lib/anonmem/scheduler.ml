@@ -38,23 +38,21 @@ let script ?(cycle = false) pids =
   let pick ~time:_ ~enabled =
     (* Bound the scan so a cyclic script whose processors have all halted
        terminates the run instead of spinning. *)
-    let scanned = ref 0 in
-    let rec go () =
-      if !scanned > len then None
+    let rec go scanned =
+      if scanned > len then None
       else
         match !remaining with
         | [] ->
             if cycle && pids <> [] then begin
               remaining := pids;
-              go ()
+              go scanned
             end
             else None
         | p :: rest ->
             remaining := rest;
-            incr scanned;
-            if List.mem p enabled then Some p else go ()
+            if List.mem p enabled then Some p else go (scanned + 1)
     in
-    go ()
+    go 0
   in
   { name = (if cycle then "script(cyclic)" else "script"); pick }
 
@@ -90,10 +88,19 @@ let crash ~crash_at t =
     | Some c -> time < c
     | None -> true
   in
+  (* No crash can have fired before the earliest crash time, so until then
+     the filter below would rebuild [enabled] unchanged on every pick. *)
+  let first_crash =
+    Array.fold_left
+      (fun acc c -> match c with Some c -> min acc c | None -> acc)
+      max_int crash_at
+  in
   let pick ~time ~enabled =
-    match List.filter (alive_at time) enabled with
-    | [] -> None
-    | alive -> t.pick ~time ~enabled:alive
+    if time < first_crash then t.pick ~time ~enabled
+    else
+      match List.filter (alive_at time) enabled with
+      | [] -> None
+      | alive -> t.pick ~time ~enabled:alive
   in
   { name = t.name ^ "+crashes"; pick }
 

@@ -78,7 +78,7 @@ module Make (P : Protocol.S) = struct
     }
 
   let processors s = P.processors s.cfg
-  let is_halted s p = P.next s.cfg s.locals.(p) = None
+  let is_halted s p = P.halted s.cfg s.locals.(p)
 
   let enabled s =
     List.filter (fun p -> not (is_halted s p)) (List.init (processors s) Fun.id)
@@ -244,20 +244,95 @@ module Make (P : Protocol.S) = struct
     in
     go 0
 
+  (* Silent transition: the same state change as [step_in_place] but
+     without constructing the event record — and without the [last_writer]
+     ghost update, which exists only to decorate events and renderings.
+     The zero-observer fast path below is the only caller. *)
+  let step_silent s p =
+    match P.next s.cfg s.locals.(p) with
+    | None -> invalid_arg "System.step: processor has terminated"
+    | Some (Protocol.Read i) ->
+        let r = Wiring.phys s.wiring ~p i in
+        s.locals.(p) <- P.apply_read s.cfg s.locals.(p) ~reg:i s.registers.(r)
+    | Some (Protocol.Write (i, v)) ->
+        let r = Wiring.phys s.wiring ~p i in
+        s.registers.(r) <- v;
+        s.locals.(p) <- P.apply_write s.cfg s.locals.(p)
+
+  (* The zero-observer fast path: no event records, no ghost bookkeeping,
+     and the enabled list is maintained incrementally (halting is
+     permanent in the fault-free semantics, so it only ever shrinks —
+     recomputed from scratch it would hold exactly the same pids in the
+     same increasing order, which keeps scheduler decisions identical to
+     the observed path). *)
+  let run_fast ~max_steps ~sched ?step_counts state =
+    let count =
+      match step_counts with
+      | None -> fun _ -> ()
+      | Some c -> fun p -> c.(p) <- c.(p) + 1
+    in
+    let rec go time enabled =
+      if time >= max_steps then (Max_steps, time)
+      else
+        match enabled with
+        | [] -> (All_halted, time)
+        | en -> (
+            match Scheduler.pick sched ~time ~enabled:en with
+            | None -> (Scheduler_done, time)
+            | Some p ->
+                (* [en] is exactly the non-halted set here, so membership
+                   is a halt test — O(1) instead of a list scan. *)
+                if is_halted state p then
+                  invalid_arg "System.run: scheduler picked a halted processor";
+                step_silent state p;
+                count p;
+                let en =
+                  if is_halted state p then List.filter (( <> ) p) en else en
+                in
+                go (time + 1) en)
+    in
+    go 0 (enabled state)
+
   (** Drive [state] under [sched] for at most [max_steps] steps, mutating it
       in place.  [on_event] observes each step (time is the 0-based step
       index).  Returns why the run stopped and the number of steps taken.
+      [step_counts] (length [n]) is incremented at index [p] for every
+      scheduler step consumed by processor [p] — including dropped writes
+      under a fault plan, which produce no event.
 
       [faults] installs a fault plan (times are global step indices);
       [on_fault] observes what the injector did.  Without a plan the
-      original fault-free loop runs — the fault layer costs nothing when
-      disabled.  An {e empty} plan still takes the interpreting path (that
-      is what the overhead benchmark measures). *)
-  let run ?(max_steps = 100_000) ?faults ~sched ?on_event ?on_fault state =
-    match faults with
-    | Some plan -> run_faulty ~max_steps ~plan ~sched ?on_event ?on_fault state
-    | None ->
-        ignore on_fault;
+      fault-free loop runs — the fault layer costs nothing when disabled.
+      An {e empty} plan still takes the interpreting path (that is what
+      the overhead benchmark measures).
+
+      Without a plan {e and} without observers, a fast path executes the
+      same transitions but skips event construction and the [last_writer]
+      ghost bookkeeping entirely; after such a run [last_writer] still
+      holds its initial [None]s.  The ghost state never influences
+      transitions, outputs or stop reasons — it is only reported through
+      events and renderings, which the fast path by definition has none
+      of — so verdicts computed from a fast run agree with the observed
+      path (test/test_fuzz.ml checks this differentially). *)
+  let run ?(max_steps = 100_000) ?faults ?step_counts ~sched ?on_event ?on_fault
+      state =
+    let count p =
+      match step_counts with None -> () | Some c -> c.(p) <- c.(p) + 1
+    in
+    match (faults, on_event, on_fault) with
+    | Some plan, _, _ ->
+        let on_fault_count ~time nt =
+          (match nt with Dropped_write { p; _ } -> count p | _ -> ());
+          match on_fault with Some f -> f ~time nt | None -> ()
+        in
+        let on_event_count ~time ev =
+          (match ev with Read_ev { p; _ } | Write_ev { p; _ } -> count p);
+          match on_event with Some f -> f ~time ev | None -> ()
+        in
+        run_faulty ~max_steps ~plan ~sched ~on_event:on_event_count
+          ~on_fault:on_fault_count state
+    | None, None, None -> run_fast ~max_steps ~sched ?step_counts state
+    | None, _, _ ->
         let rec go time =
           if time >= max_steps then (Max_steps, time)
           else
@@ -270,6 +345,7 @@ module Make (P : Protocol.S) = struct
                     if not (List.mem p en) then
                       invalid_arg "System.run: scheduler picked a halted processor";
                     let ev = step_in_place state p in
+                    count p;
                     (match on_event with Some f -> f ~time ev | None -> ());
                     go (time + 1))
         in

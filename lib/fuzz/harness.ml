@@ -73,41 +73,35 @@ module Make (T : Target.S) = struct
     steps : int;
     outputs : T.P.output option array;
     step_counts : int array;  (** steps taken by each processor *)
-    trace : Tr.t;
+    trace : Tr.t;  (** empty when the run took the untraced fast path *)
   }
 
-  let exec ~cfg ~wiring ~inputs ~sched ~faults ~max_steps =
+  (* [record = false] runs without observers: with no fault plan that is
+     {!Sys.run}'s zero-observer fast path — no event records, no trace
+     conses, no ghost bookkeeping.  Step counts come from [Sys.run]'s own
+     counter either way (it sees dropped writes, which emit no event), so
+     verdicts agree between the two modes; only [trace] differs. *)
+  let exec ~record ~cfg ~wiring ~inputs ~sched ~faults ~max_steps =
     let state = Sys.init ~cfg ~wiring ~inputs in
     let trace = Tr.create () in
     let step_counts = Array.make (T.P.processors cfg) 0 in
-    let on_event ~time ev =
-      Tr.on_event trace ~time ev;
-      match ev with
-      | Sys.Read_ev { p; _ } | Sys.Write_ev { p; _ } ->
-          step_counts.(p) <- step_counts.(p) + 1
-    in
-    (* Dropped writes consume a scheduler step without emitting an event,
-       so they count toward the processor's steps (wait-freedom budgets
-       must see them) and are re-merged into [Tr.pids]. *)
-    let on_fault ~time nt =
-      Tr.on_fault trace ~time nt;
-      match nt with
-      | Sys.Dropped_write { p; _ } -> step_counts.(p) <- step_counts.(p) + 1
-      | _ -> ()
-    in
+    let on_event = if record then Some (Tr.on_event trace) else None in
+    let on_fault = if record then Some (Tr.on_fault trace) else None in
     let faults = match faults with [] -> None | plan -> Some plan in
-    let stop, steps = Sys.run ~max_steps ?faults ~sched ~on_event ~on_fault state in
+    let stop, steps =
+      Sys.run ~max_steps ?faults ~step_counts ~sched ?on_event ?on_fault state
+    in
     { stop; steps; outputs = Sys.outputs state; step_counts; trace }
 
-  let run_case (c : Gen.case) =
-    exec
+  let run_case ?(record = true) (c : Gen.case) =
+    exec ~record
       ~cfg:(T.cfg ~n:c.n ~m:c.m)
       ~wiring:(Gen.wiring c) ~inputs:c.inputs
       ~sched:(Schedule.scheduler (Gen.schedule_rng c) c.shape)
       ~faults:c.faults ~max_steps:c.max_steps
 
-  let run_instance inst =
-    exec
+  let run_instance ?(record = true) inst =
+    exec ~record
       ~cfg:(T.cfg ~n:inst.n ~m:inst.m)
       ~wiring:(Anonmem.Wiring.of_lists inst.wiring_perms)
       ~inputs:inst.inputs
@@ -141,8 +135,11 @@ module Make (T : Target.S) = struct
             in
             find 0)
 
+  (* The shrinker's oracle, called thousands of times per counterexample:
+     untraced on purpose. *)
   let verdict_of_instance inst =
-    verdict ~n:inst.n ~m:inst.m ~inputs:inst.inputs (run_instance inst)
+    verdict ~n:inst.n ~m:inst.m ~inputs:inst.inputs
+      (run_instance ~record:false inst)
 
   (* ---- shrinking ------------------------------------------------------- *)
 
@@ -291,40 +288,99 @@ module Make (T : Target.S) = struct
 
   let case_seed ~seed i = (seed * 1_000_003) + i
 
-  let campaign ?(now = Stdlib.Sys.time) ?time_budget ?m ?(n_range = (2, 5))
-      ?(max_steps = 5_000) ?fault_profile ~seed ~iterations () =
+  (** Run a campaign of [iterations] cases, sharded round-robin across
+      [domains] OCaml 5 domains (default 1: everything runs inline in the
+      caller's domain).  Every case derives its seed from
+      [(seed, iteration)] alone, and the reported counterexample is the
+      one with the {e smallest iteration index} that failed — a worker
+      only retires once no assigned index below the current minimum
+      failing index remains — so without a [time_budget] the report's
+      deterministic fields (iterations, total steps, counterexample,
+      shrunk instance) are identical for every domain count.  With a
+      [time_budget] the cutoff is wall-clock and the executed prefix
+      becomes timing-dependent. *)
+  let campaign ?(now = Stdlib.Sys.time) ?time_budget ?(domains = 1) ?m
+      ?(n_range = (2, 5)) ?(max_steps = 5_000) ?fault_profile ~seed ~iterations
+      () =
     let t0 = now () in
-    let finish i total cex found =
-      {
-        seed;
-        iterations = i;
-        total_steps = total;
-        elapsed = now () -. t0;
-        counterexample = cex;
-        found_after = found;
-      }
+    let nd = max 1 (min domains (max 1 iterations)) in
+    let case_of i =
+      Gen.case ~seed:(case_seed ~seed i) ~n_range ?m ~m_range:T.m_range
+        ?fault_profile ~max_steps ()
     in
-    let rec go i total =
-      if i >= iterations then finish i total None None
-      else if
-        match time_budget with
-        | Some b -> now () -. t0 > b
-        | None -> false
-      then finish i total None None
-      else
-        let case =
-          Gen.case ~seed:(case_seed ~seed i) ~n_range ?m ~m_range:T.m_range
-            ?fault_profile ~max_steps ()
-        in
-        let run = run_case case in
-        match verdict ~n:case.n ~m:case.m ~inputs:case.inputs run with
-        | Ok () -> go (i + 1) (total + run.steps)
+    (* Written at most once per index, each index owned by one worker;
+       read only after every worker has retired. *)
+    let steps_of = Array.make (max 1 iterations) 0 in
+    let executed = Array.make nd 0 in
+    (* Smallest failing iteration index found so far. *)
+    let first_fail = Atomic.make max_int in
+    let fail_time = Atomic.make infinity in
+    let out_of_budget () =
+      match time_budget with Some b -> now () -. t0 > b | None -> false
+    in
+    let worker w =
+      let i = ref w in
+      while !i < iterations && !i <= Atomic.get first_fail && not (out_of_budget ())
+      do
+        let case = case_of !i in
+        let run = run_case ~record:false case in
+        steps_of.(!i) <- run.steps;
+        executed.(w) <- executed.(w) + 1;
+        (match verdict ~n:case.n ~m:case.m ~inputs:case.inputs run with
+        | Ok () -> ()
         | Error _ ->
-            let cex = shrink case run in
-            finish (i + 1) (total + run.steps) (Some cex)
-              (Some (i, now () -. t0))
+            let t = now () -. t0 in
+            let rec lower () =
+              let cur = Atomic.get first_fail in
+              if !i < cur then
+                if Atomic.compare_and_set first_fail cur !i then
+                  (* Benign race: losing an interleaved store here only
+                     perturbs the (timing-only) found_after seconds. *)
+                  Atomic.set fail_time t
+                else lower ()
+            in
+            lower ());
+        i := !i + nd
+      done
     in
-    go 0 0
+    if nd = 1 then worker 0
+    else begin
+      let pool = Array.init (nd - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1))) in
+      worker 0;
+      Array.iter Domain.join pool
+    end;
+    let sum_steps upto =
+      let total = ref 0 in
+      for i = 0 to upto - 1 do
+        total := !total + steps_of.(i)
+      done;
+      !total
+    in
+    match Atomic.get first_fail with
+    | k when k < max_int ->
+        (* Re-execute the winning case with the trace recorder (identical
+           schedule: same derived seed) and shrink it here, in the
+           caller's domain — the deterministic tail of the campaign. *)
+        let case = case_of k in
+        let run = run_case case in
+        let cex = shrink case run in
+        {
+          seed;
+          iterations = k + 1;
+          total_steps = sum_steps (k + 1);
+          elapsed = now () -. t0;
+          counterexample = Some cex;
+          found_after = Some (k, Atomic.get fail_time);
+        }
+    | _ ->
+        {
+          seed;
+          iterations = Array.fold_left ( + ) 0 executed;
+          total_steps = sum_steps iterations;
+          elapsed = now () -. t0;
+          counterexample = None;
+          found_after = None;
+        }
 
   (* ---- rendering ------------------------------------------------------- *)
 
@@ -375,4 +431,20 @@ module Make (T : Target.S) = struct
         Fmt.pf ppf "failure found:@,%a" (pp_counterexample ~key) cex
     | None, _ -> Fmt.pf ppf "no counterexample found");
     Fmt.pf ppf "@]"
+
+  (** The timing-free rendering of a report: everything in it is a
+      deterministic function of [(seed, iterations, campaign parameters)],
+      so for a budget-less campaign this string is byte-identical across
+      domain counts (test/test_fuzz.ml pins that down for 1, 2 and 4
+      domains). *)
+  let deterministic_summary ~key r =
+    Fmt.str "@[<v>%s seed %d: %d cases, %d shared-memory steps@,%a@]" key
+      r.seed r.iterations r.total_steps
+      (fun ppf -> function
+        | None -> Fmt.pf ppf "no counterexample"
+        | Some cex ->
+            Fmt.pf ppf "failure at iteration %d@,%a"
+              (match r.found_after with Some (i, _) -> i | None -> -1)
+              (pp_counterexample ~key) cex)
+      r.counterexample
 end

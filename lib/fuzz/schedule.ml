@@ -47,11 +47,11 @@ let pp ppf = function
         (List.map succ cycle)
 
 let weighted_scheduler rng weights =
+  let weight p = if p < Array.length weights then max 1 weights.(p) else 1 in
   let pick ~time:_ ~enabled =
     match enabled with
     | [] -> None
     | _ ->
-        let weight p = if p < Array.length weights then max 1 weights.(p) else 1 in
         let total = List.fold_left (fun acc p -> acc + weight p) 0 enabled in
         let draw = Rng.int rng total in
         let rec walk acc = function

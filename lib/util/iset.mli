@@ -2,8 +2,15 @@
 
     Inputs and group identifiers are integers throughout the library, so the
     views written to and read from anonymous registers are [Iset.t] values.
-    This is {!Sorted_set.Make} over [Int] plus a few integer-specific
-    helpers. *)
+    Sets whose elements all lie in [0 .. Sys.int_size - 2] (0..61 on 64-bit
+    — every set the algorithms ever build) are packed into a single
+    immutable word, making union, intersection, subset, equality and
+    comparability one or two word operations; anything else falls back to a
+    strictly-sorted list.  The representation is canonical either way:
+    structural equality ([=]) and [Hashtbl.hash] agree with set equality,
+    the contract the model checker's state hashing relies on.  The
+    sorted-list implementation ({!Sorted_set.Make} over [Int]) remains the
+    differential-testing oracle for this module. *)
 
 include Sorted_set.S with type elt = int
 
@@ -13,9 +20,9 @@ val of_range : int -> int -> t
 val to_bits : t -> int
 (** [to_bits s] packs a set of small non-negative integers into a bitmask;
     element [i] becomes bit [i].  Raises [Invalid_argument] if an element is
-    negative or at least [Sys.int_size - 1].  Used to index the
-    "memory-content sets seen so far" table of the non-atomicity witness
-    search. *)
+    negative or at least [Sys.int_size - 1].  For sets within that window
+    (the bitset representation) this is the identity on the underlying
+    word. *)
 
 val of_bits : int -> t
 (** Inverse of {!to_bits}. *)

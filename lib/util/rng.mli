@@ -1,4 +1,5 @@
-(** Deterministic, splittable pseudo-random number generator (splitmix64).
+(** Deterministic, splittable pseudo-random number generator (splitmix-style,
+    allocation-free on the native 63-bit word).
 
     Every randomized component of the library (schedulers, wirings, workload
     generators, property tests) draws from this generator so that every
@@ -21,6 +22,8 @@ val int : t -> int -> int
 
 val bool : t -> bool
 val bits64 : t -> int64
+(** 63 bits of pseudo-randomness in the low bits (the generator runs on
+    the native word). *)
 
 val pick : t -> 'a list -> 'a
 (** Uniform choice from a non-empty list.  Raises [Invalid_argument] on

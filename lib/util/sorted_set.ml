@@ -6,7 +6,7 @@ end
 
 module type S = sig
   type elt
-  type t = private elt list
+  type t
 
   val empty : t
   val is_empty : t -> bool

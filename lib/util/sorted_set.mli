@@ -1,12 +1,15 @@
-(** Canonical finite sets represented as strictly-sorted lists.
+(** Canonical finite sets: signature and a strictly-sorted-list
+    implementation.
 
     Unlike [Stdlib.Set], two equal sets always have the same in-memory
     representation, so the polymorphic structural equality, comparison and
     hashing functions agree with set equality.  This property is load-bearing
     for the model checker, which hashes whole system states containing views
-    (see {!Modelcheck}).  Operations are linear-time, which is the right
-    trade-off for the small sets (at most [N] elements) manipulated by the
-    algorithms of the paper. *)
+    (see {!Modelcheck}).  {!Make} represents sets as strictly-sorted lists —
+    linear-time operations, the right trade-off for exotic element types;
+    integer sets use the bitset-backed {!Iset}, which satisfies the same
+    signature (and the same canonical-representation contract) with
+    single-word operations. *)
 
 module type ORDERED = sig
   type t
@@ -17,10 +20,11 @@ end
 module type S = sig
   type elt
 
-  (** A set is a strictly increasing list of elements.  The representation is
-      exposed read-only so that generic traversals and structural hashing
-      remain canonical; construct values only through this interface. *)
-  type t = private elt list
+  (** The representation is abstract, but every implementation must be
+      {e canonical}: equal sets are structurally equal ([=]) and hash
+      identically ([Hashtbl.hash]).  Traversals ([fold], [iter],
+      [elements], …) visit elements in strictly increasing order. *)
+  type t
 
   val empty : t
   val is_empty : t -> bool

@@ -50,6 +50,70 @@ let test_campaign_determinism () =
   Alcotest.(check int) "same total steps" r1.Harness.total_steps
     r2.Harness.total_steps
 
+(* Same seed => byte-identical deterministic report, whatever the domain
+   count.  The sharding protocol guarantees the smallest failing
+   iteration wins and every case seed derives from (campaign seed,
+   iteration) alone, so the timing-free rendering — iterations, total
+   steps, counterexample, shrunk instance — cannot depend on how many
+   workers ran the campaign. *)
+let test_parallel_campaign_clean () =
+  let summary domains =
+    H_snap.deterministic_summary ~key:"snapshot"
+      (H_snap.campaign ~domains ~seed:7 ~iterations:200 ())
+  in
+  let s1 = summary 1 in
+  Alcotest.(check string) "2 domains = 1 domain" s1 (summary 2);
+  Alcotest.(check string) "4 domains = 1 domain" s1 (summary 4)
+
+let test_parallel_campaign_planted_bug () =
+  let report domains = H_dc.campaign ~domains ~seed:0 ~iterations:200 () in
+  let r1 = report 1 and r2 = report 2 and r4 = report 4 in
+  (match r1.Harness.counterexample with
+  | None -> Alcotest.fail "planted bug not found by the 1-domain campaign"
+  | Some _ -> ());
+  let s1 = H_dc.deterministic_summary ~key:"double_collect" r1 in
+  Alcotest.(check string) "2 domains = 1 domain"
+    s1 (H_dc.deterministic_summary ~key:"double_collect" r2);
+  Alcotest.(check string) "4 domains = 1 domain"
+    s1 (H_dc.deterministic_summary ~key:"double_collect" r4);
+  (* Structural equality of the whole counterexample record: same failing
+     case, same shrunk instance, same failure, not merely the same
+     rendering. *)
+  Alcotest.(check bool) "identical counterexample (2 domains)" true
+    (r1.Harness.counterexample = r2.Harness.counterexample);
+  Alcotest.(check bool) "identical counterexample (4 domains)" true
+    (r1.Harness.counterexample = r4.Harness.counterexample);
+  Alcotest.(check int) "iterations = failing index + 1"
+    (match r1.Harness.found_after with Some (k, _) -> k + 1 | None -> -1)
+    r1.Harness.iterations
+
+(* The zero-observer fast path executes the same transitions as the
+   observed path: identical stop reason, step totals, per-processor step
+   counts, outputs — and therefore identical verdicts.  Only the trace
+   differs (empty on the fast path). *)
+let test_fast_vs_traced_differential () =
+  for seed = 0 to 39 do
+    let case = Gen.case ~seed ~n_range:(2, 5) ~m_range:m_eq_n ~max_steps:500 () in
+    let traced = H_snap.run_case ~record:true case in
+    let fast = H_snap.run_case ~record:false case in
+    Alcotest.(check int) "same steps" traced.H_snap.steps fast.H_snap.steps;
+    Alcotest.(check (array int))
+      "same step counts" traced.H_snap.step_counts fast.H_snap.step_counts;
+    Alcotest.(check bool) "same stop reason" true
+      (traced.H_snap.stop = fast.H_snap.stop);
+    Alcotest.(check bool) "same outputs" true
+      (traced.H_snap.outputs = fast.H_snap.outputs);
+    Alcotest.(check (list int))
+      "trace length = steps (traced) / empty (fast)"
+      (List.init traced.H_snap.steps (fun _ -> 0) |> List.map (fun _ -> 0))
+      (List.map (fun _ -> 0) (H_snap.Tr.pids traced.H_snap.trace));
+    Alcotest.(check (list int)) "fast trace empty" []
+      (H_snap.Tr.pids fast.H_snap.trace);
+    let v r = H_snap.verdict ~n:case.Gen.n ~m:case.Gen.m ~inputs:case.Gen.inputs r in
+    Alcotest.(check bool) "same verdict" true
+      (Result.is_ok (v traced) = Result.is_ok (v fast))
+  done
+
 (* --- The planted bug ------------------------------------------------------ *)
 
 let test_double_collect_bug_found_and_shrunk () =
@@ -198,6 +262,12 @@ let () =
           Alcotest.test_case "case generation" `Quick test_case_determinism;
           Alcotest.test_case "execution" `Quick test_run_determinism;
           Alcotest.test_case "campaign" `Quick test_campaign_determinism;
+          Alcotest.test_case "parallel campaign, clean target" `Quick
+            test_parallel_campaign_clean;
+          Alcotest.test_case "parallel campaign, planted bug" `Quick
+            test_parallel_campaign_planted_bug;
+          Alcotest.test_case "fast path vs traced" `Quick
+            test_fast_vs_traced_differential;
         ] );
       ( "planted-bug",
         [

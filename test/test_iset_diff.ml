@@ -1,0 +1,187 @@
+(* Differential test of the bitset-backed [Iset] against the sorted-list
+   implementation ([Sorted_set.Make (Int)]) it replaced, which remains the
+   oracle for the [Sorted_set.S] contract.  Every operation of the
+   signature is compared on element lists that straddle the bitset window
+   boundary (elements near [Sys.int_size - 1], negatives, large values),
+   so both representations ([Bits]/[Wide]) and every cross-representation
+   case are exercised.  The canonical-representation contract — equal sets
+   are structurally equal and hash identically, whatever sequence of
+   operations built them — is tested explicitly: the model checker's
+   state hashing relies on it. *)
+
+module I = Repro_util.Iset
+module O = Repro_util.Sorted_set.Make (Int)
+
+(* The bitset window is [0, small_limit). *)
+let small_limit = Sys.int_size - 1
+
+let elt_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, int_range 0 8);
+        (* Straddles the window boundary. *)
+        (3, int_range (small_limit - 4) (small_limit + 4));
+        (1, int_range (-3) (-1));
+        (1, oneofl [ 100; 4096; max_int / 2 ]);
+      ])
+
+let elts = QCheck.make ~print:QCheck.Print.(list int) QCheck.Gen.(list_size (int_bound 12) elt_gen)
+
+let pair_elts =
+  QCheck.make
+    ~print:QCheck.Print.(pair (list int) (list int))
+    QCheck.Gen.(pair (list_size (int_bound 12) elt_gen) (list_size (int_bound 12) elt_gen))
+
+let both l = (I.of_list l, O.of_list l)
+let agree i o = I.elements i = O.elements o
+let sign c = compare c 0
+
+let count = 2_000
+
+let prop_of_list =
+  QCheck.Test.make ~name:"of_list/elements agree with oracle" ~count elts
+    (fun l ->
+      let i, o = both l in
+      agree i o && I.cardinal i = O.cardinal o && I.is_empty i = O.is_empty o)
+
+let prop_add_remove =
+  QCheck.Test.make ~name:"add/remove agree with oracle" ~count
+    (QCheck.pair elts (QCheck.make ~print:string_of_int elt_gen))
+    (fun (l, x) ->
+      let i, o = both l in
+      agree (I.add x i) (O.add x o)
+      && agree (I.remove x i) (O.remove x o)
+      && I.mem x i = O.mem x o)
+
+let prop_binops =
+  QCheck.Test.make ~name:"union/inter/diff agree with oracle" ~count pair_elts
+    (fun (la, lb) ->
+      let ia, oa = both la and ib, ob = both lb in
+      agree (I.union ia ib) (O.union oa ob)
+      && agree (I.inter ia ib) (O.inter oa ob)
+      && agree (I.diff ia ib) (O.diff oa ob))
+
+let prop_predicates =
+  QCheck.Test.make ~name:"subset/strict_subset/comparable/equal/compare agree"
+    ~count pair_elts (fun (la, lb) ->
+      let ia, oa = both la and ib, ob = both lb in
+      I.subset ia ib = O.subset oa ob
+      && I.strict_subset ia ib = O.strict_subset oa ob
+      && I.comparable ia ib = O.comparable oa ob
+      && I.equal ia ib = O.equal oa ob
+      && sign (I.compare ia ib) = sign (O.compare oa ob))
+
+let prop_traversals =
+  QCheck.Test.make ~name:"fold/iter/filter/map/rank/min/max agree" ~count elts
+    (fun l ->
+      let i, o = both l in
+      let even x = x land 1 = 0 in
+      I.fold (fun x acc -> x :: acc) i [] = O.fold (fun x acc -> x :: acc) o []
+      && (let acc = ref [] in
+          I.iter (fun x -> acc := x :: !acc) i;
+          !acc = List.rev (I.elements i))
+      && agree (I.filter even i) (O.filter even o)
+      && agree (I.map (fun x -> x * 2) i) (O.map (fun x -> x * 2) o)
+      (* Non-injective map: results must still be canonical sets. *)
+      && agree (I.map (fun x -> x / 3) i) (O.map (fun x -> x / 3) o)
+      && I.for_all even i = O.for_all even o
+      && I.exists even i = O.exists even o
+      && I.min_elt_opt i = O.min_elt_opt o
+      && I.max_elt_opt i = O.max_elt_opt o
+      && I.choose_opt i = O.choose_opt o
+      && List.for_all (fun x -> I.rank x i = O.rank x o) (-1 :: 0 :: 62 :: l))
+
+let prop_union_all =
+  QCheck.Test.make ~name:"union_all agrees with oracle" ~count:500
+    (QCheck.make
+       ~print:QCheck.Print.(list (list int))
+       QCheck.Gen.(list_size (int_bound 5) (list_size (int_bound 8) elt_gen)))
+    (fun ls ->
+      agree (I.union_all (List.map I.of_list ls)) (O.union_all (List.map O.of_list ls)))
+
+(* The canonical-representation contract.  Two ways of building the same
+   set — [of_list], element-by-element insertion in reverse order, and a
+   detour through an extra element that is removed again (which forces a
+   [Wide]-to-[Bits] renormalization when the extra element is the only
+   out-of-window one) — must produce structurally identical values, and
+   [=]/[Hashtbl.hash] must agree with set equality. *)
+let prop_canonical =
+  QCheck.Test.make ~name:"canonical: = and Hashtbl.hash agree with set equality"
+    ~count
+    (QCheck.pair elts (QCheck.make ~print:string_of_int elt_gen))
+    (fun (l, y) ->
+      let s1 = I.of_list l in
+      let s2 = List.fold_left (fun s x -> I.add x s) I.empty (List.rev l) in
+      let s3 = if I.mem y s1 then s1 else I.remove y (I.add y s1) in
+      s1 = s2 && Hashtbl.hash s1 = Hashtbl.hash s2 && s1 = s3
+      && Hashtbl.hash s1 = Hashtbl.hash s3
+      && I.equal s1 s2)
+
+let prop_bits_roundtrip =
+  QCheck.Test.make ~name:"to_bits/of_bits roundtrip and window errors" ~count
+    elts (fun l ->
+      let i = I.of_list l in
+      if List.for_all (fun x -> 0 <= x && x < small_limit) l then
+        let bits = I.to_bits i in
+        I.of_bits bits = i
+        && bits = List.fold_left (fun b x -> b lor (1 lsl x)) 0 l
+      else
+        match I.to_bits i with
+        | exception Invalid_argument _ -> true
+        | _ -> false)
+
+let prop_of_range =
+  QCheck.Test.make ~name:"of_range agrees with oracle" ~count
+    (QCheck.make
+       ~print:QCheck.Print.(pair int int)
+       QCheck.Gen.(pair (int_range (-2) 70) (int_range (-2) 70)))
+    (fun (lo, hi) ->
+      agree (I.of_range lo hi)
+        (O.of_list (if lo > hi then [] else List.init (hi - lo + 1) (fun k -> lo + k))))
+
+(* Deterministic regressions at the exact window boundary: crossing it in
+   either direction must land on the canonical representation, so sets
+   rebuilt below the boundary compare structurally equal to ones that
+   never left it. *)
+let test_boundary () =
+  let last_small = small_limit - 1 in
+  let s = I.of_list [ 0; last_small ] in
+  let via_wide = I.remove small_limit (I.add small_limit s) in
+  Alcotest.(check bool) "renormalized to Bits" true (via_wide = s);
+  Alcotest.(check bool)
+    "hash equal after renormalization" true
+    (Hashtbl.hash via_wide = Hashtbl.hash s);
+  let wide = I.add small_limit s in
+  Alcotest.(check (list int))
+    "wide elements" [ 0; last_small; small_limit ] (I.elements wide);
+  Alcotest.(check bool) "subset across reps" true (I.subset s wide);
+  Alcotest.(check bool) "strict across reps" true (I.strict_subset s wide);
+  Alcotest.(check bool)
+    "diff back to Bits" true
+    (I.diff wide (I.singleton small_limit) = s);
+  Alcotest.(check bool)
+    "inter back to Bits" true
+    (I.inter wide s = s);
+  Alcotest.check_raises "to_bits out of window"
+    (Invalid_argument "Iset.to_bits: element out of range") (fun () ->
+      ignore (I.to_bits wide))
+
+let () =
+  Alcotest.run "iset_diff"
+    [
+      ( "differential vs sorted-list oracle",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_of_list;
+            prop_add_remove;
+            prop_binops;
+            prop_predicates;
+            prop_traversals;
+            prop_union_all;
+            prop_canonical;
+            prop_bits_roundtrip;
+            prop_of_range;
+          ] );
+      ("window boundary", [ Alcotest.test_case "boundary regressions" `Quick test_boundary ]);
+    ]

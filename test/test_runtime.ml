@@ -120,6 +120,7 @@ module Bomb = struct
   let register_init _ = 0
   let init _ _ = 0
   let next _ _ = Some (Anonmem.Protocol.Read 0)
+  let halted _ _ = false
 
   let apply_read _ l ~reg:_ _ =
     if l >= 3 then failwith "boom" else l + 1
