@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-mc bench-fuzz mc-smoke mc-long fuzz-smoke fuzz-long fault-smoke faults-long clean
+.PHONY: build test bench bench-mc bench-fuzz bench-portfolio mc-smoke mc-long fuzz-smoke fuzz-long fault-smoke faults-long portfolio-smoke portfolio-long feasibility clean
 
 build:
 	dune build @all
@@ -30,6 +30,14 @@ bench-mc:
 bench-fuzz:
 	dune build bench/bench_fuzz.exe
 	cd $(CURDIR) && ./_build/default/bench/bench_fuzz.exe $(BENCH_FUZZ_FLAGS)
+
+# Portfolio-verification benchmark: wall-clock + visited states per
+# feasibility-map cell class, sequential vs symmetry-reduced.  Writes
+# BENCH_portfolio.json.  Pass BENCH_PORTFOLIO_FLAGS=--quick to skip the
+# m=5 clean cells.
+bench-portfolio:
+	dune build bench/bench_portfolio.exe
+	cd $(CURDIR) && ./_build/default/bench/bench_portfolio.exe $(BENCH_PORTFOLIO_FLAGS)
 
 # The quick cross-engine differential pass that runtest already includes.
 mc-smoke:
@@ -86,6 +94,38 @@ faults-long:
 	dune exec --no-build bin/fuzz.exe -- --protocol snapshot \
 	  --iterations $(FITERS) --seed $(SEED) --fault-profile stuck --expect-bug
 	dune exec --no-build bin/anonsim.exe -- check-snapshot -n 2 --crashes 2
+
+# The quick portfolio pass that runtest already includes: the n=2
+# differential matrix, planted-bug replay, the quick (n=2) feasibility
+# sweep and short campaigns on the three portfolio targets.
+portfolio-smoke:
+	dune build @portfolio-smoke
+
+# The heavy portfolio cells (n=3 deadlock + clean leader grid), serious
+# campaigns on the three portfolio targets — crash/recover/omission/stale
+# must stay clean, stuck breaks the budgeted weak leader (--expect-bug,
+# same convention as faults-long) — and the full feasibility map.
+portfolio-long:
+	dune build test/test_portfolio.exe bin/fuzz.exe bin/anonsim.exe
+	PORTFOLIO_LONG=1 ./_build/default/test/test_portfolio.exe
+	for prof in none crash recover omission stale; do \
+	  for proto in rt_mutex naming weak_leader; do \
+	    dune exec --no-build bin/fuzz.exe -- --protocol $$proto \
+	      --iterations $(FITERS) --seed $(SEED) --fault-profile $$prof \
+	      || exit 1; \
+	  done; \
+	done
+	dune exec --no-build bin/fuzz.exe -- --protocol weak_leader \
+	  --iterations $(FITERS) --seed $(SEED) --fault-profile stuck --expect-bug
+	$(MAKE) feasibility
+
+# The full feasibility map (n=2 and n=3 rows).  The n=3 clean mutex
+# cell sweeps 5.5G states across 2467 wiring classes with the packed
+# single-word engine — budget ~45 minutes on one core.  Writes
+# FEASIBILITY.json.  The quick n=2 map runs inside @portfolio-smoke.
+feasibility:
+	dune build bin/anonsim.exe
+	dune exec --no-build bin/anonsim.exe -- feasibility -o FEASIBILITY.json
 
 clean:
 	dune clean

@@ -450,6 +450,76 @@ let parallel_cmd =
        ~doc:"Run the snapshot algorithm on real OCaml 5 domains.")
     Term.(ret (const run $ seed_arg $ inputs_arg ~default:[ 1; 2; 3; 4 ]))
 
+(* feasibility: the portfolio's empirical feasibility map *)
+
+let feasibility_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the map as JSON to $(docv) (e.g. FEASIBILITY.json).")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Only the n=2 rows of each grid (the smoke-test budget).")
+  in
+  let max_states_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"K"
+          ~doc:"Abort any single exploration beyond $(docv) states.")
+  in
+  let run quick max_states out =
+    let cells =
+      (* The map is the symmetry-reduced sequential engine's verdict;
+         engine agreement is test_portfolio's job.  Violating cells
+         re-explore unreduced only to extract a replayable witness.
+         Clean sweeps run over wiring classes (processor-relabelling
+         quotient) — sound for these id-agnostic verdicts, and the only
+         thing that keeps the 14400-wiring n=3 m=5 cells affordable. *)
+      Core.feasibility_map ~quick ?max_states ~reduction:true
+        ~wiring_classes:true
+        ~on_cell:(fun c ->
+          Printf.printf "%-7s n=%d m=%d  expected %-12s -> %s\n%!"
+            c.Analysis.Feasibility.task c.Analysis.Feasibility.n
+            c.Analysis.Feasibility.m
+            (Fmt.str "%a" Analysis.Feasibility.pp_expectation
+               c.Analysis.Feasibility.expectation)
+            (Fmt.str "%a" Analysis.Feasibility.pp_status
+               c.Analysis.Feasibility.status))
+        ()
+    in
+    print_newline ();
+    print_string
+      (Repro_util.Text_table.render (Analysis.Feasibility.to_table cells));
+    (match out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Analysis.Feasibility.to_json cells);
+        close_out oc;
+        Printf.printf "\nwrote %s\n" file
+    | None -> ());
+    if Analysis.Feasibility.all_confirmed cells then begin
+      Printf.printf
+        "\nall %d cells confirmed the coprimality-threshold prediction\n"
+        (List.length cells);
+      `Ok ()
+    end
+    else `Error (false, "some cells contradicted the predicted map")
+  in
+  Cmd.v
+    (Cmd.info "feasibility"
+       ~doc:
+         "Compute the portfolio feasibility map: exhaustively verify the \
+          symmetric mutex, the desanonymization layer and the weak leader \
+          protocol at each (n, m) cell and compare every verdict against \
+          the coprimality-threshold prediction.")
+    Term.(ret (const run $ quick_arg $ max_states_arg $ out_arg))
+
 let main_cmd =
   let doc =
     "reproduction of Losa & Gafni, \"Understanding Read-Write Wait-Free \
@@ -468,6 +538,7 @@ let main_cmd =
       covering_cmd;
       faults_cmd;
       parallel_cmd;
+      feasibility_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

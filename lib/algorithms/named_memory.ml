@@ -1,0 +1,63 @@
+(** The named-memory substrate exposed by mutex-based desanonymization
+    (Godard–Imbs–Raynal–Taubenfeld, arXiv:1903.12204).
+
+    Desanonymization assigns each processor a distinct name in [1..n]; the
+    substrate this module implements is the {e named single-writer memory}
+    that classic algorithms expect on top: one virtual cell per name, where
+    cell k is written only by the processor that acquired name k.
+
+    Rather than dedicating physical registers (which would shrink the
+    register pool available to the mutex and shift its coprimality
+    threshold), the cells travel {e inside} every register value: a ledger —
+    a sorted association of names to announced group identifiers — is
+    carried by every write and merged into the reader's knowledge on every
+    read.  Ledger entries are created only inside the naming protocol's
+    critical section and flooded to all m registers before the lock is
+    released, so knowledge only grows and each cell has a single writer.
+    Ledger knowledge at halt time therefore behaves exactly like the output
+    of the library's {!Algorithms.Named_snapshot} double collect: the views
+    of successive critical-section holders form a containment chain, which
+    is what lets the snapshot task oracle judge them (see
+    {!Tasks.Naming_task}). *)
+
+type cell = { name : int; owner : int }
+(** Virtual cell [name], written once by the processor whose identity is
+    [owner] (identities are the protocol inputs, i.e. group identifiers to
+    the task layer). *)
+
+type t = cell list
+(** A ledger: cells sorted by strictly increasing [name].  The empty
+    ledger is the initial content of every register. *)
+
+let empty : t = []
+
+let rec add ledger ~name ~owner : t =
+  match ledger with
+  | [] -> [ { name; owner } ]
+  | c :: rest ->
+      if c.name < name then c :: add rest ~name ~owner
+      else if c.name > name then { name; owner } :: ledger
+      else (* duplicate name: keep the smaller owner, deterministically *)
+        { c with owner = min c.owner owner } :: rest
+
+(** Pointwise union of two ledgers — the read side of the substrate. *)
+let merge (a : t) (b : t) : t =
+  List.fold_left (fun acc c -> add acc ~name:c.name ~owner:c.owner) a b
+
+(** The smallest unused name: ledgers are flooded before the lock is
+    released, so inside the critical section this is exactly "one past the
+    number of processors named so far". *)
+let next_name (ledger : t) = 1 + List.fold_left (fun m c -> max m c.name) 0 ledger
+
+let names (ledger : t) = List.map (fun c -> c.name) ledger
+let owners (ledger : t) = List.map (fun c -> c.owner) ledger
+
+(** Whether [a]'s cells are a subset of [b]'s — containment of views, the
+    snapshot-style guarantee the chain of critical sections provides. *)
+let subset (a : t) (b : t) =
+  List.for_all (fun c -> List.exists (fun c' -> c = c') b) a
+
+let pp ppf (ledger : t) =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any " ") (fun ppf c -> Fmt.pf ppf "%d:%d" c.name c.owner))
+    ledger

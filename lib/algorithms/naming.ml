@@ -1,0 +1,154 @@
+(** Mutex-based desanonymization for fully-anonymous read/write memory
+    (after Godard–Imbs–Raynal–Taubenfeld, arXiv:1903.12204): distinct
+    names in [1..n] are assigned on top of anonymous registers by racing
+    the {!Rt_mutex} competition and taking the next free name inside the
+    critical section.
+
+    Register values pair the mutex claim ([None] or [Some id]) with a
+    {!Named_memory} ledger.  Every write a processor performs — claim,
+    release, flood — carries everything it knows; every read merges the
+    register's ledger into the reader's knowledge.  The winner of the
+    mutex computes its name as one past the largest name it has seen
+    (its winning collect read all m registers, so it knows every name
+    assigned so far), then {e floods}: it writes the extended ledger to
+    all m registers, releasing its claims in the same writes, and halts.
+    Flooding before unlocking is what hands the next winner a complete
+    ledger: each critical section's knowledge contains its predecessors',
+    so halt-time views form a containment chain — the named single-writer
+    substrate of {!Named_memory}, on which the classic collect/snapshot
+    oracle judges the outputs.
+
+    The feasibility boundary is inherited from the mutex unchanged
+    (ledgers ride inside values, so all m registers stay in competition):
+    clean iff m is coprime to every k in [2..n] and m >= 3.
+
+    The [forgetful_flood] variant floods the {e pre}-entry ledger — the
+    winner's own cell never reaches the memory, so a later winner computes
+    the same name: the planted duplicate-name bug of the differential
+    matrix. *)
+
+type cfg = { n : int; m : int; forgetful_flood : bool }
+
+let cfg ~n ~m =
+  if n < 1 || m < 1 then invalid_arg "Naming.cfg";
+  { n; m; forgetful_flood = false }
+
+(** The planted-bug variant: the flood omits the winner's own cell. *)
+let cfg_forgetful ~n ~m = { (cfg ~n ~m) with forgetful_flood = true }
+
+type value = { owner : int option; ledger : Named_memory.t }
+type input = int
+
+type output = { name : int; view : Named_memory.t }
+(** The acquired name and the ledger known at halt time — the processor's
+    collect over the named single-writer cells. *)
+
+type phase =
+  | Collecting of { pos : int; mine : int; others : (int * int) list; first_free : int }
+      (** Observably-equivalent collect compression, exactly as in
+          {!Rt_mutex.Collecting}: [mine] the bitmask of indices owned by
+          me, [others] per-rival ownership counts (ascending ids),
+          [first_free] the lowest unowned index read ([-1] if none yet).
+          Ledgers are merged into [know] eagerly as before. *)
+  | Claiming of { target : int }
+  | Releasing of { mine : int list }  (** never [] *)
+  | Flooding of { pos : int; name : int }
+      (** critical section: write the extended ledger everywhere,
+          releasing the lock in the same writes *)
+  | Done of int  (** the acquired name *)
+
+type local = { id : int; know : Named_memory.t; phase : phase }
+
+let name = "naming"
+let processors c = c.n
+let registers c = c.m
+let register_init _ = { owner = None; ledger = Named_memory.empty }
+let fresh_collect =
+  Collecting { pos = 0; mine = 0; others = []; first_free = -1 }
+
+let init _ id = { id; know = Named_memory.empty; phase = fresh_collect }
+let halted _ l = match l.phase with Done _ -> true | _ -> false
+
+(** Whether a processor holds the naming critical section. *)
+let in_cs l = match l.phase with Flooding _ -> true | _ -> false
+
+let next _ l =
+  match l.phase with
+  | Collecting { pos; _ } -> Some (Anonmem.Protocol.Read pos)
+  | Claiming { target } ->
+      Some (Anonmem.Protocol.Write (target, { owner = Some l.id; ledger = l.know }))
+  | Releasing { mine = r :: _ } ->
+      Some (Anonmem.Protocol.Write (r, { owner = None; ledger = l.know }))
+  | Releasing { mine = [] } -> invalid_arg "Naming.next: empty release"
+  | Flooding { pos; _ } ->
+      Some (Anonmem.Protocol.Write (pos, { owner = None; ledger = l.know }))
+  | Done _ -> None
+
+let decide c l ~mine ~others ~first_free =
+  let mine_count = Rt_mutex.popcount mine in
+  if mine_count = c.m then
+    let name = Named_memory.next_name l.know in
+    let know =
+      if c.forgetful_flood then l.know
+      else Named_memory.add l.know ~name ~owner:l.id
+    in
+    { l with know; phase = Flooding { pos = 0; name } }
+  else if List.exists (fun (_, k) -> k > mine_count) others then
+    match Rt_mutex.indices_of_mask ~m:c.m mine with
+    | [] -> { l with phase = fresh_collect }
+    | mine -> { l with phase = Releasing { mine } }
+  else if first_free >= 0 then { l with phase = Claiming { target = first_free } }
+  else { l with phase = fresh_collect }
+
+let apply_read c l ~reg v =
+  match l.phase with
+  | Collecting { pos; mine; others; first_free } ->
+      if reg <> pos then invalid_arg "Naming.apply_read: wrong register";
+      let l = { l with know = Named_memory.merge l.know v.ledger } in
+      let mine, others, first_free =
+        match v.owner with
+        | None -> (mine, others, if first_free < 0 then pos else first_free)
+        | Some q when q = l.id -> (mine lor (1 lsl pos), others, first_free)
+        | Some q -> (mine, Rt_mutex.bump q others, first_free)
+      in
+      if pos + 1 < c.m then
+        { l with phase = Collecting { pos = pos + 1; mine; others; first_free } }
+      else decide c l ~mine ~others ~first_free
+  | Claiming _ | Releasing _ | Flooding _ | Done _ ->
+      invalid_arg "Naming.apply_read: not collecting"
+
+let apply_write c l =
+  match l.phase with
+  | Claiming _ -> { l with phase = fresh_collect }
+  | Releasing { mine = _ :: rest } ->
+      if rest = [] then { l with phase = fresh_collect }
+      else { l with phase = Releasing { mine = rest } }
+  | Flooding { pos; name } ->
+      if pos + 1 < c.m then { l with phase = Flooding { pos = pos + 1; name } }
+      else { l with phase = Done name }
+  | Collecting _ | Releasing { mine = [] } | Done _ ->
+      invalid_arg "Naming.apply_write: not writing"
+
+let output _ l =
+  match l.phase with
+  | Done name -> Some { name; view = l.know }
+  | _ -> None
+
+let pp_value _ ppf v =
+  match v.owner with
+  | None -> Fmt.pf ppf "-%a" Named_memory.pp v.ledger
+  | Some id -> Fmt.pf ppf "%d%a" id Named_memory.pp v.ledger
+
+let pp_output _ ppf o =
+  Fmt.pf ppf "name=%d view=%a" o.name Named_memory.pp o.view
+
+let pp_local _ ppf l =
+  let phase ppf = function
+    | Collecting { pos; _ } -> Fmt.pf ppf "collect@%d" pos
+    | Claiming { target } -> Fmt.pf ppf "claim r%d" (target + 1)
+    | Releasing { mine } ->
+        Fmt.pf ppf "release %a" Fmt.(list ~sep:(any ",") int) mine
+    | Flooding { pos; name } -> Fmt.pf ppf "CS:flood@%d name=%d" pos name
+    | Done name -> Fmt.pf ppf "named %d" name
+  in
+  Fmt.pf ppf "{id=%d know=%a %a}" l.id Named_memory.pp l.know phase l.phase

@@ -1,0 +1,112 @@
+(** A wait-free {e weak leader election} for fully-anonymous read/write
+    memory, probing Gelashvili-style space limits at small m
+    (cf. arXiv:1506.06817 for the consensus analogue).
+
+    Every processor repeatedly collects the m registers; whenever its view
+    contains a free register it claims the first one (a blind write from a
+    possibly-stale view).  Once a collect shows the memory full, the
+    processor halts: it outputs [Leader] if {e every} register holds its
+    own identity and [Follower] otherwise.  The task is weak — electing
+    nobody is allowed — but at most one processor may output [Leader].
+
+    The protocol is wait-free: each loop iteration with a free register
+    performs a write, the number of free registers never increases, and a
+    full view ends the run, so every processor halts within O(m) collects
+    regardless of scheduling.
+
+    Space boundary (confirmed empirically by the feasibility map): with
+    m >= 2 registers leader-uniqueness holds for every n — a second
+    unanimous view would require a second pending write per competitor,
+    and each processor has at most one write outstanding between collects.
+    With m = 1 the single pending stale write is enough: p claims the lone
+    register, sees itself unanimously and exits as leader, then q's stale
+    claim (issued when the register was still free) obliterates p's and q
+    also reads itself unanimously — two leaders.  One register is below
+    the covering floor, the same phenomenon the host paper's Section-2.1
+    bound isolates.
+
+    With [majority_entry] the unanimity test weakens to "strictly more
+    than half of the registers" — a planted bug whose two-leader
+    counterexamples the differential matrix replays. *)
+
+type cfg = { n : int; m : int; majority_entry : bool }
+
+let cfg ~n ~m =
+  if n < 1 || m < 1 then invalid_arg "Weak_leader.cfg";
+  { n; m; majority_entry = false }
+
+(** The planted-bug variant: declares leadership on a strict majority. *)
+let cfg_majority ~n ~m = { (cfg ~n ~m) with majority_entry = true }
+
+type value = int option
+type input = int
+type output = Leader | Follower
+
+type phase =
+  | Collecting of { pos : int; acc : value list }
+      (** [acc] holds the values read so far, most recent first *)
+  | Claiming of { target : int }
+  | Done of output
+
+type local = { id : int; phase : phase }
+
+let name = "weak-leader"
+let processors c = c.n
+let registers c = c.m
+let register_init _ = None
+let init _ id = { id; phase = Collecting { pos = 0; acc = [] } }
+let halted _ l = match l.phase with Done _ -> true | _ -> false
+
+let next _ l =
+  match l.phase with
+  | Collecting { pos; _ } -> Some (Anonmem.Protocol.Read pos)
+  | Claiming { target } -> Some (Anonmem.Protocol.Write (target, Some l.id))
+  | Done _ -> None
+
+let decide c l (view : value list) =
+  let free =
+    List.mapi (fun i v -> (i, v)) view
+    |> List.find_opt (fun (_, v) -> v = None)
+  in
+  match free with
+  | Some (target, _) -> { l with phase = Claiming { target } }
+  | None ->
+      let mine =
+        List.fold_left
+          (fun k v -> if v = Some l.id then k + 1 else k)
+          0 view
+      in
+      let wins = if c.majority_entry then 2 * mine > c.m else mine = c.m in
+      { l with phase = Done (if wins then Leader else Follower) }
+
+let apply_read c l ~reg v =
+  match l.phase with
+  | Collecting { pos; acc } ->
+      if reg <> pos then invalid_arg "Weak_leader.apply_read: wrong register";
+      let acc = v :: acc in
+      if pos + 1 < c.m then { l with phase = Collecting { pos = pos + 1; acc } }
+      else decide c l (List.rev acc)
+  | Claiming _ | Done _ -> invalid_arg "Weak_leader.apply_read: not collecting"
+
+let apply_write _ l =
+  match l.phase with
+  | Claiming _ -> { l with phase = Collecting { pos = 0; acc = [] } }
+  | Collecting _ | Done _ -> invalid_arg "Weak_leader.apply_write: not claiming"
+
+let output _ l = match l.phase with Done o -> Some o | _ -> None
+
+let pp_value _ ppf = function
+  | None -> Fmt.string ppf "-"
+  | Some id -> Fmt.pf ppf "%d" id
+
+let pp_output _ ppf = function
+  | Leader -> Fmt.string ppf "leader"
+  | Follower -> Fmt.string ppf "follower"
+
+let pp_local c ppf l =
+  let phase ppf = function
+    | Collecting { pos; _ } -> Fmt.pf ppf "collect@%d" pos
+    | Claiming { target } -> Fmt.pf ppf "claim r%d" (target + 1)
+    | Done o -> pp_output c ppf o
+  in
+  Fmt.pf ppf "{id=%d %a}" l.id phase l.phase

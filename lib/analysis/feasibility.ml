@@ -1,0 +1,209 @@
+(** The empirical feasibility map for the protocol portfolio.
+
+    The Raynal–Taubenfeld symmetric mutex — and the desanonymization
+    layer running above it — is deadlock-free in fully-anonymous memory
+    exactly when the register count [m] is coprime with every possible
+    contention level: [gcd (m, k) = 1] for all [k] in [2..n].  Below
+    that, an equal split of the registers among [k] competitors is a
+    reachable fair cycle.  Orthogonally there is a covering floor: at
+    tiny [m] a pending stale write can obliterate a winner's claims
+    ([m = 1] is coprime yet unsolvable — the Burns–Lynch argument; the
+    weak-leader protocol loses uniqueness at [m = 1] the same way).
+
+    This module is the pure half of the map: the coprimality predicate,
+    the per-cell expectation, the (task, n, m) grids, and the JSON /
+    text-table renderers.  The verdict-producing half lives in [Core]
+    (it needs the model-checking engines, which sit above this library)
+    and is threaded in as the [check] callback of {!run}. *)
+
+open Repro_util
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(** [coprime_ok ~n ~m]: is [m] coprime with every contention level
+    [2..n]?  The membership predicate of the paper-adjacent set [M(n)]. *)
+let coprime_ok ~n ~m =
+  let rec go k = k > n || (gcd m k = 1 && go (k + 1)) in
+  m >= 1 && go 2
+
+(** Why a cell is expected to fail, when it is. *)
+type expectation =
+  | Clean  (** the protocol's requirements hold: verification must pass *)
+  | Noncoprime  (** [gcd (m, k) > 1] for some [k <= n]: expect deadlock *)
+  | Below_floor
+      (** [m] coprime but below the protocol's covering floor: expect a
+          safety or liveness violation from a covering race *)
+
+let pp_expectation ppf = function
+  | Clean -> Fmt.string ppf "clean"
+  | Noncoprime -> Fmt.string ppf "non-coprime"
+  | Below_floor -> Fmt.string ppf "below-floor"
+
+(** [expected ~floor ~coprime ~n ~m]: classification of cell [(n, m)] for
+    a protocol requiring [m >= floor] and (when [coprime]) coprimality. *)
+let expected ~floor ~coprime ~n ~m =
+  if coprime && not (coprime_ok ~n ~m) then Noncoprime
+  else if m < floor then Below_floor
+  else Clean
+
+(** What the checker reported for a cell. *)
+type status =
+  | Solved of { wirings : int; states : int }
+  | Safety_broken of string
+  | Deadlock of string
+  | Limit of int
+
+let pp_status ppf = function
+  | Solved { wirings; states } ->
+      Fmt.pf ppf "solved (%d wirings, %d states)" wirings states
+  | Safety_broken msg -> Fmt.pf ppf "safety violation: %s" msg
+  | Deadlock msg -> Fmt.pf ppf "deadlock: %s" msg
+  | Limit k -> Fmt.pf ppf "resource limit at %d states" k
+
+let status_keyword = function
+  | Solved _ -> "solved"
+  | Safety_broken _ -> "safety-violation"
+  | Deadlock _ -> "deadlock"
+  | Limit _ -> "resource-limit"
+
+(** Does the observed status confirm the expectation?  Resource limits
+    confirm nothing. *)
+let confirms expectation status =
+  match (expectation, status) with
+  | Clean, Solved _ -> true
+  | (Noncoprime | Below_floor), (Safety_broken _ | Deadlock _) -> true
+  | _ -> false
+
+type cell = {
+  task : string;
+  n : int;
+  m : int;
+  expectation : expectation;
+  status : status;
+}
+
+type grid = {
+  g_task : string;  (** checker key and display name *)
+  g_floor : int;  (** minimum [m] the protocol documents as sufficient *)
+  g_coprime : bool;  (** does the protocol require the coprimality set? *)
+  g_cells : (int * int) list;  (** [(n, m)] cells to check, in order *)
+}
+
+let span ~n ms = List.map (fun m -> (n, m)) ms
+
+(** The default portfolio grids.  [quick] restricts to [n = 2] (a smoke
+    budget); the full map adds the [n = 3] rows that confirm the
+    threshold moves with [n] ([m = 3] flips from clean to deadlocked). *)
+let grids ?(quick = false) () =
+  let mutex_cells =
+    span ~n:2 [ 1; 2; 3; 4; 5; 6 ] @ if quick then [] else span ~n:3 [ 1; 2; 3; 4; 5 ]
+  in
+  (* Naming's n=3 row stops at the threshold flip (m = 3 safety-broken,
+     m = 4 deadlocked): its first clean n=3 cell would be m = 5, whose
+     full sweep only the packed mutex engine could afford — and naming's
+     feasibility is *inherited* from the mutex it wraps (the ledger
+     flood adds no register contention of its own; see naming.ml), so
+     the mutex (3,5) cell already pins that boundary empirically. *)
+  let naming_cells =
+    span ~n:2 [ 2; 3; 4; 5 ] @ if quick then [] else span ~n:3 [ 3; 4 ]
+  in
+  let leader_cells =
+    span ~n:2 [ 1; 2; 3; 4 ] @ if quick then [] else span ~n:3 [ 1; 2; 3; 4 ]
+  in
+  [
+    { g_task = "mutex"; g_floor = 3; g_coprime = true; g_cells = mutex_cells };
+    { g_task = "naming"; g_floor = 3; g_coprime = true; g_cells = naming_cells };
+    { g_task = "leader"; g_floor = 2; g_coprime = false; g_cells = leader_cells };
+  ]
+
+(** Run the map: [check ~task ~n ~m] produces each cell's status (in
+    [Core] this is the exhaustive model checker; tests substitute
+    stubs).  [on_cell] fires after each cell for progress reporting. *)
+let run ?on_cell ~check grids =
+  List.concat_map
+    (fun g ->
+      List.map
+        (fun (n, m) ->
+          let expectation =
+            expected ~floor:g.g_floor ~coprime:g.g_coprime ~n ~m
+          in
+          let status = check ~task:g.g_task ~n ~m in
+          let cell = { task = g.g_task; n; m; expectation; status } in
+          (match on_cell with Some f -> f cell | None -> ());
+          cell)
+        g.g_cells)
+    grids
+
+(** Every cell either confirmed its expectation or hit a resource
+    limit — no surprises in the map. *)
+let all_confirmed cells =
+  List.for_all (fun c -> confirms c.expectation c.status) cells
+
+(* --- rendering -------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** Hand-rolled JSON (the repo deliberately has no JSON dependency):
+    one object per cell, stable key order, newline-separated — diffable
+    and machine-readable. *)
+let to_json cells =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"feasibility\": [\n";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let detail =
+        match c.status with
+        | Solved { wirings; states } ->
+            Printf.sprintf "\"wirings\": %d, \"states\": %d" wirings states
+        | Safety_broken msg | Deadlock msg ->
+            Printf.sprintf "\"detail\": \"%s\"" (json_escape msg)
+        | Limit k -> Printf.sprintf "\"limit\": %d" k
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"task\": \"%s\", \"n\": %d, \"m\": %d, \"coprime\": %b, \
+            \"expected\": \"%s\", \"status\": \"%s\", \"confirmed\": %b, %s}"
+           (json_escape c.task) c.n c.m
+           (coprime_ok ~n:c.n ~m:c.m)
+           (Fmt.str "%a" pp_expectation c.expectation)
+           (status_keyword c.status)
+           (confirms c.expectation c.status)
+           detail))
+    cells;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"all_confirmed\": %b\n}\n" (all_confirmed cells));
+  Buffer.contents b
+
+let to_table cells =
+  let t =
+    Text_table.create
+      ~headers:[ "task"; "n"; "m"; "coprime"; "expected"; "verdict"; "ok" ]
+  in
+  List.iter
+    (fun c ->
+      Text_table.add_row t
+        [
+          c.task;
+          string_of_int c.n;
+          string_of_int c.m;
+          (if coprime_ok ~n:c.n ~m:c.m then "yes" else "no");
+          Fmt.str "%a" pp_expectation c.expectation;
+          status_keyword c.status;
+          (if confirms c.expectation c.status then "confirmed" else "!!");
+        ])
+    cells;
+  t

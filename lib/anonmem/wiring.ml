@@ -34,6 +34,31 @@ let enumerate ~n ~m ~fix_first =
   in
   List.map (fun perms -> make (Array.of_list perms)) (go 0)
 
+let enumerate_classes ~n ~m =
+  (* Orbit key seen from pivot [j]: renormalize so that [j]'s wiring is
+     the identity (compose everything with [sigma_j^{-1}], a global
+     register renaming) and forget the order of the other processors.
+     Two normalized wirings are processor-relabelling-equivalent iff
+     some pivots give them the same key; the canonical representative
+     is the tuple that spells out its own minimal key in order. *)
+  let key_at perms j =
+    let inv = Permutation.inverse perms.(j) in
+    let rest = ref [] in
+    for k = Array.length perms - 1 downto 0 do
+      if k <> j then
+        rest := Permutation.to_list (Permutation.compose inv perms.(k)) :: !rest
+    done;
+    List.sort compare !rest
+  in
+  List.filter
+    (fun t ->
+      let own = List.map Permutation.to_list (List.tl (Array.to_list t.perms)) in
+      own = key_at t.perms 0
+      && List.for_all
+           (fun j -> compare own (key_at t.perms j) <= 0)
+           (List.init (n - 1) (fun j -> j + 1)))
+    (enumerate ~n ~m ~fix_first:true)
+
 let automorphisms t ~classes =
   let n = processors t and m = registers t in
   if Array.length classes <> n then

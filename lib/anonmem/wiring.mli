@@ -44,6 +44,28 @@ val enumerate : n:int -> m:int -> fix_first:bool -> t list
     (global register renaming), which shrinks the model checker's wiring
     space from [(m!)^n] to [(m!)^(n-1)] without losing behaviours. *)
 
+val enumerate_classes : n:int -> m:int -> t list
+(** One representative per class of {!enumerate}[ ~fix_first:true]
+    wirings under relabelling {e all} [n] processors.  Pinning
+    processor 0 already quotients by global register renaming; what
+    remains is the choice of {e which} processor got pinned.  Permuting
+    the processors by [pi] and renormalizing (composing every wiring
+    with [sigma_{pi 0}^{-1}], another global register renaming) maps the
+    normalized tuple [(id, w_1, …)] to [(id, w_{pi 0}^{-1} ∘ w_k, …)];
+    the two wired systems are isomorphic {e provided the property being
+    checked does not distinguish processors} — it may relabel their
+    inputs/identities along [pi].  That holds for all the portfolio
+    verdicts (mutual exclusion, name distinctness, leader uniqueness,
+    deadlock-freedom are counting properties, invariant under renaming
+    ids), so clean-cell sweeps over these classes are sound and up to
+    [n!] times smaller.  It does {e not} hold for properties that pin a
+    specific processor's view (e.g. the Figure-2 replay), which must
+    keep sweeping {!enumerate}.  The representative kept is the
+    lexicographic minimum of its orbit (pivot-0 entries sorted and no
+    other pivot yields a smaller key), so the result is a sublist of
+    [enumerate ~fix_first:true] and any violation it finds is a concrete
+    wiring of the full space. *)
+
 val automorphisms :
   t -> classes:int array -> (Permutation.t * Permutation.t) list
 (** The symmetry group of a wired system whose processors are partitioned

@@ -309,6 +309,434 @@ let verify_consensus_bounded ?(n = 2) ?(inputs = None) ?(max_ts = 5)
   in
   go 0 wirings
 
+(** {1 Protocol portfolio verification}
+
+    Model-checking entry points for the literature portfolio
+    ({!Algorithms.Rt_mutex}, {!Algorithms.Naming},
+    {!Algorithms.Weak_leader}).  Unlike the wait-free snapshot, the mutex
+    and the naming layer built on it are only deadlock-free at coprime
+    register counts — their spin loops put genuine cycles in the
+    transition graph — so verification splits into a state invariant
+    (safety) and a fair-SCC search (liveness), both per wiring.  The
+    verdicts feed {!Analysis.Feasibility}. *)
+
+module Rt_mutex_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Rt_mutex)
+module Rt_mutex_par_mc =
+  Modelcheck.Par_explorer.Make (Modelcheck.Codecs.Rt_mutex)
+module Rt_mutex_fault_mc =
+  Modelcheck.Fault_explorer.Make (Modelcheck.Codecs.Rt_mutex)
+module Weak_leader_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Weak_leader)
+module Weak_leader_par_mc =
+  Modelcheck.Par_explorer.Make (Modelcheck.Codecs.Weak_leader)
+module Naming_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Naming)
+module Naming_par_mc = Modelcheck.Par_explorer.Make (Modelcheck.Codecs.Naming)
+module Naming_fault_mc =
+  Modelcheck.Fault_explorer.Make (Modelcheck.Codecs.Naming)
+
+(** One verdict shape for every portfolio protocol, structured enough for
+    the feasibility map and for witness replay in the test suite.  Paths
+    are processor-id step sequences from the initial state
+    ({!Modelcheck.Witness.Replay} rematerializes the executions). *)
+type verdict =
+  | Verified of { wirings : int; states : int }
+  | Safety_violation of {
+      wiring : Wiring.t;
+      message : string;
+      path : int list;  (** steps to the violating state (may be empty
+                            when the violation was caught at terminal
+                            outcomes rather than mid-trace) *)
+    }
+  | Liveness_violation of {
+      wiring : Wiring.t;
+      live : int list;  (** the processors spinning forever *)
+      stem : int list;  (** steps from the initial state to the cycle *)
+      cycle : int list;  (** steps around the fair cycle, stepping every
+                             live processor at least once *)
+    }
+  | Resource_limit of int
+
+let pp_verdict ppf = function
+  | Verified { wirings; states } ->
+      Fmt.pf ppf "verified (%d wirings, %d states)" wirings states
+  | Safety_violation { wiring; message; _ } ->
+      Fmt.pf ppf "safety violation under wiring %a: %s" Wiring.pp wiring
+        message
+  | Liveness_violation { wiring; live; _ } ->
+      Fmt.pf ppf "deadlock under wiring %a: processors %a spin forever"
+        Wiring.pp wiring
+        Fmt.(list ~sep:(any ", ") (fun ppf p -> Fmt.pf ppf "p%d" (p + 1)))
+        live
+  | Resource_limit k -> Fmt.pf ppf "state limit hit at %d states" k
+
+let verdict_is_verified = function Verified _ -> true | _ -> false
+
+(** Mutual exclusion as a state invariant: at most one processor inside
+    the critical section, and no completed audit may have tripped. *)
+let mutex_invariant cfg (st : Rt_mutex_mc.state) =
+  let in_cs =
+    Array.to_list st.Rt_mutex_mc.locals
+    |> List.mapi (fun p l -> (p, l))
+    |> List.filter (fun (_, l) -> Algorithms.Rt_mutex.in_cs l)
+    |> List.map fst
+  in
+  match in_cs with
+  | _ :: _ :: _ ->
+      Error
+        (Fmt.str "%a" Tasks.Task_failure.pp
+           (Tasks.Mutex_task.exclusion_failure ~processors:in_cs))
+  | _ ->
+      let intruded =
+        Array.to_list st.Rt_mutex_mc.locals
+        |> List.mapi (fun p l -> (p, Algorithms.Rt_mutex.output cfg l))
+        |> List.filter (fun (_, o) -> o = Some Algorithms.Rt_mutex.Cs_intruded)
+        |> List.map fst
+      in
+      if intruded = [] then Ok ()
+      else
+        Error
+          (Fmt.str "audit tripwire: %a observed an intruder"
+             Fmt.(list ~sep:(any ", ") (fun ppf p -> Fmt.pf ppf "p%d" (p + 1)))
+             intruded)
+
+(* Shared liveness post-pass: the BFS space was explored clean of safety
+   violations; look for a fair SCC.  Detection is exact on reduced
+   spaces, but the lasso witness needs concrete states, so a reduced hit
+   triggers one unreduced re-exploration. *)
+let mutex_liveness ?max_states ~cfg ~wiring ~inputs space =
+  match Rt_mutex_mc.find_fair_scc space with
+  | None -> Ok ()
+  | Some (_, live) ->
+      let wspace =
+        if space.Rt_mutex_mc.reduction = None then Some space
+        else
+          match
+            Rt_mutex_mc.explore ?max_states ~reduction:false ~cfg ~wiring
+              ~inputs ()
+          with
+          | Rt_mutex_mc.Explored s -> Some s
+          | _ -> None
+      in
+      let live, stem, cycle =
+        match Option.map (fun s -> (s, Rt_mutex_mc.find_fair_scc s)) wspace with
+        | Some (s, Some (entry, live)) ->
+            ( live,
+              List.map fst (Rt_mutex_mc.trace_to s entry),
+              Rt_mutex_mc.fair_cycle_witness s ~entry ~live )
+        | _ -> (live, [], [])
+      in
+      Error (live, stem, cycle)
+
+(** Exhaustively verify the symmetric mutex at [(n, m)]: for every wiring
+    (processor 0 pinned), explore every interleaving, check mutual
+    exclusion along the way, the audit tripwire at terminal outcomes, and
+    deadlock-freedom as absence of fair SCCs.  Pass [~cfg] to check a
+    planted-bug variant ({!Algorithms.Rt_mutex.cfg_eager}).
+    [~wiring_classes:true] additionally quotients the wiring sweep by
+    processor relabelling ({!Anonmem.Wiring.enumerate_classes}) — sound
+    here because every verdict below is id-agnostic.  [~packed:true]
+    sweeps each wiring with the single-word engine
+    ({!Modelcheck.Rt_mutex_packed}; same step relation and verdicts, an
+    order of magnitude faster — what makes the clean n = 3 feasibility
+    cells exhaustively checkable): clean wirings are accepted on its
+    word, while any violating or unsupported wiring is re-explored by
+    the generic engine below so counterexample witnesses stay concrete
+    and replayable. *)
+let verify_mutex ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
+    ?(wiring_classes = false) ?(packed = false) () =
+  let cfg = match cfg with Some c -> c | None -> Algorithms.Rt_mutex.cfg ~n ~m in
+  let n = Algorithms.Rt_mutex.processors cfg in
+  let m = Algorithms.Rt_mutex.registers cfg in
+  let inputs = Array.init n (fun i -> i + 1) in
+  let wirings =
+    if wiring_classes then Wiring.enumerate_classes ~n ~m
+    else Wiring.enumerate ~n ~m ~fix_first:true
+  in
+  let pws =
+    if packed then Some (Modelcheck.Rt_mutex_packed.ws ()) else None
+  in
+  let rec go wcount states = function
+    | [] -> Verified { wirings = wcount; states }
+    | wiring :: rest -> (
+        let generic () =
+          match
+            Rt_mutex_mc.explore ?max_states ~reduction
+              ~invariant:(mutex_invariant cfg) ~cfg ~wiring ~inputs ()
+          with
+          | Rt_mutex_mc.State_limit k -> Resource_limit k
+          | Rt_mutex_mc.Invariant_failed (_, v) ->
+              Safety_violation
+                {
+                  wiring;
+                  message = v.Rt_mutex_mc.message;
+                  path = List.map fst v.Rt_mutex_mc.trace;
+                }
+          | Rt_mutex_mc.Explored space -> (
+              let bad_terminal =
+                List.find_map
+                  (fun t ->
+                    match Tasks.Mutex_task.check t with
+                    | Ok () -> None
+                    | Error e -> Some e)
+                  (Rt_mutex_mc.terminal_outcomes space ~group_of_input:Fun.id
+                     ~to_task_output:Fun.id)
+              in
+              match bad_terminal with
+              | Some e ->
+                  Safety_violation
+                    {
+                      wiring;
+                      message = Fmt.str "%a" Tasks.Task_failure.pp e;
+                      path = [];
+                    }
+              | None -> (
+                  match
+                    mutex_liveness ?max_states ~cfg ~wiring ~inputs space
+                  with
+                  | Ok () ->
+                      go (wcount + 1)
+                        (states + Rt_mutex_mc.state_count space)
+                        rest
+                  | Error (live, stem, cycle) ->
+                      Liveness_violation { wiring; live; stem; cycle }))
+        in
+        match pws with
+        | None -> generic ()
+        | Some ws -> (
+            match
+              Modelcheck.Rt_mutex_packed.check_wiring ~ws ?max_states ~cfg
+                ~wiring ~inputs ()
+            with
+            | Modelcheck.Rt_mutex_packed.Clean { states = k } ->
+                go (wcount + 1) (states + k) rest
+            | Modelcheck.Rt_mutex_packed.Limit k -> Resource_limit k
+            | Modelcheck.Rt_mutex_packed.Breach
+            | Modelcheck.Rt_mutex_packed.Fair_cycle
+            | Modelcheck.Rt_mutex_packed.Unsupported ->
+                generic ()))
+  in
+  go 0 0 wirings
+
+(** Name distinctness as a state invariant (inputs are distinct
+    identities, so any repeated acquired name is a violation).  The
+    flood phase is deliberately {e not} required to be exclusive: each
+    flood write releases the register it extends, so a successor can
+    legitimately start its own flood before the predecessor's last
+    write lands — a benign overlap, serialized by the name ledger
+    itself rather than by CS occupancy. *)
+let naming_invariant cfg (st : Naming_mc.state) =
+  let named =
+    Array.to_list st.Naming_mc.locals
+    |> List.mapi (fun p l -> (p, Algorithms.Naming.output cfg l))
+    |> List.filter_map (fun (p, o) ->
+           Option.map (fun o -> (p, o.Algorithms.Naming.name)) o)
+  in
+  let rec dup = function
+    | [] -> None
+    | (p, k) :: rest -> (
+        match List.find_opt (fun (_, k') -> k = k') rest with
+        | Some (q, _) -> Some (p, q, k)
+        | None -> dup rest)
+  in
+  match dup named with
+  | Some (p, q, k) ->
+      Error
+        (Fmt.str "p%d and p%d both acquired name %d" (p + 1) (q + 1) k)
+  | None -> Ok ()
+
+let naming_liveness ?max_states ~cfg ~wiring ~inputs space =
+  match Naming_mc.find_fair_scc space with
+  | None -> Ok ()
+  | Some (_, live) ->
+      let wspace =
+        if space.Naming_mc.reduction = None then Some space
+        else
+          match
+            Naming_mc.explore ?max_states ~reduction:false ~cfg ~wiring
+              ~inputs ()
+          with
+          | Naming_mc.Explored s -> Some s
+          | _ -> None
+      in
+      let live, stem, cycle =
+        match Option.map (fun s -> (s, Naming_mc.find_fair_scc s)) wspace with
+        | Some (s, Some (entry, live)) ->
+            ( live,
+              List.map fst (Naming_mc.trace_to s entry),
+              Naming_mc.fair_cycle_witness s ~entry ~live )
+        | _ -> (live, [], [])
+      in
+      Error (live, stem, cycle)
+
+(** Exhaustively verify the desanonymization layer at [(n, m)]:
+    distinctness and flood exclusion as invariants, the full naming task
+    (distinctness, own-cell inclusion, view containment) at terminal
+    outcomes, and deadlock-freedom by fair-SCC search.  The layer runs
+    above the mutex, so its feasibility inherits the mutex threshold. *)
+let verify_naming ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
+    ?(wiring_classes = false) () =
+  let cfg = match cfg with Some c -> c | None -> Algorithms.Naming.cfg ~n ~m in
+  let n = Algorithms.Naming.processors cfg in
+  let m = Algorithms.Naming.registers cfg in
+  let inputs = Array.init n (fun i -> i + 1) in
+  let wirings =
+    if wiring_classes then Wiring.enumerate_classes ~n ~m
+    else Wiring.enumerate ~n ~m ~fix_first:true
+  in
+  let rec go wcount states = function
+    | [] -> Verified { wirings = wcount; states }
+    | wiring :: rest -> (
+        match
+          Naming_mc.explore ?max_states ~reduction
+            ~invariant:(naming_invariant cfg) ~cfg ~wiring ~inputs ()
+        with
+        | Naming_mc.State_limit k -> Resource_limit k
+        | Naming_mc.Invariant_failed (_, v) ->
+            Safety_violation
+              {
+                wiring;
+                message = v.Naming_mc.message;
+                path = List.map fst v.Naming_mc.trace;
+              }
+        | Naming_mc.Explored space -> (
+            let bad_terminal =
+              List.find_map
+                (fun t ->
+                  match Tasks.Naming_task.check t with
+                  | Ok () -> None
+                  | Error e -> Some e)
+                (Naming_mc.terminal_outcomes space ~group_of_input:Fun.id
+                   ~to_task_output:Fun.id)
+            in
+            match bad_terminal with
+            | Some e ->
+                Safety_violation
+                  {
+                    wiring;
+                    message = Fmt.str "%a" Tasks.Task_failure.pp e;
+                    path = [];
+                  }
+            | None -> (
+                match
+                  naming_liveness ?max_states ~cfg ~wiring ~inputs space
+                with
+                | Ok () ->
+                    go (wcount + 1)
+                      (states + Naming_mc.state_count space)
+                      rest
+                | Error (live, stem, cycle) ->
+                    Liveness_violation { wiring; live; stem; cycle })))
+  in
+  go 0 0 wirings
+
+(** Leader uniqueness as a state invariant. *)
+let leader_invariant cfg (st : Weak_leader_mc.state) =
+  let leaders =
+    Array.to_list st.Weak_leader_mc.locals
+    |> List.mapi (fun p l -> (p, Algorithms.Weak_leader.output cfg l))
+    |> List.filter (fun (_, o) -> o = Some Algorithms.Weak_leader.Leader)
+    |> List.map fst
+  in
+  match leaders with
+  | p :: q :: _ ->
+      Error
+        (Fmt.str "p%d and p%d both elected themselves leader" (p + 1) (q + 1))
+  | _ -> Ok ()
+
+(** Exhaustively verify the weak leader protocol at [(n, m)]: leader
+    uniqueness as an invariant and wait-freedom as acyclicity, both via
+    the lean DFS engine (the protocol claims wait-freedom, so cycles are
+    violations here — no fair-SCC pass needed).  A wait-freedom breach
+    reports the spinning processors as a liveness violation. *)
+let verify_leader ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
+    ?(wiring_classes = false) () =
+  let cfg =
+    match cfg with Some c -> c | None -> Algorithms.Weak_leader.cfg ~n ~m
+  in
+  let n = Algorithms.Weak_leader.processors cfg in
+  let m = Algorithms.Weak_leader.registers cfg in
+  let inputs = Array.init n (fun i -> i + 1) in
+  let wirings =
+    if wiring_classes then Wiring.enumerate_classes ~n ~m
+    else Wiring.enumerate ~n ~m ~fix_first:true
+  in
+  let rec go wcount states = function
+    | [] -> Verified { wirings = wcount; states }
+    | wiring :: rest -> (
+        match
+          Weak_leader_mc.check_exhaustive ?max_states ~fail_on_cycle:true
+            ~reduction ~invariant:(leader_invariant cfg) ~cfg ~wiring ~inputs
+            ()
+        with
+        | Weak_leader_mc.Dfs_ok stats ->
+            go (wcount + 1) (states + stats.Weak_leader_mc.dfs_states) rest
+        | Weak_leader_mc.Dfs_invariant_failed { message; path; _ } ->
+            Safety_violation { wiring; message; path }
+        | Weak_leader_mc.Dfs_cycle { processors; _ } ->
+            Liveness_violation
+              { wiring; live = processors; stem = []; cycle = [] }
+        | Weak_leader_mc.Dfs_state_limit k -> Resource_limit k)
+  in
+  go 0 0 wirings
+
+(** Mutual exclusion under at most [max_crashes] crash-stops: a crashed
+    holder deadlocks the lock (liveness is forfeit, as for any one-shot
+    mutex under crash-stop) but exclusion must survive.  Exhaustive over
+    wirings, interleavings and crash placements. *)
+let verify_mutex_crashes ?(n = 2) ?(m = 3) ?cfg ?(max_crashes = 1) ?max_states
+    ?(reduction = false) () =
+  let cfg = match cfg with Some c -> c | None -> Algorithms.Rt_mutex.cfg ~n ~m in
+  let n = Algorithms.Rt_mutex.processors cfg in
+  let inputs = Array.init n (fun i -> i + 1) in
+  Rt_mutex_fault_mc.check_all_wirings ?max_states ~max_crashes ~reduction
+    ~invariant:(mutex_invariant cfg) ~cfg ~inputs ()
+
+(** Name distinctness under at most [max_crashes] crash-stops. *)
+let verify_naming_crashes ?(n = 2) ?(m = 3) ?cfg ?(max_crashes = 1) ?max_states
+    ?(reduction = false) () =
+  let cfg = match cfg with Some c -> c | None -> Algorithms.Naming.cfg ~n ~m in
+  let n = Algorithms.Naming.processors cfg in
+  let inputs = Array.init n (fun i -> i + 1) in
+  Naming_fault_mc.check_all_wirings ?max_states ~max_crashes ~reduction
+    ~invariant:(naming_invariant cfg) ~cfg ~inputs ()
+
+(** Glue between the verifiers above and the pure map of
+    {!Analysis.Feasibility}: classify one cell of the (task, n, m) grid
+    by exhaustive model checking. *)
+let feasibility_check ?max_states ?(reduction = false)
+    ?(wiring_classes = false) ~task ~n ~m () =
+  let classify = function
+    | Verified { wirings; states } ->
+        Analysis.Feasibility.Solved { wirings; states }
+    | Safety_violation { message; _ } -> Analysis.Feasibility.Safety_broken message
+    | Liveness_violation { live; _ } ->
+        Analysis.Feasibility.Deadlock
+          (Fmt.str "processors %a spin forever"
+             Fmt.(list ~sep:(any ", ") (fun ppf p -> Fmt.pf ppf "p%d" (p + 1)))
+             live)
+    | Resource_limit k -> Analysis.Feasibility.Limit k
+  in
+  match task with
+  | "mutex" ->
+      classify
+        (verify_mutex ~n ~m ?max_states ~reduction ~wiring_classes
+           ~packed:true ())
+  | "naming" ->
+      classify (verify_naming ~n ~m ?max_states ~reduction ~wiring_classes ())
+  | "leader" ->
+      classify (verify_leader ~n ~m ?max_states ~reduction ~wiring_classes ())
+  | t -> invalid_arg (Fmt.str "feasibility_check: unknown task %S" t)
+
+(** The empirical feasibility map: every cell of the portfolio grids
+    checked exhaustively, each verdict compared against the
+    coprimality-threshold prediction.  [quick] restricts to the [n = 2]
+    rows (the smoke budget). *)
+let feasibility_map ?(quick = false) ?max_states ?reduction ?wiring_classes
+    ?on_cell () =
+  Analysis.Feasibility.run ?on_cell
+    ~check:(fun ~task ~n ~m ->
+      feasibility_check ?max_states ?reduction ?wiring_classes ~task ~n ~m ())
+    (Analysis.Feasibility.grids ~quick ())
+
 module Snapshot_witness = Modelcheck.Witness.Search (Algorithms.Snapshot)
 module Snapshot_exhaustive_witness =
   Modelcheck.Witness.Exhaustive (Modelcheck.Codecs.Snapshot)

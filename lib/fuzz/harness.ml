@@ -163,9 +163,14 @@ module Make (T : Target.S) = struct
         }
 
   (* Remove physical register [r]: delete the local index mapped to it in
-     every permutation and renumber the remaining physical indices. *)
+     every permutation and renumber the remaining physical indices.  Never
+     shrinks below the target's register floor: below [m_range] the
+     protocol's own feasibility boundary kicks in (e.g. the portfolio
+     protocols legitimately misbehave under the coprimality threshold),
+     and a "counterexample" there would indict the instance, not the
+     protocol. *)
   let drop_register inst r =
-    if inst.m <= 1 then None
+    if inst.m <= max 1 (fst (T.m_range ~n:inst.n)) then None
     else
       Some
         {

@@ -79,12 +79,91 @@ module Consensus : Target.S = struct
   let step_budget ~n:_ ~m:_ = None
 end
 
+(* --- the literature portfolio --------------------------------------------- *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(** Smallest register count the mutex-based protocols document as
+    sufficient for [n] processors: at least 3, coprime with every
+    contention level in [2..n].  Fuzzing below it would report the
+    protocol's own (correct) feasibility boundary as failures — those
+    cells belong to the model checkers and the feasibility map. *)
+let portfolio_m ~n =
+  let ok m =
+    let rec go k = k > n || (gcd m k = 1 && go (k + 1)) in
+    go 2
+  in
+  let rec first m = if ok m then m else first (m + 1) in
+  first 3
+
+module Rt_mutex : Target.S = struct
+  module P = Algorithms.Rt_mutex
+
+  let cfg ~n ~m = Algorithms.Rt_mutex.cfg ~n ~m
+  let m_range ~n = (portfolio_m ~n, portfolio_m ~n)
+
+  (* The audit tripwire: a critical-section holder that observed a
+     foreign seal outputs [Cs_intruded], sound evidence of overlapping
+     critical sections even under duplicate identities (clones cannot
+     trip it — their seals compare equal — and a foreign seal requires
+     an all-mine collect inside the holder's window). *)
+  let check ~inputs ~participated ~outputs =
+    Tasks.Mutex_task.check
+      (Tasks.Outcome.make ~participated ~inputs ~outputs ())
+
+  (* Deadlock-free, not wait-free: an adversarial schedule can starve
+     any fixed processor in the entry competition, so a step budget
+     would report correct executions as failures.  Deadlock-freedom is
+     the fair-SCC search's job ({!Core.verify_mutex}). *)
+  let step_budget ~n:_ ~m:_ = None
+end
+
+module Naming : Target.S = struct
+  module P = Algorithms.Naming
+
+  let cfg ~n ~m = Algorithms.Naming.cfg ~n ~m
+  let m_range ~n = (portfolio_m ~n, portfolio_m ~n)
+
+  let check ~inputs ~participated ~outputs =
+    Tasks.Naming_task.check
+      (Tasks.Outcome.make ~participated ~inputs ~outputs ())
+
+  (* Inherits the mutex's entry competition, hence no budget either. *)
+  let step_budget ~n:_ ~m:_ = None
+end
+
+module Weak_leader : Target.S = struct
+  module P = Algorithms.Weak_leader
+
+  let cfg ~n ~m = Algorithms.Weak_leader.cfg ~n ~m
+
+  (* Cross-group uniqueness survives exactly when no rival group can
+     cover the winner's full view: each processor holds at most one
+     pending stale claim, so a group of k clones can flip at most k
+     registers inside the winner's window.  With distinct identities
+     (the model checkers' grids) m >= 2 suffices; under fuzzing, where
+     group assignments are collision-biased, a rival group can have up
+     to n-1 members, so the documented floor is m >= n.  The fuzzer
+     found the (n=3, m=2, two clones) flip before this floor was
+     raised — see the feasibility notes in DESIGN.md. *)
+  let m_range ~n = (max 2 n, max 2 n + 1)
+
+  let check ~inputs ~participated ~outputs =
+    Tasks.Leader_task.check
+      (Tasks.Outcome.make ~participated ~inputs ~outputs ())
+
+  let step_budget = wait_free_budget
+end
+
 let all : (string * (module Target.S)) list =
   [
     ("snapshot", (module Snapshot));
     ("double_collect", (module Double_collect));
     ("renaming", (module Renaming));
     ("consensus", (module Consensus));
+    ("rt_mutex", (module Rt_mutex));
+    ("naming", (module Naming));
+    ("weak_leader", (module Weak_leader));
   ]
 
 let find key = List.assoc_opt key all

@@ -248,3 +248,285 @@ module Renaming = struct
   let decode_local cfg b off : local =
     { R.group = get b off; core = Snapshot.decode_local cfg b (off + 1) }
 end
+
+(** The Raynal–Taubenfeld-style mutex: claim values are identities, local
+    views are positional buffers of one byte per register.  Supports
+    m <= 8 registers (release sets pack into one byte) — ample for the
+    feasibility grid. *)
+module Rt_mutex = struct
+  include Algorithms.Rt_mutex
+  module M = Algorithms.Rt_mutex
+
+  let check_m cfg =
+    if M.registers cfg > 8 then
+      invalid_arg "Codecs.Rt_mutex: at most 8 registers"
+
+  let value_width _ = 1
+
+  (* 0 = free; odd = claim, even > 0 = seal, identity in the upper bits *)
+  let value_byte : value -> int = function
+    | M.Free -> 0
+    | M.Claim id -> (id * 2) + 1
+    | M.Seal id -> (id * 2) + 2
+
+  let byte_value k : value =
+    if k = 0 then M.Free
+    else if k land 1 = 1 then M.Claim ((k - 1) / 2)
+    else M.Seal ((k - 2) / 2)
+
+  let encode_value _ (v : value) b off = put b off (value_byte v)
+  let decode_value _ b off : value = byte_value (get b off)
+
+  (* id, phase tag, aux, collect summary: mine mask, first_free + 1,
+     then (id + 1, count) pairs for the rival counts (ascending ids, the
+     canonical order the protocol maintains, zero-terminated) *)
+  let local_width cfg =
+    check_m cfg;
+    5 + (2 * M.registers cfg)
+
+  let mask_of_list l = List.fold_left (fun m i -> m lor (1 lsl i)) 0 l
+
+  let list_of_mask m =
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) (if m land (1 lsl i) <> 0 then i :: acc else acc)
+    in
+    go 7 []
+
+  let encode_others others b off =
+    List.iteri
+      (fun i (id, k) ->
+        put b (off + (2 * i)) (id + 1);
+        put b (off + (2 * i) + 1) k)
+      others
+
+  let decode_others ~m b off =
+    let rec go i =
+      if i >= m then []
+      else
+        match get b (off + (2 * i)) with
+        | 0 -> []
+        | id -> (id - 1, get b (off + (2 * i) + 1)) :: go (i + 1)
+    in
+    go 0
+
+  let encode_local cfg (l : local) b off =
+    check_m cfg;
+    let m = M.registers cfg in
+    put b off l.M.id;
+    for i = 3 to 4 + (2 * m) do
+      put b (off + i) 0
+    done;
+    match l.M.phase with
+    | M.Collecting { pos; mine; others; first_free } ->
+        put b (off + 1) 0;
+        put b (off + 2) pos;
+        put b (off + 3) mine;
+        put b (off + 4) (first_free + 1);
+        encode_others others b (off + 5)
+    | M.Claiming { target } ->
+        put b (off + 1) 1;
+        put b (off + 2) target
+    | M.Releasing { mine } ->
+        put b (off + 1) 2;
+        put b (off + 2) (mask_of_list mine)
+    | M.Sealing { pos } ->
+        put b (off + 1) 3;
+        put b (off + 2) pos
+    | M.Auditing { pos; dirty } ->
+        put b (off + 1) 4;
+        put b (off + 2) ((pos * 2) + if dirty then 1 else 0)
+    | M.Unlocking { pos; dirty } ->
+        put b (off + 1) 5;
+        put b (off + 2) ((pos * 2) + if dirty then 1 else 0)
+    | M.Done o ->
+        put b (off + 1) 6;
+        put b (off + 2) (match o with M.Cs_clean -> 0 | M.Cs_intruded -> 1)
+
+  let decode_local cfg b off : local =
+    let id = get b off in
+    let aux = get b (off + 2) in
+    let phase =
+      match get b (off + 1) with
+      | 0 ->
+          M.Collecting
+            {
+              pos = aux;
+              mine = get b (off + 3);
+              first_free = get b (off + 4) - 1;
+              others = decode_others ~m:(M.registers cfg) b (off + 5);
+            }
+      | 1 -> M.Claiming { target = aux }
+      | 2 -> M.Releasing { mine = list_of_mask aux }
+      | 3 -> M.Sealing { pos = aux }
+      | 4 -> M.Auditing { pos = aux / 2; dirty = aux land 1 = 1 }
+      | 5 -> M.Unlocking { pos = aux / 2; dirty = aux land 1 = 1 }
+      | _ -> M.Done (if aux = 0 then M.Cs_clean else M.Cs_intruded)
+    in
+    { M.id; phase }
+end
+
+(** The wait-free weak leader election. *)
+module Weak_leader = struct
+  include Algorithms.Weak_leader
+  module W = Algorithms.Weak_leader
+
+  let value_width _ = 1
+
+  let encode_value _ (v : value) b off =
+    put b off (match v with None -> 0 | Some id -> id + 1)
+
+  let decode_value _ b off : value =
+    match get b off with 0 -> None | k -> Some (k - 1)
+
+  let local_width cfg = 3 + W.registers cfg
+
+  let encode_local cfg (l : local) b off =
+    let m = W.registers cfg in
+    put b off l.W.id;
+    for i = 0 to m - 1 do
+      put b (off + 3 + i) 0
+    done;
+    match l.W.phase with
+    | W.Collecting { pos; acc } ->
+        put b (off + 1) 0;
+        put b (off + 2) pos;
+        List.iteri
+          (fun i v ->
+            put b
+              (off + 3 + (pos - 1 - i))
+              (match v with None -> 0 | Some id -> id + 1))
+          acc
+    | W.Claiming { target } ->
+        put b (off + 1) 1;
+        put b (off + 2) target
+    | W.Done o ->
+        put b (off + 1) 2;
+        put b (off + 2) (match o with W.Follower -> 0 | W.Leader -> 1)
+
+  let decode_local _ b off : local =
+    let id = get b off in
+    let aux = get b (off + 2) in
+    let phase =
+      match get b (off + 1) with
+      | 0 ->
+          let pos = aux in
+          let acc = ref [] in
+          for i = 0 to pos - 1 do
+            acc :=
+              (match get b (off + 3 + i) with 0 -> None | k -> Some (k - 1))
+              :: !acc
+          done;
+          W.Collecting { pos; acc = !acc }
+      | 1 -> W.Claiming { target = aux }
+      | _ -> W.Done (if aux = 0 then W.Follower else W.Leader)
+    in
+    { W.id; phase }
+end
+
+(** Mutex-based desanonymization: register values carry a claim owner and
+    a {!Algorithms.Named_memory} ledger (one byte per name slot; names
+    stay in [1..n] in the crash-stop and fault-free executions the
+    checkers explore). *)
+module Naming = struct
+  include Algorithms.Naming
+  module N = Algorithms.Naming
+  module L = Algorithms.Named_memory
+
+  let check_m cfg =
+    if N.registers cfg > 8 then invalid_arg "Codecs.Naming: at most 8 registers"
+
+  let encode_ledger cfg (ledger : L.t) b off =
+    let n = N.processors cfg in
+    for k = 0 to n - 1 do
+      put b (off + k) 0
+    done;
+    List.iter
+      (fun (c : L.cell) ->
+        if c.L.name < 1 || c.L.name > n then
+          invalid_arg "Codecs.Naming: name out of range";
+        put b (off + c.L.name - 1) (c.L.owner + 1))
+      ledger
+
+  let decode_ledger cfg b off : L.t =
+    let n = N.processors cfg in
+    let rec go k acc =
+      if k < 1 then acc
+      else
+        go (k - 1)
+          (match get b (off + k - 1) with
+          | 0 -> acc
+          | o -> { L.name = k; owner = o - 1 } :: acc)
+    in
+    go n []
+
+  let value_width cfg = 1 + N.processors cfg
+
+  let encode_value cfg (v : value) b off =
+    put b off (match v.N.owner with None -> 0 | Some id -> id + 1);
+    encode_ledger cfg v.N.ledger b (off + 1)
+
+  let decode_value cfg b off : value =
+    {
+      N.owner = (match get b off with 0 -> None | k -> Some (k - 1));
+      ledger = decode_ledger cfg b (off + 1);
+    }
+
+  (* id, know ledger, phase tag, aux, collect summary (mine mask,
+     first_free + 1, rival-count pairs) — same layout as Rt_mutex *)
+  let local_width cfg =
+    check_m cfg;
+    5 + N.processors cfg + (2 * N.registers cfg)
+
+  let encode_local cfg (l : local) b off =
+    check_m cfg;
+    let n = N.processors cfg and m = N.registers cfg in
+    put b off l.N.id;
+    encode_ledger cfg l.N.know b (off + 1);
+    let toff = off + 1 + n in
+    for i = 2 to 3 + (2 * m) do
+      put b (toff + i) 0
+    done;
+    match l.N.phase with
+    | N.Collecting { pos; mine; others; first_free } ->
+        put b toff 0;
+        put b (toff + 1) pos;
+        put b (toff + 2) mine;
+        put b (toff + 3) (first_free + 1);
+        Rt_mutex.encode_others others b (toff + 4)
+    | N.Claiming { target } ->
+        put b toff 1;
+        put b (toff + 1) target
+    | N.Releasing { mine } ->
+        put b toff 2;
+        put b (toff + 1) (Rt_mutex.mask_of_list mine)
+    | N.Flooding { pos; name } ->
+        put b toff 3;
+        put b (toff + 1) ((pos * 16) + name)
+    | N.Done name ->
+        put b toff 4;
+        put b (toff + 1) name
+
+  let decode_local cfg b off : local =
+    let n = N.processors cfg in
+    let id = get b off in
+    let know = decode_ledger cfg b (off + 1) in
+    let toff = off + 1 + n in
+    let aux = get b (toff + 1) in
+    let phase =
+      match get b toff with
+      | 0 ->
+          N.Collecting
+            {
+              pos = aux;
+              mine = get b (toff + 2);
+              first_free = get b (toff + 3) - 1;
+              others = Rt_mutex.decode_others ~m:(N.registers cfg) b (toff + 4);
+            }
+      | 1 -> N.Claiming { target = aux }
+      | 2 -> N.Releasing { mine = Rt_mutex.list_of_mask aux }
+      | 3 -> N.Flooding { pos = aux / 16; name = aux mod 16 }
+      | _ -> N.Done aux
+    in
+    { N.id; know; phase }
+end

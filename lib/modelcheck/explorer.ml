@@ -407,6 +407,133 @@ module Make (P : CHECKABLE) = struct
 
   let is_wait_free space = divergent_processors space = []
 
+  (** {1 Fair-cycle detection}
+
+      A liveness violation for the one-shot competition protocols
+      (deadlock or livelock) is a reachable {e fair} strongly connected
+      component: a non-trivial SCC in which every live processor has an
+      edge — a fair scheduler can then keep every live processor stepping
+      forever inside the component.  Conversely, in an SCC where some
+      live processor has no internal edge, fairness forces that
+      processor to move and thereby leave the component for good (if the
+      execution could return, the left-to states would belong to the same
+      SCC).  Halting is monotone, so the live set is constant across a
+      component and can be read off any member state.
+
+      On a symmetry-reduced space the verdict is still exact: quotient
+      cycles lift to concrete fair cycles (automorphisms have finite
+      order) and concrete fair cycles project onto quotient ones. *)
+
+  (** First fair SCC by discovery order: [(member state id, live pids)].
+      [live] defaults to "not halted". *)
+  let find_fair_scc ?live space =
+    let live =
+      match live with
+      | Some f -> f
+      | None -> fun cfg l -> not (P.halted cfg l)
+    in
+    let n = state_count space in
+    let off = csr_offsets space in
+    let comp, ncomp =
+      Scc.tarjan ~n ~off:(Array.get off) ~adj:(adj_of space)
+    in
+    let pidmask = Array.make (max ncomp 1) 0 in
+    let internal = Bytes.make (max ncomp 1) '\000' in
+    for u = 0 to n - 1 do
+      for i = off.(u) to off.(u + 1) - 1 do
+        let packed = State_table.Packed_vec.get space.succ i in
+        let v = packed asr 4 and p = packed land 15 in
+        if comp.(u) = comp.(v) then begin
+          Bytes.set internal comp.(u) '\001';
+          pidmask.(comp.(u)) <- pidmask.(comp.(u)) lor (1 lsl p)
+        end
+      done
+    done;
+    let nprocs = P.processors space.cfg in
+    let result = ref None in
+    let u = ref 0 in
+    while !result = None && !u < n do
+      let c = comp.(!u) in
+      if Bytes.get internal c = '\001' then begin
+        let st = state_of space !u in
+        let livepids =
+          List.filter
+            (fun p -> live space.cfg st.locals.(p))
+            (List.init nprocs Fun.id)
+        in
+        if
+          livepids <> []
+          && List.for_all
+               (fun p -> pidmask.(c) land (1 lsl p) <> 0)
+               livepids
+        then result := Some (!u, livepids)
+      end;
+      incr u
+    done;
+    !result
+
+  (** A concrete lasso witnessing a fair SCC on an {e unreduced} space:
+      the stem reaches [entry] and the returned pid sequence cycles back
+      to [entry] while stepping every processor in [live] at least once.
+      Raises [Invalid_argument] on a reduced space (detect on the
+      quotient, then re-explore unreduced to extract the witness). *)
+  let fair_cycle_witness space ~entry ~live =
+    if space.reduction <> None then
+      invalid_arg "fair_cycle_witness: reduced space";
+    let off = csr_offsets space in
+    let comp, _ = scc_ids space in
+    let c = comp.(entry) in
+    let edges u =
+      let rec go i acc =
+        if i >= off.(u + 1) then List.rev acc
+        else
+          let packed = State_table.Packed_vec.get space.succ i in
+          let v = packed asr 4 and p = packed land 15 in
+          go (i + 1) (if comp.(v) = c then (p, v) :: acc else acc)
+      in
+      go off.(u) []
+    in
+    (* BFS inside the component from [src] to a node satisfying [goal];
+       returns the pid path and the reached node. *)
+    let bfs src goal =
+      if goal src then ([], src)
+      else begin
+        let pred = Hashtbl.create 64 in
+        Hashtbl.replace pred src (-1, -1);
+        let q = Queue.create () in
+        Queue.push src q;
+        let found = ref None in
+        while !found = None && not (Queue.is_empty q) do
+          let u = Queue.pop q in
+          List.iter
+            (fun (p, v) ->
+              if !found = None && not (Hashtbl.mem pred v) then begin
+                Hashtbl.replace pred v (u, p);
+                if goal v then found := Some v else Queue.push v q
+              end)
+            (edges u)
+        done;
+        match !found with
+        | None -> invalid_arg "fair_cycle_witness: goal unreachable in SCC"
+        | Some dst ->
+            let rec up v acc =
+              match Hashtbl.find pred v with
+              | -1, -1 -> acc
+              | u, p -> up u (p :: acc)
+            in
+            (up dst [], dst)
+      end
+    in
+    let visit (path, node) p =
+      (* reach a node with an internal p-edge, then take it *)
+      let path', u = bfs node (fun u -> List.mem_assoc p (edges u)) in
+      let v = List.assoc p (edges u) in
+      (path @ path' @ [ p ], v)
+    in
+    let path, node = List.fold_left visit ([], entry) live in
+    let back, _ = bfs node (fun u -> u = entry) in
+    path @ back
+
   (** Terminal outcomes: the task outcome at every all-halted state.
       [to_task_output] converts protocol outputs for the task checkers. *)
   let terminal_outcomes space ~group_of_input ~to_task_output =

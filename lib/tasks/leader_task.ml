@@ -1,0 +1,36 @@
+(** The weak leader-election task: at most one {e group} may produce
+    [Leader] outputs; electing nobody is permitted (that is what makes
+    the task weak, and what makes it wait-free solvable).
+
+    The oracle is a pure outcome property, so — unlike mutual exclusion —
+    fuzzing checks it at full strength.  Uniqueness is group-based
+    because the protocol is symmetric: two processors sharing an input
+    are anonymous clones running the same code, and no symmetric
+    protocol can prevent both from winning, exactly as with the paper's
+    group renaming.  When every identity is distinct this is the
+    classic at-most-one-leader guarantee; two leaders from {e different}
+    groups is a genuine violation at any multiplicity. *)
+
+type output = Algorithms.Weak_leader.output
+
+let check (t : output Outcome.t) =
+  let n = Outcome.processors t in
+  let leaders =
+    List.filter
+      (fun p -> t.Outcome.outputs.(p) = Some Algorithms.Weak_leader.Leader)
+      (List.init n Fun.id)
+  in
+  let rec foreign = function
+    | p :: (q :: _ as rest) ->
+        if Outcome.group_of t p <> Outcome.group_of t q then Some (p, q)
+        else foreign rest
+    | _ -> None
+  in
+  match foreign leaders with
+  | None -> Ok ()
+  | Some (p, q) ->
+      Task_failure.failf ~processors:[ p; q ]
+        ~groups:[ Outcome.group_of t p; Outcome.group_of t q ]
+        Task_failure.Leader_uniqueness
+        "p%d (id %d) and p%d (id %d) both elected themselves leader" (p + 1)
+        (Outcome.group_of t p) (q + 1) (Outcome.group_of t q)

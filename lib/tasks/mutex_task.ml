@@ -1,0 +1,54 @@
+(** The one-shot mutual-exclusion task.
+
+    Safety (mutual exclusion) is a {e state} property — at most one
+    processor occupies the critical section — so its authoritative check is
+    the model checkers' invariant over {!Algorithms.Rt_mutex.in_cs}.  What
+    an outcome exposes is the protocol's audit tripwire: a holder that
+    observed a foreign claim while it believed itself exclusive outputs
+    [Cs_intruded].  An intrusion observation is sound evidence of a
+    mutual-exclusion race (only the holder's registers can disagree with
+    an exclusive critical section), so the outcome oracle flags it.
+
+    Deadlock-freedom is a liveness property: its violation is a fair cycle
+    — a reachable strongly connected component of the transition graph in
+    which every live processor keeps taking steps and nobody enters the
+    critical section.  {!deadlock} builds the structured failure the model
+    checkers report for such cycles; outcomes cannot witness it (a stuck
+    execution has no outputs), which is also why the mutex fuzzing target
+    carries no step budget. *)
+
+type output = Algorithms.Rt_mutex.output
+
+(** Outcome oracle: no processor's critical-section audit may have
+    observed an intruder. *)
+let check (t : output Outcome.t) =
+  let n = Outcome.processors t in
+  let rec go p =
+    if p >= n then Ok ()
+    else
+      match t.Outcome.outputs.(p) with
+      | Some Algorithms.Rt_mutex.Cs_intruded ->
+          Task_failure.failf ~processors:[ p ]
+            ~groups:[ Outcome.group_of t p ]
+            Task_failure.Mutual_exclusion
+            "p%d's critical-section audit observed a foreign claim" (p + 1)
+      | _ -> go (p + 1)
+  in
+  go 0
+
+(** Structured failure for two processors in the critical section at once
+    (reported by the model checkers' state invariant). *)
+let exclusion_failure ~processors =
+  Task_failure.v ~processors Task_failure.Mutual_exclusion
+    (Fmt.str "processors %a occupy the critical section together"
+       Fmt.(list ~sep:(any ",") (fun ppf p -> Fmt.pf ppf "p%d" (p + 1)))
+       processors)
+
+(** Structured failure for a fair cycle in which the live processors [ps]
+    all keep stepping but none ever enters the critical section. *)
+let deadlock ~processors =
+  Task_failure.v ~processors Task_failure.Deadlock
+    (Fmt.str
+       "fair cycle: %a step forever without any critical-section entry"
+       Fmt.(list ~sep:(any ",") (fun ppf p -> Fmt.pf ppf "p%d" (p + 1)))
+       processors)

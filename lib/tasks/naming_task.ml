@@ -1,0 +1,103 @@
+(** The desanonymization (naming) task: distinct names on top of anonymous
+    registers, plus the named-memory guarantee the ledger substrate
+    provides.
+
+    Checked properties, over a (possibly partial) outcome of
+    {!Algorithms.Naming}:
+
+    - {e name distinctness}: processors of different groups never output
+      the same name.  (Group identifiers play the role of identities; two
+      processors of the same group are anonymous clones running a
+      symmetric protocol, so — as with the paper's group renaming — they
+      may legitimately converge on the same name.  When every identity is
+      distinct this is full distinctness.)
+    - {e own-cell inclusion}: a processor that acquired name [k] finds the
+      cell [(k, its identity)] in its own halt-time view — it read back
+      its single-writer cell.
+    - {e view containment}: halt-time views are pairwise
+      subset-comparable.  Critical sections are serialized and each floods
+      its ledger before releasing the lock, so the views must form a
+      chain — the same containment guarantee the classic named
+      single-writer collect ({!Algorithms.Named_snapshot}) gives, now
+      running above the naming layer.
+
+    The checks are vacuous on executions where distinct processors share
+    an identity only for distinctness (see above); inclusion and
+    containment are identity-agnostic. *)
+
+type output = Algorithms.Naming.output
+
+let check_distinct (t : output Outcome.t) =
+  let n = Outcome.processors t in
+  let rec go p q =
+    if p >= n then Ok ()
+    else if q >= n then go (p + 1) (p + 2)
+    else
+      match (t.Outcome.outputs.(p), t.Outcome.outputs.(q)) with
+      | Some op, Some oq
+        when op.Algorithms.Naming.name = oq.Algorithms.Naming.name
+             && Outcome.group_of t p <> Outcome.group_of t q ->
+          Task_failure.failf ~processors:[ p; q ]
+            ~groups:[ Outcome.group_of t p; Outcome.group_of t q ]
+            Task_failure.Name_uniqueness
+            "p%d (id %d) and p%d (id %d) both acquired name %d" (p + 1)
+            (Outcome.group_of t p) (q + 1) (Outcome.group_of t q)
+            op.Algorithms.Naming.name
+      | _ -> go p (q + 1)
+  in
+  go 0 1
+
+let check_own_cell (t : output Outcome.t) =
+  let n = Outcome.processors t in
+  let rec go p =
+    if p >= n then Ok ()
+    else
+      match t.Outcome.outputs.(p) with
+      | Some o ->
+          let id = Outcome.group_of t p in
+          let mine =
+            List.exists
+              (fun (c : Algorithms.Named_memory.cell) ->
+                c.name = o.Algorithms.Naming.name && c.owner = id)
+              o.Algorithms.Naming.view
+          in
+          if mine then go (p + 1)
+          else
+            Task_failure.failf ~processors:[ p ] ~groups:[ id ]
+              Task_failure.Validity
+              "p%d acquired name %d but its view misses its own cell" (p + 1)
+              o.Algorithms.Naming.name
+      | None -> go (p + 1)
+  in
+  go 0
+
+let check_containment (t : output Outcome.t) =
+  let n = Outcome.processors t in
+  let rec go p q =
+    if p >= n then Ok ()
+    else if q >= n then go (p + 1) (p + 2)
+    else
+      match (t.Outcome.outputs.(p), t.Outcome.outputs.(q)) with
+      | Some op, Some oq ->
+          let vp = op.Algorithms.Naming.view
+          and vq = oq.Algorithms.Naming.view in
+          if Algorithms.Named_memory.subset vp vq
+             || Algorithms.Named_memory.subset vq vp
+          then go p (q + 1)
+          else
+            Task_failure.failf ~processors:[ p; q ]
+              ~groups:[ Outcome.group_of t p; Outcome.group_of t q ]
+              Task_failure.Containment
+              "p%d's and p%d's named-memory views are incomparable" (p + 1)
+              (q + 1)
+      | _ -> go p (q + 1)
+  in
+  go 0 1
+
+let check (t : output Outcome.t) =
+  match check_distinct t with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_own_cell t with
+      | Error _ as e -> e
+      | Ok () -> check_containment t)

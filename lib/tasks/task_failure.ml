@@ -15,6 +15,9 @@ type property =
   | Name_uniqueness  (** two groups share a name *)
   | Monotonicity  (** a long-lived output shrank across invocations *)
   | Wait_freedom  (** a processor exceeded its step budget without halting *)
+  | Mutual_exclusion  (** two processors occupied the critical section *)
+  | Deadlock  (** a fair execution in which no live processor progresses *)
+  | Leader_uniqueness  (** more than one processor elected itself leader *)
   | Property of string  (** anything else, by name *)
 
 type t = {
@@ -32,6 +35,9 @@ let property_name = function
   | Name_uniqueness -> "name-uniqueness"
   | Monotonicity -> "monotonicity"
   | Wait_freedom -> "wait-freedom"
+  | Mutual_exclusion -> "mutual-exclusion"
+  | Deadlock -> "deadlock-freedom"
+  | Leader_uniqueness -> "leader-uniqueness"
   | Property s -> s
 
 let v ?(processors = []) ?(groups = []) property message =

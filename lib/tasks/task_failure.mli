@@ -11,6 +11,9 @@ type property =
   | Name_uniqueness
   | Monotonicity
   | Wait_freedom
+  | Mutual_exclusion
+  | Deadlock
+  | Leader_uniqueness
   | Property of string
 
 type t = {
