@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-mc bench-fuzz bench-portfolio mc-smoke mc-long fuzz-smoke fuzz-long fault-smoke faults-long portfolio-smoke portfolio-long feasibility clean
+.PHONY: build test bench bench-mc bench-fuzz bench-portfolio mc-smoke mc-long fuzz-smoke fuzz-long fault-smoke faults-long portfolio-smoke portfolio-long feasibility resume-smoke clean
 
 build:
 	dune build @all
@@ -127,5 +127,26 @@ feasibility:
 	dune build bin/anonsim.exe
 	dune exec --no-build bin/anonsim.exe -- feasibility -o FEASIBILITY.json
 
+# Kill-and-resume differential smoke: run the quick feasibility sweep to
+# completion for a reference map, run it again but SIGINT it ~1s in (exit
+# 0 if it won the race, 4 if interrupted), then rerun with --resume so
+# the journal replays the finished cells — and require the resumed map
+# to be byte-identical to the uninterrupted reference.  CI runs this on
+# every push; it is the end-to-end check behind the durability suite.
+resume-smoke:
+	dune build bin/anonsim.exe
+	rm -rf _resume_smoke && mkdir -p _resume_smoke
+	./_build/default/bin/anonsim.exe feasibility --quick \
+	  -o _resume_smoke/reference.json
+	( ./_build/default/bin/anonsim.exe feasibility --quick \
+	     -o _resume_smoke/resumed.json & \
+	   pid=$$!; sleep 1; kill -INT $$pid 2>/dev/null; wait $$pid; st=$$?; \
+	   [ $$st -eq 0 ] || [ $$st -eq 4 ] )
+	./_build/default/bin/anonsim.exe feasibility --quick --resume \
+	  -o _resume_smoke/resumed.json
+	cmp _resume_smoke/reference.json _resume_smoke/resumed.json
+	@echo "resume-smoke: resumed map byte-identical to uninterrupted run"
+
 clean:
 	dune clean
+	rm -rf _resume_smoke

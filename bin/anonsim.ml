@@ -6,6 +6,37 @@ open Cmdliner
 
 let iset_str = Repro_util.Iset.to_string
 
+(* Exit-code contract of the verification subcommands (documented in
+   README): 0 = clean verdict, 2 = violation or contradicted map,
+   3 = resource budget exhausted (partial result + resumable state on
+   disk), 4 = interrupted by SIGINT/SIGTERM (journal/checkpoint flushed,
+   resume instructions printed).  1 is left to cmdliner/uncaught errors. *)
+let exit_violation = 2
+let exit_exhausted = 3
+let exit_interrupted = 4
+
+(* One shared flag: the per-cell governors of a sweep all watch it, so a
+   single SIGINT stops the whole run at the next engine tick.  A second
+   signal aborts immediately (escape hatch for a wedged run). *)
+let interrupted = ref false
+
+let install_signal_handlers () =
+  let handle _ =
+    if !interrupted then Stdlib.exit exit_interrupted else interrupted := true
+  in
+  List.iter
+    (fun s -> Sys.set_signal s (Sys.Signal_handle handle))
+    [ Sys.sigint; Sys.sigterm ]
+
+(* Durable writes for result artifacts: never leave a half-written JSON
+   where a consumer (or a resumed run) will read it. *)
+let write_file_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
 (* Shared options *)
 
 let seed_arg =
@@ -165,15 +196,94 @@ let check_snapshot_cmd =
              when several processors share an input; with all-distinct \
              inputs the symmetry group is trivial.")
   in
-  let run n max_states crashes par reduce =
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint exploration state to $(docv) periodically \
+             (atomically), so an interrupted or budget-exhausted run can \
+             continue with $(b,--resume).  Sequential engine only.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Restart from the $(b,--checkpoint) file if it exists (a \
+             missing file just runs fresh).")
+  in
+  let max_seconds_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock budget; on expiry the run writes a final \
+             checkpoint (with $(b,--checkpoint)) and exits with code 3.")
+  in
+  let run n max_states crashes par reduce checkpoint resume max_seconds =
     if par < 1 then `Error (true, "--par must be at least 1")
-    else
+    else if par > 1 && (checkpoint <> None || max_seconds <> None) then
+      `Error
+        ( true,
+          "--checkpoint/--max-seconds require the sequential engine (--par 1)"
+        )
+    else begin
+    install_signal_handlers ();
+    let governor =
+      if max_seconds <> None || par = 1 then
+        Some
+          (Modelcheck.Governor.create ?wall_seconds:max_seconds
+             ~interrupted_flag:interrupted ())
+      else None
+    in
+    let ckpt =
+      Option.map
+        (fun path -> { Modelcheck.Checkpoint.path; every_states = 100_000 })
+        checkpoint
+    in
+    let finish_durably e =
+      (* The sweep returns a plain [Error] for budget trips too; the
+         governor's sticky verdict tells the two apart from a genuine
+         violation. *)
+      match Option.map Modelcheck.Governor.tripped governor with
+      | Some (Some Modelcheck.Governor.Interrupted) ->
+          Printf.printf "interrupted: %s\n" e;
+          (match checkpoint with
+          | Some f ->
+              Printf.printf
+                "resume with: anonsim check-snapshot -n %d --checkpoint %s \
+                 --resume\n"
+                n f
+          | None -> ());
+          Stdlib.exit exit_interrupted
+      | Some (Some _) ->
+          Printf.printf "budget exhausted: %s\n" e;
+          (match checkpoint with
+          | Some f ->
+              Printf.printf
+                "resume with: anonsim check-snapshot -n %d --checkpoint %s \
+                 --resume\n"
+                n f
+          | None -> ());
+          Stdlib.exit exit_exhausted
+      | _ ->
+          prerr_endline e;
+          Stdlib.exit exit_violation
+    in
     match
       Core.verify_snapshot_model ~n ?max_states ~reduction:reduce ~domains:par
-        ()
+        ?governor ?ckpt ~resume ()
     with
-    | Error e -> `Error (false, e)
+    | Error e -> finish_durably e
     | Ok s -> (
+        (* A clean verdict retires the checkpoint: resuming a finished
+           run must start over, not replay a stale position. *)
+        (match checkpoint with
+        | Some f when Sys.file_exists f -> Sys.remove f
+        | _ -> ());
         Printf.printf
           "verified: snapshot algorithm correct and wait-free for n=%d\n" n;
         Printf.printf
@@ -186,9 +296,9 @@ let check_snapshot_cmd =
         else
           match
             Core.verify_snapshot_model_crashes ~n ~max_crashes:crashes
-              ?max_states ~reduction:reduce ()
+              ?max_states ~reduction:reduce ?governor ()
           with
-          | Error e -> `Error (false, e)
+          | Error e -> finish_durably e
           | Ok fs ->
               Printf.printf
                 "verified: containment safety holds for n=%d under at most %d \
@@ -202,6 +312,7 @@ let check_snapshot_cmd =
                 fs.Core.Snapshot_fault_mc.total_transitions
                 fs.Core.Snapshot_fault_mc.total_crash_branches;
               `Ok ())
+    end
   in
   Cmd.v
     (Cmd.info "check-snapshot"
@@ -211,11 +322,15 @@ let check_snapshot_cmd =
           paper's TLC claim.  With $(b,--crashes) K, additionally \
           re-verify safety under at most K injected crash-stop faults.  \
           $(b,--par) N shards the exploration over N domains; $(b,--reduce) \
-          switches on symmetry reduction.")
+          switches on symmetry reduction.  $(b,--checkpoint), \
+          $(b,--resume) and $(b,--max-seconds) make the run durable: \
+          exploration state is snapshotted atomically and an interrupted \
+          (exit 4) or budget-exhausted (exit 3) run continues exactly \
+          where it stopped.")
     Term.(
       ret
         (const run $ n_arg ~default:2 $ max_states_arg $ crashes_arg $ par_arg
-       $ reduce_arg))
+       $ reduce_arg $ checkpoint_arg $ resume_arg $ max_seconds_arg))
 
 (* check-nonatomic: the Section-8 claim *)
 
@@ -473,7 +588,105 @@ let feasibility_cmd =
       & info [ "max-states" ] ~docv:"K"
           ~doc:"Abort any single exploration beyond $(docv) states.")
   in
-  let run quick max_states out =
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append each completed cell to $(docv) (checksummed JSONL; \
+             default: the $(b,--out) file plus \".journal\", or \
+             FEASIBILITY.journal).  The journal is what $(b,--resume) \
+             replays.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay conclusively-finished cells from the journal instead \
+             of recomputing them (torn tails from a crash are healed \
+             first); cells that hit a resource limit or budget are \
+             recomputed, continuing from their engine checkpoint when \
+             $(b,--ckpt-dir) is set.")
+  in
+  let max_seconds_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ] ~docv:"SECS"
+          ~doc:
+            "Per-cell wall-clock budget; an over-budget cell is recorded \
+             as $(i,unknown) (with a resumable checkpoint under \
+             $(b,--ckpt-dir)) and the sweep continues.")
+  in
+  let max_heap_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-heap-mb" ] ~docv:"MB"
+          ~doc:
+            "Per-cell live-heap budget in megabytes (checked at major \
+             collections); over-budget cells degrade to $(i,unknown) like \
+             $(b,--max-seconds).")
+  in
+  let ckpt_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ckpt-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for per-cell engine checkpoints (created if \
+             missing).  Interrupted or over-budget cells leave a \
+             checkpoint here; re-running the sweep with the same \
+             $(b,--ckpt-dir) continues them mid-exploration.")
+  in
+  let run quick max_states out journal resume max_seconds max_heap_mb ckpt_dir
+      =
+    install_signal_handlers ();
+    let journal_path =
+      match (journal, out) with
+      | Some j, _ -> j
+      | None, Some f -> f ^ ".journal"
+      | None, None -> "FEASIBILITY.journal"
+    in
+    (match ckpt_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    let grids = Analysis.Feasibility.grids ~quick () in
+    let floor_of, coprime_of = Analysis.Feasibility.grid_params grids in
+    let jnl, recovered =
+      if resume then Runtime_shm.Journal.open_append journal_path
+      else (Runtime_shm.Journal.create journal_path, [])
+    in
+    (* Only conclusive verdicts replay from the journal: Limit/Unknown
+       cells are exactly the ones a resumed run should try again (with
+       their checkpoints, when available). *)
+    let cached_cells =
+      List.filter_map
+        (Analysis.Feasibility.cell_of_record ~floor_of ~coprime_of)
+        recovered
+      |> List.filter (fun c ->
+             Analysis.Feasibility.status_final c.Analysis.Feasibility.status)
+    in
+    if resume && cached_cells <> [] then
+      Printf.printf "resuming: %d cell(s) replayed from %s\n%!"
+        (List.length cached_cells)
+        journal_path;
+    let cached ~task ~n ~m =
+      List.find_map
+        (fun c ->
+          if
+            c.Analysis.Feasibility.task = task
+            && c.Analysis.Feasibility.n = n
+            && c.Analysis.Feasibility.m = m
+          then Some c.Analysis.Feasibility.status
+          else None)
+        cached_cells
+    in
+    let heap_words =
+      Option.map (fun mb -> mb * 1024 * 1024 / (Sys.word_size / 8)) max_heap_mb
+    in
     let cells =
       (* The map is the symmetry-reduced sequential engine's verdict;
          engine agreement is test_portfolio's job.  Violating cells
@@ -482,7 +695,11 @@ let feasibility_cmd =
          quotient) — sound for these id-agnostic verdicts, and the only
          thing that keeps the 14400-wiring n=3 m=5 cells affordable. *)
       Core.feasibility_map ~quick ?max_states ~reduction:true
-        ~wiring_classes:true
+        ~wiring_classes:true ?wall_seconds:max_seconds ?heap_words
+        ~interrupted_flag:interrupted ?ckpt_dir ~cached
+        ~on_fresh:(fun c ->
+          Runtime_shm.Journal.append jnl (Analysis.Feasibility.cell_to_record c))
+        ~stop:(fun () -> !interrupted)
         ~on_cell:(fun c ->
           Printf.printf "%-7s n=%d m=%d  expected %-12s -> %s\n%!"
             c.Analysis.Feasibility.task c.Analysis.Feasibility.n
@@ -493,23 +710,57 @@ let feasibility_cmd =
                c.Analysis.Feasibility.status))
         ()
     in
+    Runtime_shm.Journal.close jnl;
     print_newline ();
     print_string
       (Repro_util.Text_table.render (Analysis.Feasibility.to_table cells));
     (match out with
     | Some file ->
-        let oc = open_out file in
-        output_string oc (Analysis.Feasibility.to_json cells);
-        close_out oc;
+        write_file_atomic file (Analysis.Feasibility.to_json cells);
         Printf.printf "\nwrote %s\n" file
     | None -> ());
-    if Analysis.Feasibility.all_confirmed cells then begin
+    let unknown_cells =
+      List.filter
+        (fun c ->
+          match c.Analysis.Feasibility.status with
+          | Analysis.Feasibility.Unknown _ -> true
+          | _ -> false)
+        cells
+    in
+    let resume_hint () =
+      Printf.printf "resume with: anonsim feasibility%s --journal %s%s%s \
+                     --resume\n"
+        (if quick then " --quick" else "")
+        journal_path
+        (match out with Some f -> " -o " ^ f | None -> "")
+        (match ckpt_dir with Some d -> " --ckpt-dir " ^ d | None -> "")
+    in
+    if !interrupted then begin
+      Printf.printf "\ninterrupted: %d cell(s) journaled, %d pending\n"
+        (Runtime_shm.Journal.next_seq jnl)
+        (List.length
+           (List.concat_map (fun g -> g.Analysis.Feasibility.g_cells) grids)
+        - List.length cells);
+      resume_hint ();
+      Stdlib.exit exit_interrupted
+    end
+    else if unknown_cells <> [] then begin
+      Printf.printf
+        "\n%d cell(s) exhausted their budget and were marked unknown\n"
+        (List.length unknown_cells);
+      resume_hint ();
+      Stdlib.exit exit_exhausted
+    end
+    else if Analysis.Feasibility.all_confirmed cells then begin
       Printf.printf
         "\nall %d cells confirmed the coprimality-threshold prediction\n"
         (List.length cells);
       `Ok ()
     end
-    else `Error (false, "some cells contradicted the predicted map")
+    else begin
+      prerr_endline "some cells contradicted the predicted map";
+      Stdlib.exit exit_violation
+    end
   in
   Cmd.v
     (Cmd.info "feasibility"
@@ -517,8 +768,17 @@ let feasibility_cmd =
          "Compute the portfolio feasibility map: exhaustively verify the \
           symmetric mutex, the desanonymization layer and the weak leader \
           protocol at each (n, m) cell and compare every verdict against \
-          the coprimality-threshold prediction.")
-    Term.(ret (const run $ quick_arg $ max_states_arg $ out_arg))
+          the coprimality-threshold prediction.  The sweep is durable: \
+          every completed cell is appended to a checksummed journal, \
+          SIGINT/SIGTERM stop it cleanly (exit 4), per-cell budgets \
+          degrade cells to $(i,unknown) instead of killing the run (exit \
+          3), and $(b,--resume) continues a previous sweep, replaying \
+          finished cells and restarting interrupted ones from their \
+          engine checkpoints.")
+    Term.(
+      ret
+        (const run $ quick_arg $ max_states_arg $ out_arg $ journal_arg
+       $ resume_arg $ max_seconds_arg $ max_heap_mb_arg $ ckpt_dir_arg))
 
 let main_cmd =
   let doc =

@@ -52,6 +52,10 @@ type status =
   | Safety_broken of string
   | Deadlock of string
   | Limit of int
+  | Unknown of { reason : string; states : int; checkpoint : string option }
+      (** a resource budget ran out mid-cell; [reason] names the budget
+          ("wall-clock", "heap", "quota", "interrupted"), [states] how
+          far the sweep got, [checkpoint] where to resume from *)
 
 let pp_status ppf = function
   | Solved { wirings; states } ->
@@ -59,12 +63,24 @@ let pp_status ppf = function
   | Safety_broken msg -> Fmt.pf ppf "safety violation: %s" msg
   | Deadlock msg -> Fmt.pf ppf "deadlock: %s" msg
   | Limit k -> Fmt.pf ppf "resource limit at %d states" k
+  | Unknown { reason; states; checkpoint } ->
+      Fmt.pf ppf "unknown (%s budget exhausted at %d states%a)" reason states
+        Fmt.(option (any ", checkpoint " ++ string))
+        checkpoint
 
 let status_keyword = function
   | Solved _ -> "solved"
   | Safety_broken _ -> "safety-violation"
   | Deadlock _ -> "deadlock"
   | Limit _ -> "resource-limit"
+  | Unknown _ -> "unknown"
+
+(** Is the status a conclusive verdict about the cell?  Resource limits
+    and exhausted budgets are not: a resumed or re-budgeted run must
+    recompute them. *)
+let status_final = function
+  | Solved _ | Safety_broken _ | Deadlock _ -> true
+  | Limit _ | Unknown _ -> false
 
 (** Does the observed status confirm the expectation?  Resource limits
     confirm nothing. *)
@@ -116,21 +132,122 @@ let grids ?(quick = false) () =
     { g_task = "leader"; g_floor = 2; g_coprime = false; g_cells = leader_cells };
   ]
 
+(* --- durable-run cell codec ------------------------------------------- *)
+
+(* One cell per line, space-separated, human-greppable:
+     task n m solved WIRINGS STATES
+     task n m safety-violation MESSAGE...
+     task n m deadlock MESSAGE...
+     task n m resource-limit K
+     task n m unknown REASON STATES CHECKPOINT-or--
+   This is the payload format of the run journal (lib/runtime/journal
+   frames it with sequence numbers and checksums); it must round-trip
+   exactly, which the durability tests assert. *)
+
+let cell_to_record c =
+  let status =
+    match c.status with
+    | Solved { wirings; states } -> Printf.sprintf "solved %d %d" wirings states
+    | Safety_broken msg -> "safety-violation " ^ msg
+    | Deadlock msg -> "deadlock " ^ msg
+    | Limit k -> Printf.sprintf "resource-limit %d" k
+    | Unknown { reason; states; checkpoint } ->
+        Printf.sprintf "unknown %s %d %s" reason states
+          (match checkpoint with None -> "-" | Some p -> p)
+  in
+  Printf.sprintf "%s %d %d %s" c.task c.n c.m status
+
+let cell_of_record ~floor_of ~coprime_of line =
+  let int_opt s = int_of_string_opt s in
+  match String.split_on_char ' ' line with
+  | task :: ns :: ms :: rest -> (
+      match (int_opt ns, int_opt ms) with
+      | Some n, Some m -> (
+          let status =
+            match rest with
+            | [ "solved"; w; s ] -> (
+                match (int_opt w, int_opt s) with
+                | Some wirings, Some states -> Some (Solved { wirings; states })
+                | _ -> None)
+            | "safety-violation" :: msg when msg <> [] ->
+                Some (Safety_broken (String.concat " " msg))
+            | "deadlock" :: msg when msg <> [] ->
+                Some (Deadlock (String.concat " " msg))
+            | [ "resource-limit"; k ] ->
+                Option.map (fun k -> Limit k) (int_opt k)
+            | [ "unknown"; reason; s; ckpt ] ->
+                Option.map
+                  (fun states ->
+                    Unknown
+                      {
+                        reason;
+                        states;
+                        checkpoint = (if ckpt = "-" then None else Some ckpt);
+                      })
+                  (int_opt s)
+            | _ -> None
+          in
+          match status with
+          | None -> None
+          | Some status ->
+              let expectation =
+                expected ~floor:(floor_of task) ~coprime:(coprime_of task) ~n ~m
+              in
+              Some { task; n; m; expectation; status })
+      | _ -> None)
+  | _ -> None
+
+(** [floor_of]/[coprime_of] lookups for {!cell_of_record} derived from a
+    grid list (unknown tasks get floor 0 / no coprimality, which only
+    affects the re-derived expectation, never the status). *)
+let grid_params grids =
+  let floor_of task =
+    match List.find_opt (fun g -> g.g_task = task) grids with
+    | Some g -> g.g_floor
+    | None -> 0
+  and coprime_of task =
+    match List.find_opt (fun g -> g.g_task = task) grids with
+    | Some g -> g.g_coprime
+    | None -> false
+  in
+  (floor_of, coprime_of)
+
 (** Run the map: [check ~task ~n ~m] produces each cell's status (in
     [Core] this is the exhaustive model checker; tests substitute
-    stubs).  [on_cell] fires after each cell for progress reporting. *)
-let run ?on_cell ~check grids =
+    stubs).  [on_cell] fires after each cell for progress reporting.
+
+    Durable runs thread three more hooks.  [cached ~task ~n ~m] is
+    consulted first; a [Some] answer (from a prior run's journal)
+    short-circuits the checker.  [on_fresh] fires only for cells that
+    were actually computed this run — the journal writer, so replayed
+    cells are not re-journaled.  [stop ()] is polled before each cell;
+    once true the remaining cells are skipped entirely (the SIGINT
+    path: the map returned so far is still a valid partial map). *)
+let run ?on_cell ?on_fresh ?cached ?(stop = fun () -> false) ~check grids =
   List.concat_map
     (fun g ->
-      List.map
+      List.filter_map
         (fun (n, m) ->
-          let expectation =
-            expected ~floor:g.g_floor ~coprime:g.g_coprime ~n ~m
-          in
-          let status = check ~task:g.g_task ~n ~m in
-          let cell = { task = g.g_task; n; m; expectation; status } in
-          (match on_cell with Some f -> f cell | None -> ());
-          cell)
+          if stop () then None
+          else
+            let expectation =
+              expected ~floor:g.g_floor ~coprime:g.g_coprime ~n ~m
+            in
+            let from_cache =
+              match cached with
+              | Some f -> f ~task:g.g_task ~n ~m
+              | None -> None
+            in
+            let status, fresh =
+              match from_cache with
+              | Some s -> (s, false)
+              | None -> (check ~task:g.g_task ~n ~m, true)
+            in
+            let cell = { task = g.g_task; n; m; expectation; status } in
+            if fresh then
+              (match on_fresh with Some f -> f cell | None -> ());
+            (match on_cell with Some f -> f cell | None -> ());
+            Some cell)
         g.g_cells)
     grids
 
@@ -171,6 +288,13 @@ let to_json cells =
         | Safety_broken msg | Deadlock msg ->
             Printf.sprintf "\"detail\": \"%s\"" (json_escape msg)
         | Limit k -> Printf.sprintf "\"limit\": %d" k
+        | Unknown { reason; states; checkpoint } ->
+            Printf.sprintf "\"reason\": \"%s\", \"states\": %d%s"
+              (json_escape reason) states
+              (match checkpoint with
+              | None -> ""
+              | Some p ->
+                  Printf.sprintf ", \"checkpoint\": \"%s\"" (json_escape p))
       in
       Buffer.add_string b
         (Printf.sprintf

@@ -219,15 +219,18 @@ let snapshot_invariant cfg inputs (st : Snapshot_mc.state) =
     many worker domains.  Both engines return the same summary type and
     agree on every verdict (asserted by the differential suite). *)
 let verify_snapshot_model ?(n = 3) ?(inputs = None) ?max_states
-    ?(reduction = false) ?(domains = 1) () =
+    ?(reduction = false) ?(domains = 1) ?governor ?ckpt ?(resume = false) () =
   let inputs = match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1) in
   let cfg = Algorithms.Snapshot.standard ~n in
   if domains > 1 then
+    (* The parallel engine shares no checkpointable sweep position; run
+       it unbudgeted (callers wanting durability use domains = 1). *)
     Snapshot_par_mc.check_all_wirings ?max_states ~reduction ~domains
       ~invariant:(snapshot_invariant cfg inputs)
       ~cfg ~inputs ()
   else
-    Snapshot_mc.check_all_wirings ?max_states ~reduction
+    Snapshot_mc.check_all_wirings ?max_states ~reduction ?governor ?ckpt
+      ~resume
       ~invariant:(snapshot_invariant cfg inputs)
       ~cfg ~inputs ()
 
@@ -247,12 +250,13 @@ module Snapshot_fault_mc =
     territory (a crash-stopped processor is exactly one that is never
     scheduled again). *)
 let verify_snapshot_model_crashes ?(n = 2) ?(inputs = None) ?(max_crashes = 1)
-    ?max_states ?(reduction = false) () =
+    ?max_states ?(reduction = false) ?governor () =
   let inputs =
     match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1)
   in
   let cfg = Algorithms.Snapshot.standard ~n in
   Snapshot_fault_mc.check_all_wirings ?max_states ~max_crashes ~reduction
+    ?governor
     ~invariant:(snapshot_invariant cfg inputs)
     ~cfg ~inputs ()
 
@@ -266,7 +270,7 @@ module Consensus_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Consensus)
     the full algorithm iff it holds for every bound, so each run is a
     genuine bounded-safety certificate. *)
 let verify_consensus_bounded ?(n = 2) ?(inputs = None) ?(max_ts = 5)
-    ?max_states ?(reduction = false) () =
+    ?max_states ?(reduction = false) ?governor () =
   let inputs =
     match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1)
   in
@@ -297,7 +301,8 @@ let verify_consensus_bounded ?(n = 2) ?(inputs = None) ?(max_ts = 5)
     | wiring :: rest -> (
         match
           Consensus_mc.check_exhaustive ?max_states ~fail_on_cycle:false
-            ~reduction ~invariant ~stop_expansion ~cfg ~wiring ~inputs ()
+            ~reduction ?governor ~invariant ~stop_expansion ~cfg ~wiring
+            ~inputs ()
         with
         | Consensus_mc.Dfs_ok s -> go (total + s.Consensus_mc.dfs_states) rest
         | Consensus_mc.Dfs_cycle _ -> assert false
@@ -305,7 +310,12 @@ let verify_consensus_bounded ?(n = 2) ?(inputs = None) ?(max_ts = 5)
             Error
               (Fmt.str "under wiring %a: %s" Anonmem.Wiring.pp wiring message)
         | Consensus_mc.Dfs_state_limit k ->
-            Error (Fmt.str "state limit at %d" k))
+            Error (Fmt.str "state limit at %d" k)
+        | Consensus_mc.Dfs_exhausted { reason; stats } ->
+            Error
+              (Fmt.str "budget exhausted (%a) at %d states"
+                 Modelcheck.Governor.pp_reason reason
+                 stats.Consensus_mc.dfs_states))
   in
   go 0 wirings
 
@@ -354,6 +364,14 @@ type verdict =
                              live processor at least once *)
     }
   | Resource_limit of int
+  | Exhausted of {
+      reason : Modelcheck.Governor.reason;
+      states_visited : int;
+      checkpoint : string option;
+          (** where the engine wrote its final checkpoint, when a
+              checkpoint policy was in force — resuming with the same
+              policy continues exactly where the budget ran out *)
+    }
 
 let pp_verdict ppf = function
   | Verified { wirings; states } ->
@@ -367,6 +385,11 @@ let pp_verdict ppf = function
         Fmt.(list ~sep:(any ", ") (fun ppf p -> Fmt.pf ppf "p%d" (p + 1)))
         live
   | Resource_limit k -> Fmt.pf ppf "state limit hit at %d states" k
+  | Exhausted { reason; states_visited; checkpoint } ->
+      Fmt.pf ppf "budget exhausted (%a) after %d states%a"
+        Modelcheck.Governor.pp_reason reason states_visited
+        Fmt.(option (any "; resume from " ++ string))
+        checkpoint
 
 let verdict_is_verified = function Verified _ -> true | _ -> false
 
@@ -442,7 +465,8 @@ let mutex_liveness ?max_states ~cfg ~wiring ~inputs space =
     the generic engine below so counterexample witnesses stay concrete
     and replayable. *)
 let verify_mutex ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
-    ?(wiring_classes = false) ?(packed = false) () =
+    ?(wiring_classes = false) ?(packed = false) ?governor ?ckpt
+    ?(resume = false) () =
   let cfg = match cfg with Some c -> c | None -> Algorithms.Rt_mutex.cfg ~n ~m in
   let n = Algorithms.Rt_mutex.processors cfg in
   let m = Algorithms.Rt_mutex.registers cfg in
@@ -451,70 +475,120 @@ let verify_mutex ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
     if wiring_classes then Wiring.enumerate_classes ~n ~m
     else Wiring.enumerate ~n ~m ~fix_first:true
   in
+  let wiring_arr = Array.of_list wirings in
   let pws =
     if packed then Some (Modelcheck.Rt_mutex_packed.ws ()) else None
   in
-  let rec go wcount states = function
-    | [] -> Verified { wirings = wcount; states }
-    | wiring :: rest -> (
-        let generic () =
-          match
-            Rt_mutex_mc.explore ?max_states ~reduction
-              ~invariant:(mutex_invariant cfg) ~cfg ~wiring ~inputs ()
-          with
-          | Rt_mutex_mc.State_limit k -> Resource_limit k
-          | Rt_mutex_mc.Invariant_failed (_, v) ->
-              Safety_violation
-                {
-                  wiring;
-                  message = v.Rt_mutex_mc.message;
-                  path = List.map fst v.Rt_mutex_mc.trace;
-                }
-          | Rt_mutex_mc.Explored space -> (
-              let bad_terminal =
-                List.find_map
-                  (fun t ->
-                    match Tasks.Mutex_task.check t with
-                    | Ok () -> None
-                    | Error e -> Some e)
-                  (Rt_mutex_mc.terminal_outcomes space ~group_of_input:Fun.id
-                     ~to_task_output:Fun.id)
-              in
-              match bad_terminal with
-              | Some e ->
-                  Safety_violation
-                    {
-                      wiring;
-                      message = Fmt.str "%a" Tasks.Task_failure.pp e;
-                      path = [];
-                    }
-              | None -> (
-                  match
-                    mutex_liveness ?max_states ~cfg ~wiring ~inputs space
-                  with
-                  | Ok () ->
-                      go (wcount + 1)
-                        (states + Rt_mutex_mc.state_count space)
-                        rest
-                  | Error (live, stem, cycle) ->
-                      Liveness_violation { wiring; live; stem; cycle }))
+  (* Sweep-level resume (packed path): the checkpoint's "sweep" section
+     carries (wiring index, wirings done, states so far); fast-forward
+     to that wiring and let the engine restart it mid-exploration from
+     its own sections.  A missing file on [resume] just runs fresh, so
+     drivers can pass [~resume:true] unconditionally. *)
+  let resume_idx, start_wcount, start_states =
+    match ckpt with
+    | Some p
+      when packed && resume
+           && Sys.file_exists p.Modelcheck.Checkpoint.path -> (
+        let sections =
+          Modelcheck.Checkpoint.load ~path:p.Modelcheck.Checkpoint.path
         in
-        match pws with
-        | None -> generic ()
-        | Some ws -> (
-            match
-              Modelcheck.Rt_mutex_packed.check_wiring ~ws ?max_states ~cfg
-                ~wiring ~inputs ()
-            with
-            | Modelcheck.Rt_mutex_packed.Clean { states = k } ->
-                go (wcount + 1) (states + k) rest
-            | Modelcheck.Rt_mutex_packed.Limit k -> Resource_limit k
-            | Modelcheck.Rt_mutex_packed.Breach
-            | Modelcheck.Rt_mutex_packed.Fair_cycle
-            | Modelcheck.Rt_mutex_packed.Unsupported ->
-                generic ()))
+        match List.assoc_opt "sweep" sections with
+        | None -> (None, 0, 0)
+        | Some b -> (
+            match Modelcheck.Checkpoint.ints_of_bytes b with
+            | [| idx; wcount; states |]
+              when idx >= 0 && idx < Array.length wiring_arr ->
+                (Some idx, wcount, states)
+            | _ ->
+                raise
+                  (Modelcheck.Checkpoint.Corrupt_checkpoint
+                     "verify_mutex: bad sweep section")))
+    | _ -> (None, 0, 0)
   in
-  go 0 0 wirings
+  let rec go idx wcount states =
+    if idx >= Array.length wiring_arr then Verified { wirings = wcount; states }
+    else
+      let wiring = wiring_arr.(idx) in
+      let generic () =
+        match
+          Rt_mutex_mc.explore ?max_states ~reduction ?governor
+            ~invariant:(mutex_invariant cfg) ~cfg ~wiring ~inputs ()
+        with
+        | Rt_mutex_mc.State_limit k -> Resource_limit k
+        | Rt_mutex_mc.Exhausted { reason; states = k } ->
+            Exhausted
+              { reason; states_visited = states + k; checkpoint = None }
+        | Rt_mutex_mc.Invariant_failed (_, v) ->
+            Safety_violation
+              {
+                wiring;
+                message = v.Rt_mutex_mc.message;
+                path = List.map fst v.Rt_mutex_mc.trace;
+              }
+        | Rt_mutex_mc.Explored space -> (
+            let bad_terminal =
+              List.find_map
+                (fun t ->
+                  match Tasks.Mutex_task.check t with
+                  | Ok () -> None
+                  | Error e -> Some e)
+                (Rt_mutex_mc.terminal_outcomes space ~group_of_input:Fun.id
+                   ~to_task_output:Fun.id)
+            in
+            match bad_terminal with
+            | Some e ->
+                Safety_violation
+                  {
+                    wiring;
+                    message = Fmt.str "%a" Tasks.Task_failure.pp e;
+                    path = [];
+                  }
+            | None -> (
+                match
+                  mutex_liveness ?max_states ~cfg ~wiring ~inputs space
+                with
+                | Ok () ->
+                    go (idx + 1) (wcount + 1)
+                      (states + Rt_mutex_mc.state_count space)
+                | Error (live, stem, cycle) ->
+                    Liveness_violation { wiring; live; stem; cycle }))
+      in
+      match pws with
+      | None -> generic ()
+      | Some ws -> (
+          match
+            Modelcheck.Rt_mutex_packed.check_wiring ~ws ?max_states ?governor
+              ?ckpt
+              ~ckpt_extra:
+                [
+                  ( "sweep",
+                    Modelcheck.Checkpoint.bytes_of_ints
+                      [| idx; wcount; states |] );
+                ]
+              ~resume:(resume_idx = Some idx)
+              ~cfg ~wiring ~inputs ()
+          with
+          | Modelcheck.Rt_mutex_packed.Clean { states = k } ->
+              go (idx + 1) (wcount + 1) (states + k)
+          | Modelcheck.Rt_mutex_packed.Limit k -> Resource_limit k
+          | Modelcheck.Rt_mutex_packed.Exhausted { reason; states = k } ->
+              Exhausted
+                {
+                  reason;
+                  states_visited = states + k;
+                  checkpoint =
+                    Option.map
+                      (fun p -> p.Modelcheck.Checkpoint.path)
+                      ckpt;
+                }
+          | Modelcheck.Rt_mutex_packed.Breach
+          | Modelcheck.Rt_mutex_packed.Fair_cycle
+          | Modelcheck.Rt_mutex_packed.Unsupported ->
+              generic ())
+  in
+  match resume_idx with
+  | Some idx -> go idx start_wcount start_states
+  | None -> go 0 0 0
 
 (** Name distinctness as a state invariant (inputs are distinct
     identities, so any repeated acquired name is a violation).  The
@@ -573,7 +647,7 @@ let naming_liveness ?max_states ~cfg ~wiring ~inputs space =
     outcomes, and deadlock-freedom by fair-SCC search.  The layer runs
     above the mutex, so its feasibility inherits the mutex threshold. *)
 let verify_naming ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
-    ?(wiring_classes = false) () =
+    ?(wiring_classes = false) ?governor () =
   let cfg = match cfg with Some c -> c | None -> Algorithms.Naming.cfg ~n ~m in
   let n = Algorithms.Naming.processors cfg in
   let m = Algorithms.Naming.registers cfg in
@@ -586,10 +660,13 @@ let verify_naming ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
     | [] -> Verified { wirings = wcount; states }
     | wiring :: rest -> (
         match
-          Naming_mc.explore ?max_states ~reduction
+          Naming_mc.explore ?max_states ~reduction ?governor
             ~invariant:(naming_invariant cfg) ~cfg ~wiring ~inputs ()
         with
         | Naming_mc.State_limit k -> Resource_limit k
+        | Naming_mc.Exhausted { reason; states = k } ->
+            Exhausted
+              { reason; states_visited = states + k; checkpoint = None }
         | Naming_mc.Invariant_failed (_, v) ->
             Safety_violation
               {
@@ -648,7 +725,7 @@ let leader_invariant cfg (st : Weak_leader_mc.state) =
     violations here — no fair-SCC pass needed).  A wait-freedom breach
     reports the spinning processors as a liveness violation. *)
 let verify_leader ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
-    ?(wiring_classes = false) () =
+    ?(wiring_classes = false) ?governor () =
   let cfg =
     match cfg with Some c -> c | None -> Algorithms.Weak_leader.cfg ~n ~m
   in
@@ -664,8 +741,8 @@ let verify_leader ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
     | wiring :: rest -> (
         match
           Weak_leader_mc.check_exhaustive ?max_states ~fail_on_cycle:true
-            ~reduction ~invariant:(leader_invariant cfg) ~cfg ~wiring ~inputs
-            ()
+            ~reduction ?governor ~invariant:(leader_invariant cfg) ~cfg
+            ~wiring ~inputs ()
         with
         | Weak_leader_mc.Dfs_ok stats ->
             go (wcount + 1) (states + stats.Weak_leader_mc.dfs_states) rest
@@ -674,7 +751,14 @@ let verify_leader ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
         | Weak_leader_mc.Dfs_cycle { processors; _ } ->
             Liveness_violation
               { wiring; live = processors; stem = []; cycle = [] }
-        | Weak_leader_mc.Dfs_state_limit k -> Resource_limit k)
+        | Weak_leader_mc.Dfs_state_limit k -> Resource_limit k
+        | Weak_leader_mc.Dfs_exhausted { reason; stats } ->
+            Exhausted
+              {
+                reason;
+                states_visited = states + stats.Weak_leader_mc.dfs_states;
+                checkpoint = None;
+              })
   in
   go 0 0 wirings
 
@@ -683,27 +767,37 @@ let verify_leader ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
     mutex under crash-stop) but exclusion must survive.  Exhaustive over
     wirings, interleavings and crash placements. *)
 let verify_mutex_crashes ?(n = 2) ?(m = 3) ?cfg ?(max_crashes = 1) ?max_states
-    ?(reduction = false) () =
+    ?(reduction = false) ?governor () =
   let cfg = match cfg with Some c -> c | None -> Algorithms.Rt_mutex.cfg ~n ~m in
   let n = Algorithms.Rt_mutex.processors cfg in
   let inputs = Array.init n (fun i -> i + 1) in
   Rt_mutex_fault_mc.check_all_wirings ?max_states ~max_crashes ~reduction
-    ~invariant:(mutex_invariant cfg) ~cfg ~inputs ()
+    ?governor ~invariant:(mutex_invariant cfg) ~cfg ~inputs ()
 
 (** Name distinctness under at most [max_crashes] crash-stops. *)
 let verify_naming_crashes ?(n = 2) ?(m = 3) ?cfg ?(max_crashes = 1) ?max_states
-    ?(reduction = false) () =
+    ?(reduction = false) ?governor () =
   let cfg = match cfg with Some c -> c | None -> Algorithms.Naming.cfg ~n ~m in
   let n = Algorithms.Naming.processors cfg in
   let inputs = Array.init n (fun i -> i + 1) in
   Naming_fault_mc.check_all_wirings ?max_states ~max_crashes ~reduction
-    ~invariant:(naming_invariant cfg) ~cfg ~inputs ()
+    ?governor ~invariant:(naming_invariant cfg) ~cfg ~inputs ()
 
 (** Glue between the verifiers above and the pure map of
     {!Analysis.Feasibility}: classify one cell of the (task, n, m) grid
-    by exhaustive model checking. *)
+    by exhaustive model checking.
+
+    Durable-run knobs: [wall_seconds] / [heap_words] / [quota] bound the
+    cell with a fresh {!Modelcheck.Governor} (disposed afterwards);
+    [interrupted_flag] is shared across cells so one SIGINT stops the
+    whole sweep; [ckpt_dir] enables engine checkpointing (the packed
+    mutex path) to [ckpt_dir/task-n-m.ckpt], with resume always on — a
+    budget-exhausted or interrupted cell classifies as
+    {!Analysis.Feasibility.Unknown} carrying the checkpoint path, and
+    re-running the same cell with the same [ckpt_dir] continues from it. *)
 let feasibility_check ?max_states ?(reduction = false)
-    ?(wiring_classes = false) ~task ~n ~m () =
+    ?(wiring_classes = false) ?wall_seconds ?heap_words ?quota
+    ?interrupted_flag ?ckpt_dir ~task ~n ~m () =
   let classify = function
     | Verified { wirings; states } ->
         Analysis.Feasibility.Solved { wirings; states }
@@ -714,27 +808,74 @@ let feasibility_check ?max_states ?(reduction = false)
              Fmt.(list ~sep:(any ", ") (fun ppf p -> Fmt.pf ppf "p%d" (p + 1)))
              live)
     | Resource_limit k -> Analysis.Feasibility.Limit k
+    | Exhausted { reason; states_visited; checkpoint } ->
+        Analysis.Feasibility.Unknown
+          {
+            reason = Modelcheck.Governor.reason_to_string reason;
+            states = states_visited;
+            checkpoint;
+          }
   in
-  match task with
-  | "mutex" ->
-      classify
-        (verify_mutex ~n ~m ?max_states ~reduction ~wiring_classes
-           ~packed:true ())
-  | "naming" ->
-      classify (verify_naming ~n ~m ?max_states ~reduction ~wiring_classes ())
-  | "leader" ->
-      classify (verify_leader ~n ~m ?max_states ~reduction ~wiring_classes ())
-  | t -> invalid_arg (Fmt.str "feasibility_check: unknown task %S" t)
+  let budgeted =
+    wall_seconds <> None || heap_words <> None || quota <> None
+    || interrupted_flag <> None
+  in
+  let governor =
+    if budgeted then
+      Some
+        (Modelcheck.Governor.create ?wall_seconds ?heap_words ?quota
+           ?interrupted_flag ())
+    else None
+  in
+  let ckpt =
+    Option.map
+      (fun dir ->
+        {
+          Modelcheck.Checkpoint.path =
+            Filename.concat dir (Fmt.str "%s-%d-%d.ckpt" task n m);
+          every_states = 100_000;
+        })
+      ckpt_dir
+  in
+  let verdict =
+    match task with
+    | "mutex" ->
+        verify_mutex ~n ~m ?max_states ~reduction ~wiring_classes
+          ~packed:true ?governor ?ckpt ~resume:true ()
+    | "naming" ->
+        verify_naming ~n ~m ?max_states ~reduction ~wiring_classes ?governor
+          ()
+    | "leader" ->
+        verify_leader ~n ~m ?max_states ~reduction ~wiring_classes ?governor
+          ()
+    | t ->
+        Option.iter Modelcheck.Governor.dispose governor;
+        invalid_arg (Fmt.str "feasibility_check: unknown task %S" t)
+  in
+  Option.iter Modelcheck.Governor.dispose governor;
+  (* A finished cell's checkpoint is dead weight (and would poison a
+     re-run with a stale context): drop it. *)
+  (match (verdict, ckpt) with
+  | (Verified _ | Safety_violation _ | Liveness_violation _), Some p
+    when Sys.file_exists p.Modelcheck.Checkpoint.path ->
+      Sys.remove p.Modelcheck.Checkpoint.path
+  | _ -> ());
+  classify verdict
 
 (** The empirical feasibility map: every cell of the portfolio grids
     checked exhaustively, each verdict compared against the
     coprimality-threshold prediction.  [quick] restricts to the [n = 2]
-    rows (the smoke budget). *)
+    rows (the smoke budget).  [cached] / [on_fresh] / [stop] are the
+    durable-run hooks of {!Analysis.Feasibility.run} (journal replay,
+    journal append, interrupt); the budget knobs are per cell, as in
+    {!feasibility_check}. *)
 let feasibility_map ?(quick = false) ?max_states ?reduction ?wiring_classes
-    ?on_cell () =
-  Analysis.Feasibility.run ?on_cell
+    ?wall_seconds ?heap_words ?quota ?interrupted_flag ?ckpt_dir ?on_cell
+    ?on_fresh ?cached ?stop () =
+  Analysis.Feasibility.run ?on_cell ?on_fresh ?cached ?stop
     ~check:(fun ~task ~n ~m ->
-      feasibility_check ?max_states ?reduction ?wiring_classes ~task ~n ~m ())
+      feasibility_check ?max_states ?reduction ?wiring_classes ?wall_seconds
+        ?heap_words ?quota ?interrupted_flag ?ckpt_dir ~task ~n ~m ())
     (Analysis.Feasibility.grids ~quick ())
 
 module Snapshot_witness = Modelcheck.Witness.Search (Algorithms.Snapshot)

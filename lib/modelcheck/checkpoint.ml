@@ -1,0 +1,159 @@
+(* Section-framed checkpoint container for the durable-run layer.  See
+   checkpoint.mli for the format; the invariants that matter here:
+
+   - [save] is atomic: the image is written to [path ^ ".tmp"], fsynced,
+     and renamed over [path], so a crash at any instruction leaves either
+     the previous checkpoint or the new one — never a torn file.
+   - every payload carries a 64-bit FNV checksum, validated on [load];
+     any mismatch, truncation or framing error raises
+     [Corrupt_checkpoint] — a structured error, never a crash and never
+     a silently wrong answer.
+   - [set_torn_write] is the chaos hook: the next [save] writes only a
+     prefix of the tmp file and raises [Simulated_crash] *before* the
+     rename, exactly the failure mode a power cut produces. *)
+
+exception Corrupt_checkpoint of string
+exception Simulated_crash
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt_checkpoint s)) fmt
+let magic = "ANONCKP1"
+
+(* 64-bit FNV-1a over a byte range, folded into OCaml's nonnegative int
+   range the same way State_table.hash folds it — deterministic across
+   runs, which is all a torn-write detector needs. *)
+let fnv_offset = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let checksum buf off len =
+  let h = ref fnv_offset in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get buf i)) * fnv_prime
+  done;
+  !h land max_int
+
+(* --- little-endian integer helpers ----------------------------------- *)
+
+let put_u64 buf off v = Bytes.set_int64_le buf off (Int64.of_int v)
+
+let get_u64 buf off =
+  let v = Int64.to_int (Bytes.get_int64_le buf off) in
+  if v < 0 then corrupt "64-bit field at offset %d out of int range" off;
+  v
+
+(* --- int-array payloads ----------------------------------------------- *)
+
+let bytes_of_ints a =
+  let b = Bytes.create (8 * Array.length a) in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.of_int v)) a;
+  b
+
+let ints_of_bytes b =
+  if Bytes.length b mod 8 <> 0 then
+    corrupt "int-array payload of %d bytes (not a multiple of 8)"
+      (Bytes.length b);
+  Array.init (Bytes.length b / 8) (fun i ->
+      Int64.to_int (Bytes.get_int64_le b (8 * i)))
+
+(* --- framing ----------------------------------------------------------- *)
+
+let to_bytes sections =
+  let total =
+    List.fold_left
+      (fun acc (tag, payload) ->
+        acc + 2 + String.length tag + 16 + Bytes.length payload)
+      (String.length magic + 4)
+      sections
+  in
+  let b = Bytes.create total in
+  Bytes.blit_string magic 0 b 0 (String.length magic);
+  Bytes.set_int32_le b (String.length magic)
+    (Int32.of_int (List.length sections));
+  let off = ref (String.length magic + 4) in
+  List.iter
+    (fun (tag, payload) ->
+      let tl = String.length tag and pl = Bytes.length payload in
+      if tl > 0xFFFF then invalid_arg "Checkpoint.to_bytes: tag too long";
+      Bytes.set_uint16_le b !off tl;
+      Bytes.blit_string tag 0 b (!off + 2) tl;
+      put_u64 b (!off + 2 + tl) pl;
+      put_u64 b (!off + 2 + tl + 8) (checksum payload 0 pl);
+      Bytes.blit payload 0 b (!off + 2 + tl + 16) pl;
+      off := !off + 2 + tl + 16 + pl)
+    sections;
+  b
+
+let of_bytes b =
+  let len = Bytes.length b in
+  if len < String.length magic + 4 then corrupt "truncated header (%d bytes)" len;
+  if Bytes.sub_string b 0 (String.length magic) <> magic then
+    corrupt "bad magic (not a checkpoint file)";
+  let nsec = Int32.to_int (Bytes.get_int32_le b (String.length magic)) in
+  if nsec < 0 || nsec > 0xFFFF then corrupt "implausible section count %d" nsec;
+  let off = ref (String.length magic + 4) in
+  let sections = ref [] in
+  for s = 0 to nsec - 1 do
+    if !off + 2 > len then corrupt "truncated at section %d tag length" s;
+    let tl = Bytes.get_uint16_le b !off in
+    if !off + 2 + tl + 16 > len then corrupt "truncated at section %d header" s;
+    let tag = Bytes.sub_string b (!off + 2) tl in
+    let pl = get_u64 b (!off + 2 + tl) in
+    let crc = get_u64 b (!off + 2 + tl + 8) in
+    let poff = !off + 2 + tl + 16 in
+    if pl < 0 || poff + pl > len then
+      corrupt "truncated payload in section %S (%d bytes claimed)" tag pl;
+    if checksum b poff pl <> crc then corrupt "checksum mismatch in section %S" tag;
+    sections := (tag, Bytes.sub b poff pl) :: !sections;
+    off := poff + pl
+  done;
+  if !off <> len then corrupt "%d trailing bytes after last section" (len - !off);
+  List.rev !sections
+
+let find tag sections =
+  match List.assoc_opt tag sections with
+  | Some payload -> payload
+  | None -> corrupt "missing section %S" tag
+
+(* --- atomic file I/O --------------------------------------------------- *)
+
+let torn_write : int option ref = ref None
+let set_torn_write n = torn_write := n
+
+let save ~path sections =
+  let image = to_bytes sections in
+  let tmp = path ^ ".tmp" in
+  let write_prefix n =
+    let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+    let rec go off remaining =
+      if remaining > 0 then
+        let w = Unix.write fd image off remaining in
+        go (off + w) (remaining - w)
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        go 0 n;
+        Unix.fsync fd)
+  in
+  match !torn_write with
+  | Some n ->
+      torn_write := None;
+      write_prefix (min n (Bytes.length image));
+      raise Simulated_crash
+  | None ->
+      write_prefix (Bytes.length image);
+      Sys.rename tmp path
+
+let load ~path =
+  let ic = open_in_bin path in
+  let image =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let b = Bytes.create len in
+        really_input ic b 0 len;
+        b)
+  in
+  of_bytes image
+
+type policy = { path : string; every_states : int }

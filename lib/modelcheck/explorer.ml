@@ -237,6 +237,10 @@ module Make (P : CHECKABLE) = struct
     | Explored of space
     | Invariant_failed of space * violation
     | State_limit of int  (** exploration aborted at this many states *)
+    | Exhausted of { reason : Governor.reason; states : int }
+        (** a resource governor tripped; a final checkpoint was written
+            when a checkpoint policy was in force, so the run is
+            resumable *)
 
   (* Parent words store the packed value plus one so the root's -1 becomes
      0, the natural zero of the unsigned packed representation. *)
@@ -271,18 +275,72 @@ module Make (P : CHECKABLE) = struct
       canonical orbit minima); invariant and [stop_expansion] must then be
       symmetric predicates. *)
   let explore ?(max_states = 50_000_000) ?invariant ?stop_expansion ?progress
-      ?(reduction = false) ~cfg ~wiring ~inputs () =
+      ?(reduction = false) ?governor ?ckpt ?(resume = false) ~cfg ~wiring
+      ~inputs () =
     guard_processors ~engine:"Explorer.explore" (P.processors cfg);
     let canon = if reduction then Some (canon_of ~cfg ~wiring ~inputs) else None in
     let canonical key =
       match canon with Some c -> Canon.canonicalize c key | None -> key
     in
-    let table = State_table.create ~log2_slots:16 ~key_width:(key_width cfg) () in
-    let parent = State_table.Packed_vec.create ~stride:5 () in
-    let succ = State_table.Packed_vec.create ~stride:5 () in
-    let deg = State_table.Packed_vec.create ~stride:1 () in
-    let terminal = ref [] in
+    (* Fingerprint of everything the checkpoint's meaning depends on: the
+       canonical initial key pins cfg and inputs, the wiring string pins
+       the step relation.  A mismatched resume is a structured error, not
+       a silently wrong exploration. *)
+    let context =
+      Fmt.str "bfs|%d|%a|%b|%S" (key_width cfg) Anonmem.Wiring.pp wiring
+        reduction
+        (canonical (encode_state cfg (init_state ~cfg ~inputs)))
+    in
+    let resumed =
+      match ckpt with
+      | Some { Checkpoint.path; _ } when resume && Sys.file_exists path ->
+          let sections = Checkpoint.load ~path in
+          let ctx = Bytes.to_string (Checkpoint.find "context" sections) in
+          if not (String.equal ctx context) then
+            raise
+              (Checkpoint.Corrupt_checkpoint
+                 "Explorer.explore: checkpoint context mismatch");
+          Some sections
+      | _ -> None
+    in
+    let table, parent, succ, deg, terminal =
+      match resumed with
+      | Some sections ->
+          ( State_table.deserialize (Checkpoint.find "table" sections),
+            State_table.Packed_vec.deserialize
+              (Checkpoint.find "parent" sections),
+            State_table.Packed_vec.deserialize (Checkpoint.find "succ" sections),
+            State_table.Packed_vec.deserialize (Checkpoint.find "deg" sections),
+            ref
+              (Array.to_list
+                 (Checkpoint.ints_of_bytes (Checkpoint.find "terminal" sections)))
+          )
+      | None ->
+          ( State_table.create ~log2_slots:16 ~key_width:(key_width cfg) (),
+            State_table.Packed_vec.create ~stride:5 (),
+            State_table.Packed_vec.create ~stride:5 (),
+            State_table.Packed_vec.create ~stride:1 (),
+            ref [] )
+    in
+    let save_ckpt path =
+      Checkpoint.save ~path
+        [
+          ("context", Bytes.of_string context);
+          ("table", State_table.serialize table);
+          ("parent", State_table.Packed_vec.serialize parent);
+          ("succ", State_table.Packed_vec.serialize succ);
+          ("deg", State_table.Packed_vec.serialize deg);
+          ("terminal", Checkpoint.bytes_of_ints (Array.of_list !terminal));
+        ]
+    in
     let queue = Queue.create () in
+    (* BFS pops ids in ascending order, so the frontier is exactly the
+       ids discovered but not yet popped: [deg length, table length). *)
+    if resumed <> None then
+      for id = State_table.Packed_vec.length deg to State_table.length table - 1
+      do
+        Queue.add id queue
+      done;
     let violation = ref None in
     let add_state st ~from =
       let key = canonical (encode_state cfg st) in
@@ -308,9 +366,32 @@ module Make (P : CHECKABLE) = struct
       end;
       id
     in
-    ignore (add_state (init_state ~cfg ~inputs) ~from:(-1));
+    if resumed = None then
+      ignore (add_state (init_state ~cfg ~inputs) ~from:(-1));
     let limit_hit = ref false in
-    while (not (Queue.is_empty queue)) && !violation = None && not !limit_hit do
+    let exhausted = ref None in
+    while
+      (not (Queue.is_empty queue))
+      && !violation = None && (not !limit_hit) && !exhausted = None
+    do
+      (* Loop top is the consistent point: the previous pop's edges and
+         degree row are complete, the frontier is [deg length, count). *)
+      (match ckpt with
+      | Some { Checkpoint.path; every_states } when every_states > 0 ->
+          let pops = State_table.Packed_vec.length deg in
+          if pops > 0 && pops mod every_states = 0 then save_ckpt path
+      | _ -> ());
+      (match governor with
+      | Some g -> (
+          match Governor.tick g with
+          | Some reason ->
+              exhausted := Some reason;
+              (match ckpt with
+              | Some { Checkpoint.path; _ } -> save_ckpt path
+              | None -> ())
+          | None -> ())
+      | None -> ());
+      if !exhausted = None then begin
       let id = Queue.pop queue in
       let st = decode_state cfg (State_table.key_of_id table id) in
       let expand =
@@ -339,8 +420,15 @@ module Make (P : CHECKABLE) = struct
       ignore
         (State_table.Packed_vec.push deg
            (State_table.Packed_vec.length succ - edges_before))
+      end
     done;
-    if !limit_hit then State_limit (State_table.length table)
+    if !exhausted <> None then
+      Exhausted
+        {
+          reason = Option.get !exhausted;
+          states = State_table.length table;
+        }
+    else if !limit_hit then State_limit (State_table.length table)
     else begin
       let space =
         {
@@ -592,21 +680,49 @@ module Make (P : CHECKABLE) = struct
         stats : dfs_stats;
       }
     | Dfs_state_limit of int
+    | Dfs_exhausted of { reason : Governor.reason; stats : dfs_stats }
+        (** a resource governor tripped mid-search; resumable when a
+            checkpoint policy was in force *)
 
   (** [fail_on_cycle] (default true) reports the first cycle as a
       wait-freedom violation; pass [false] for protocols that are only
       obstruction-free (e.g. consensus), where cycles are expected and only
       the invariant is being checked. *)
   let check_exhaustive ?(max_states = 100_000_000) ?(fail_on_cycle = true)
-      ?invariant ?stop_expansion ?progress ?(reduction = false) ~cfg ~wiring
-      ~inputs () =
+      ?invariant ?stop_expansion ?progress ?(reduction = false) ?governor
+      ?ckpt ?(resume = false) ?(ckpt_extra = []) ~cfg ~wiring ~inputs () =
     guard_processors ~engine:"Explorer.check_exhaustive" (P.processors cfg);
     let canon = if reduction then Some (canon_of ~cfg ~wiring ~inputs) else None in
     let canonical key =
       match canon with Some c -> Canon.canonicalize c key | None -> key
     in
-    let table = State_table.create ~log2_slots:20 ~key_width:(key_width cfg) () in
-    let colors = State_table.Packed_vec.create ~stride:1 () in
+    let context =
+      Fmt.str "dfs|%d|%a|%b|%b|%S" (key_width cfg) Anonmem.Wiring.pp wiring
+        reduction fail_on_cycle
+        (canonical (encode_state cfg (init_state ~cfg ~inputs)))
+    in
+    let resumed =
+      match ckpt with
+      | Some { Checkpoint.path; _ } when resume && Sys.file_exists path ->
+          let sections = Checkpoint.load ~path in
+          let ctx = Bytes.to_string (Checkpoint.find "context" sections) in
+          if not (String.equal ctx context) then
+            raise
+              (Checkpoint.Corrupt_checkpoint
+                 "Explorer.check_exhaustive: checkpoint context mismatch");
+          Some sections
+      | _ -> None
+    in
+    let table, colors =
+      match resumed with
+      | Some sections ->
+          ( State_table.deserialize (Checkpoint.find "table" sections),
+            State_table.Packed_vec.deserialize
+              (Checkpoint.find "colors" sections) )
+      | None ->
+          ( State_table.create ~log2_slots:20 ~key_width:(key_width cfg) (),
+            State_table.Packed_vec.create ~stride:1 () )
+    in
     (* 1 = gray (on the DFS path), 2 = black (done) *)
     let n = P.processors cfg in
     let transitions = ref 0 and terminals = ref 0 and max_depth = ref 0 in
@@ -623,6 +739,59 @@ module Make (P : CHECKABLE) = struct
        processor index to try).  The decoded state is rebuilt per
        successor; keeping it would bloat the path. *)
     let stack = ref [] and depth = ref 0 in
+    (match resumed with
+    | Some sections ->
+        let frames =
+          Checkpoint.ints_of_bytes (Checkpoint.find "frames" sections)
+        in
+        if Array.length frames mod 4 <> 0 then
+          raise
+            (Checkpoint.Corrupt_checkpoint
+               "Explorer.check_exhaustive: frame section not a multiple of 4 \
+                ints");
+        (* Stored bottom-to-top; consing rebuilds head = deepest frame.
+           Keys are recovered from the table arena, not stored twice. *)
+        for i = 0 to (Array.length frames / 4) - 1 do
+          let id = frames.(4 * i) in
+          stack :=
+            ( id,
+              State_table.key_of_id table id,
+              frames.((4 * i) + 1),
+              ref frames.((4 * i) + 2),
+              ref (frames.((4 * i) + 3) = 1) )
+            :: !stack
+        done;
+        let counters =
+          Checkpoint.ints_of_bytes (Checkpoint.find "counters" sections)
+        in
+        if Array.length counters <> 4 then
+          raise
+            (Checkpoint.Corrupt_checkpoint
+               "Explorer.check_exhaustive: counter section of wrong length");
+        transitions := counters.(0);
+        terminals := counters.(1);
+        max_depth := counters.(2);
+        depth := counters.(3)
+    | None -> ());
+    let save_ckpt path =
+      let frames =
+        List.rev !stack
+        |> List.concat_map (fun (id, _, entered_by, next_p, any_enabled) ->
+               [ id; entered_by; !next_p; (if !any_enabled then 1 else 0) ])
+        |> Array.of_list
+      in
+      Checkpoint.save ~path
+        ([
+           ("context", Bytes.of_string context);
+           ("table", State_table.serialize table);
+           ("colors", State_table.Packed_vec.serialize colors);
+           ("frames", Checkpoint.bytes_of_ints frames);
+           ( "counters",
+             Checkpoint.bytes_of_ints
+               [| !transitions; !terminals; !max_depth; !depth |] );
+         ]
+        @ ckpt_extra)
+    in
     (* Only called for keys [probe]d absent, so [intern] always inserts and
        the returned id equals the colors index pushed alongside. *)
     let add_state key ~entered_by st =
@@ -672,11 +841,33 @@ module Make (P : CHECKABLE) = struct
       if !depth > !max_depth then max_depth := !depth;
       id
     in
-    let init = init_state ~cfg ~inputs in
-    let key0 = canonical (encode_state cfg init) in
-    ignore (add_state key0 ~entered_by:(-1) init);
+    (if resumed = None then
+       let init = init_state ~cfg ~inputs in
+       let key0 = canonical (encode_state cfg init) in
+       ignore (add_state key0 ~entered_by:(-1) init));
     let limit = ref false in
-    while !stack <> [] && !outcome = None && not !limit do
+    let exhausted = ref None in
+    let ticks = ref 0 in
+    while
+      !stack <> [] && !outcome = None && (not !limit) && !exhausted = None
+    do
+      incr ticks;
+      (match ckpt with
+      | Some { Checkpoint.path; every_states }
+        when every_states > 0 && !ticks mod every_states = 0 ->
+          save_ckpt path
+      | _ -> ());
+      (match governor with
+      | Some g -> (
+          match Governor.tick g with
+          | Some reason ->
+              exhausted := Some reason;
+              (match ckpt with
+              | Some { Checkpoint.path; _ } -> save_ckpt path
+              | None -> ())
+          | None -> ())
+      | None -> ());
+      if !exhausted = None then begin
       match !stack with
       | [] -> ()
       | (id, key, _, next_p, any_enabled) :: rest ->
@@ -730,8 +921,11 @@ module Make (P : CHECKABLE) = struct
                   end
             end
           end
+      end
     done;
-    if !limit then Dfs_state_limit (State_table.length table)
+    if !exhausted <> None then
+      Dfs_exhausted { reason = Option.get !exhausted; stats = stats () }
+    else if !limit then Dfs_state_limit (State_table.length table)
     else match !outcome with Some r -> r | None -> Dfs_ok (stats ())
 
   (** Check an invariant and wait-freedom across a set of wirings —
@@ -741,58 +935,112 @@ module Make (P : CHECKABLE) = struct
       each per-wiring result as it completes.  [~reduction:true]
       additionally quotients each per-wiring space by its anonymity
       symmetries. *)
+  (* Sweep position for multi-wiring checkpoints: the wiring index plus
+     the summary accumulated over the wirings *before* it.  Stored as an
+     extra section in the per-wiring DFS checkpoint, so one file resumes
+     both the in-flight wiring and the sweep around it. *)
+  let sweep_to_ints idx s =
+    [|
+      idx;
+      s.wirings_checked;
+      s.total_states;
+      s.max_space_states;
+      s.total_transitions;
+      s.terminal_states;
+      (if s.all_wait_free then 1 else 0);
+    |]
+
+  let sweep_of_ints a =
+    if Array.length a <> 7 then
+      raise
+        (Checkpoint.Corrupt_checkpoint "sweep section of wrong length");
+    ( a.(0),
+      {
+        wirings_checked = a.(1);
+        total_states = a.(2);
+        max_space_states = a.(3);
+        total_transitions = a.(4);
+        terminal_states = a.(5);
+        all_wait_free = a.(6) = 1;
+      } )
+
   let check_all_wirings ?max_states ?invariant ?(require_wait_free = true)
-      ?on_wiring ?wirings ?(reduction = false) ~cfg ~inputs () =
+      ?on_wiring ?wirings ?(reduction = false) ?governor ?ckpt
+      ?(resume = false) ~cfg ~inputs () =
     let n = P.processors cfg and m = P.registers cfg in
     let wirings =
       match wirings with
       | Some ws -> ws
       | None -> Anonmem.Wiring.enumerate ~n ~m ~fix_first:true
     in
-    let rec go summary = function
-      | [] -> Ok summary
-      | wiring :: rest -> (
-          match
-            check_exhaustive ?max_states ?invariant ~reduction ~cfg ~wiring
-              ~inputs ()
-          with
-          | Dfs_state_limit k -> Error (Fmt.str "state limit hit at %d states" k)
-          | Dfs_invariant_failed { message; _ } ->
-              Error
-                (Fmt.str "invariant violated under wiring %a: %s"
-                   Anonmem.Wiring.pp wiring message)
-          | Dfs_cycle { processors; stats } ->
-              let summary =
-                {
-                  summary with
-                  wirings_checked = summary.wirings_checked + 1;
-                  total_states = summary.total_states + stats.dfs_states;
-                  all_wait_free = false;
-                }
-              in
-              (match on_wiring with Some f -> f wiring summary | None -> ());
-              if require_wait_free then
-                Error
-                  (Fmt.str
-                     "wait-freedom violated under wiring %a: processors %a diverge"
-                     Anonmem.Wiring.pp wiring
-                     Fmt.(list ~sep:comma int)
-                     processors)
-              else go summary rest
-          | Dfs_ok stats ->
-              let summary =
-                {
-                  summary with
-                  wirings_checked = summary.wirings_checked + 1;
-                  total_states = summary.total_states + stats.dfs_states;
-                  max_space_states = max summary.max_space_states stats.dfs_states;
-                  total_transitions =
-                    summary.total_transitions + stats.dfs_transitions;
-                  terminal_states = summary.terminal_states + stats.dfs_terminals;
-                }
-              in
-              (match on_wiring with Some f -> f wiring summary | None -> ());
-              go summary rest)
+    let wiring_arr = Array.of_list wirings in
+    let start_idx, start_summary, resume_idx =
+      match ckpt with
+      | Some { Checkpoint.path; _ } when resume && Sys.file_exists path ->
+          let sections = Checkpoint.load ~path in
+          let idx, s =
+            sweep_of_ints
+              (Checkpoint.ints_of_bytes (Checkpoint.find "sweep" sections))
+          in
+          if idx < 0 || idx >= Array.length wiring_arr then
+            raise
+              (Checkpoint.Corrupt_checkpoint
+                 "sweep index outside the wiring list");
+          (idx, s, Some idx)
+      | _ -> (0, empty_summary, None)
     in
-    go empty_summary wirings
+    let rec go idx summary =
+      if idx >= Array.length wiring_arr then Ok summary
+      else
+        let wiring = wiring_arr.(idx) in
+        let ckpt_extra =
+          [ ("sweep", Checkpoint.bytes_of_ints (sweep_to_ints idx summary)) ]
+        in
+        match
+          check_exhaustive ?max_states ?invariant ~reduction ?governor ?ckpt
+            ~resume:(resume_idx = Some idx) ~ckpt_extra ~cfg ~wiring ~inputs ()
+        with
+        | Dfs_exhausted { reason; stats } ->
+            Error
+              (Fmt.str "exhausted (%a) at %d states" Governor.pp_reason reason
+                 stats.dfs_states)
+        | Dfs_state_limit k -> Error (Fmt.str "state limit hit at %d states" k)
+        | Dfs_invariant_failed { message; _ } ->
+            Error
+              (Fmt.str "invariant violated under wiring %a: %s"
+                 Anonmem.Wiring.pp wiring message)
+        | Dfs_cycle { processors; stats } ->
+            let summary =
+              {
+                summary with
+                wirings_checked = summary.wirings_checked + 1;
+                total_states = summary.total_states + stats.dfs_states;
+                all_wait_free = false;
+              }
+            in
+            (match on_wiring with Some f -> f wiring summary | None -> ());
+            if require_wait_free then
+              Error
+                (Fmt.str
+                   "wait-freedom violated under wiring %a: processors %a diverge"
+                   Anonmem.Wiring.pp wiring
+                   Fmt.(list ~sep:comma int)
+                   processors)
+            else go (idx + 1) summary
+        | Dfs_ok stats ->
+            let summary =
+              {
+                summary with
+                wirings_checked = summary.wirings_checked + 1;
+                total_states = summary.total_states + stats.dfs_states;
+                max_space_states = max summary.max_space_states stats.dfs_states;
+                total_transitions =
+                  summary.total_transitions + stats.dfs_transitions;
+                terminal_states = summary.terminal_states + stats.dfs_terminals;
+              }
+            in
+            (match on_wiring with Some f -> f wiring summary | None -> ());
+            go (idx + 1) summary
+    in
+    go start_idx start_summary
 end

@@ -53,6 +53,9 @@ module Make (P : Explorer.CHECKABLE) = struct
     | Safe of stats
     | Invariant_failed of violation
     | State_limit of int
+    | Exhausted of { reason : Governor.reason; states : int }
+        (** a resource governor tripped; resumable when a checkpoint
+            policy was in force *)
 
   let popcount mask =
     let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
@@ -63,22 +66,14 @@ module Make (P : Explorer.CHECKABLE) = struct
      edges from protocol steps.  The crash mask occupies one key byte, so
      at most 8 processors are supported (structured rejection beyond). *)
   let explore ?(max_states = 50_000_000) ?(max_crashes = 1)
-      ?(reduction = false) ~invariant ~cfg ~wiring ~inputs () =
+      ?(reduction = false) ?governor ?ckpt ?(resume = false) ~invariant ~cfg
+      ~wiring ~inputs () =
     let n = P.processors cfg in
     Explorer.guard_processors ~engine:"Fault_explorer.explore" ~limit:8 n;
     if max_crashes < 0 then invalid_arg "Fault_explorer.explore: max_crashes";
     let canon =
       if reduction then Some (E.canon_of ~cfg ~wiring ~inputs) else None
     in
-    (* Keys are the core encoded state plus one crash-mask byte. *)
-    let table =
-      State_table.create ~log2_slots:16 ~key_width:(E.key_width cfg + 1) ()
-    in
-    (* Packed parent words plus one, so the root's -1 packs to 0. *)
-    let parent = State_table.Packed_vec.create ~stride:5 () in
-    let queue = Queue.create () in
-    let violation = ref None in
-    let transitions = ref 0 and crash_branches = ref 0 in
     let raw_key st mask =
       E.encode_state cfg st ^ String.make 1 (Char.chr mask)
     in
@@ -92,6 +87,70 @@ module Make (P : Explorer.CHECKABLE) = struct
       | Some c -> Canon.canonicalize_masked c raw
       | None -> raw
     in
+    let context =
+      Fmt.str "fault|%d|%d|%a|%b|%S"
+        (E.key_width cfg + 1)
+        max_crashes Anonmem.Wiring.pp wiring reduction
+        (key_of (E.init_state ~cfg ~inputs) 0)
+    in
+    let resumed =
+      match ckpt with
+      | Some { Checkpoint.path; _ } when resume && Sys.file_exists path ->
+          let sections = Checkpoint.load ~path in
+          let ctx = Bytes.to_string (Checkpoint.find "context" sections) in
+          if not (String.equal ctx context) then
+            raise
+              (Checkpoint.Corrupt_checkpoint
+                 "Fault_explorer.explore: checkpoint context mismatch");
+          Some sections
+      | _ -> None
+    in
+    (* Keys are the core encoded state plus one crash-mask byte; packed
+       parent words plus one, so the root's -1 packs to 0. *)
+    let table, parent =
+      match resumed with
+      | Some sections ->
+          ( State_table.deserialize (Checkpoint.find "table" sections),
+            State_table.Packed_vec.deserialize
+              (Checkpoint.find "parent" sections) )
+      | None ->
+          ( State_table.create ~log2_slots:16 ~key_width:(E.key_width cfg + 1)
+              (),
+            State_table.Packed_vec.create ~stride:5 () )
+    in
+    let violation = ref None in
+    let transitions = ref 0 and crash_branches = ref 0 and pops = ref 0 in
+    (match resumed with
+    | Some sections ->
+        let counters =
+          Checkpoint.ints_of_bytes (Checkpoint.find "counters" sections)
+        in
+        if Array.length counters <> 3 then
+          raise
+            (Checkpoint.Corrupt_checkpoint
+               "Fault_explorer.explore: counter section of wrong length");
+        pops := counters.(0);
+        transitions := counters.(1);
+        crash_branches := counters.(2)
+    | None -> ());
+    let save_ckpt path =
+      Checkpoint.save ~path
+        [
+          ("context", Bytes.of_string context);
+          ("table", State_table.serialize table);
+          ("parent", State_table.Packed_vec.serialize parent);
+          ( "counters",
+            Checkpoint.bytes_of_ints
+              [| !pops; !transitions; !crash_branches |] );
+        ]
+    in
+    let queue = Queue.create () in
+    (* The BFS pops ids in ascending order, so the resumed frontier is
+       the ids discovered but not yet popped: [pops, table length). *)
+    if resumed <> None then
+      for id = !pops to State_table.length table - 1 do
+        Queue.add id queue
+      done;
     let decode key =
       let core = String.sub key 0 (String.length key - 1) in
       let mask = Char.code key.[String.length key - 1] in
@@ -173,9 +232,30 @@ module Make (P : Explorer.CHECKABLE) = struct
       in
       go (E.init_state ~cfg ~inputs) 0 [] chain
     in
-    ignore (add_state (E.init_state ~cfg ~inputs) 0 ~from:(-1));
+    if resumed = None then
+      ignore (add_state (E.init_state ~cfg ~inputs) 0 ~from:(-1));
     let limit_hit = ref false in
-    while (not (Queue.is_empty queue)) && !violation = None && not !limit_hit do
+    let exhausted = ref None in
+    while
+      (not (Queue.is_empty queue))
+      && !violation = None && (not !limit_hit) && !exhausted = None
+    do
+      (match ckpt with
+      | Some { Checkpoint.path; every_states }
+        when every_states > 0 && !pops > 0 && !pops mod every_states = 0 ->
+          save_ckpt path
+      | _ -> ());
+      (match governor with
+      | Some g -> (
+          match Governor.tick g with
+          | Some reason ->
+              exhausted := Some reason;
+              (match ckpt with
+              | Some { Checkpoint.path; _ } -> save_ckpt path
+              | None -> ())
+          | None -> ())
+      | None -> ());
+      if !exhausted = None then begin
       let id = Queue.pop queue in
       let st, mask = decode (State_table.key_of_id table id) in
       let live =
@@ -200,9 +280,17 @@ module Make (P : Explorer.CHECKABLE) = struct
       List.iter (expand_one ~crash:false) live;
       (* Crash branches: only live (enabled, uncrashed) processors — a
          crash of a halted processor changes nothing observable. *)
-      if budget > 0 then List.iter (expand_one ~crash:true) live
+      if budget > 0 then List.iter (expand_one ~crash:true) live;
+      incr pops
+      end
     done;
-    if !limit_hit then State_limit (State_table.length table)
+    if !exhausted <> None then
+      Exhausted
+        {
+          reason = Option.get !exhausted;
+          states = State_table.length table;
+        }
+    else if !limit_hit then State_limit (State_table.length table)
     else
       match !violation with
       | Some (id, message) -> (
@@ -234,7 +322,7 @@ module Make (P : Explorer.CHECKABLE) = struct
       assignment, under at most [max_crashes] crash-stops injected at
       arbitrary points. *)
   let check_all_wirings ?max_states ?max_crashes ?(reduction = false) ?wirings
-      ~invariant ~cfg ~inputs () =
+      ?governor ~invariant ~cfg ~inputs () =
     let n = P.processors cfg and m = P.registers cfg in
     let wirings =
       match wirings with
@@ -245,9 +333,13 @@ module Make (P : Explorer.CHECKABLE) = struct
       | [] -> Ok summary
       | wiring :: rest -> (
           match
-            explore ?max_states ?max_crashes ~reduction ~invariant ~cfg ~wiring
-              ~inputs ()
+            explore ?max_states ?max_crashes ~reduction ?governor ~invariant
+              ~cfg ~wiring ~inputs ()
           with
+          | Exhausted { reason; states } ->
+              Error
+                (Fmt.str "exhausted (%a) at %d states" Governor.pp_reason
+                   reason states)
           | State_limit k -> Error (Fmt.str "state limit hit at %d states" k)
           | Invariant_failed v ->
               Error

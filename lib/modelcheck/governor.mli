@@ -1,0 +1,59 @@
+(** Per-run resource budgets for the verification engines.
+
+    A governor bundles up to four budgets — wall-clock seconds, live
+    heap words (checked from a [Gc] alarm at major-collection
+    boundaries), a state quota, and a shared interrupt flag (set from a
+    SIGINT/SIGTERM handler, or {!interrupt}) — behind a single [tick]
+    call that engines make once per popped state.  When a budget is
+    exceeded, [tick] returns the reason and the engine returns a
+    structured [Exhausted] verdict (after writing a final checkpoint)
+    instead of dying; a feasibility sweep marks the cell
+    [Unknown(reason)] and moves on.
+
+    Tripping is sticky: once [tick] reports a reason it keeps reporting
+    the same one.  The quota budget is exact and deterministic (it
+    counts ticks), which is what the resume-parity tests use; the
+    wall-clock budget is polled every 64 ticks (but on the first tick,
+    so a zero budget trips immediately); the heap budget is as fresh as
+    the last major collection. *)
+
+type reason = Wall_clock | Heap | Quota | Interrupted
+
+val reason_to_string : reason -> string
+val reason_of_string : string -> reason option
+val pp_reason : Format.formatter -> reason -> unit
+
+type t
+
+val create :
+  ?wall_seconds:float ->
+  ?heap_words:int ->
+  ?quota:int ->
+  ?interrupted_flag:bool ref ->
+  unit ->
+  t
+(** Omitted budgets are unlimited.  [interrupted_flag] lets many
+    per-cell governors share one flag, so a single SIGINT stops a whole
+    sweep; when omitted, a private flag is allocated (settable via
+    {!interrupt}). *)
+
+val tick : t -> reason option
+(** Called once per unit of work (popped state).  [Some r] once any
+    budget is exceeded — sticky thereafter. *)
+
+val tripped : t -> reason option
+(** The sticky verdict without consuming a tick. *)
+
+val interrupt : t -> unit
+(** Set the interrupt flag (shared, if the governor was created with
+    one). *)
+
+val interrupted : t -> bool
+
+val elapsed_s : t -> float
+(** Seconds since [create]. *)
+
+val dispose : t -> unit
+(** Delete the heap-watermark [Gc] alarm, if one was installed.  Safe to
+    call more than once is {e not} guaranteed — call exactly once, when
+    the run finishes. *)

@@ -47,6 +47,9 @@ type verdict =
   | Breach  (** mutual-exclusion invariant or audit tripwire violated *)
   | Fair_cycle  (** deadlock: a fair SCC is reachable *)
   | Limit of int  (** state cap hit *)
+  | Exhausted of { reason : Governor.reason; states : int }
+      (** a resource governor tripped; resumable when a checkpoint
+          policy was in force *)
   | Unsupported
       (** shape outside the packed envelope (n > 3, or the mixed-radix
           word would overflow); fall back to the generic engine *)
@@ -227,6 +230,7 @@ end
 exception Found_breach
 exception Found_fair
 exception Found_limit
+exception Found_exhausted of Governor.reason
 
 type ws = {
   ws_tab : Itab.t;
@@ -269,7 +273,8 @@ let reset_ws w =
   Vec.reset w.ws_fr_pid;
   Vec.reset w.ws_fr_epid
 
-let check_wiring ?ws:reuse ?max_states ~cfg ~wiring ~inputs () =
+let check_wiring ?ws:reuse ?max_states ?governor ?ckpt ?(ckpt_extra = [])
+    ?(resume = false) ~cfg ~wiring ~inputs () =
   let n = Rt_mutex.processors cfg in
   let m = Rt_mutex.registers cfg in
   if n < 1 || n > 3 || Array.length inputs <> n then Unsupported
@@ -352,6 +357,89 @@ let check_wiring ?ws:reuse ?max_states ~cfg ~wiring ~inputs () =
       let fr_u = w.ws_fr_u and fr_s = w.ws_fr_s in
       let fr_pid = w.ws_fr_pid and fr_epid = w.ws_fr_epid in
       let cap = Option.value max_states ~default:max_int in
+      (* --- checkpoint plumbing ----------------------------------------
+         Everything the Tarjan loop owns is flat int data: the packed-
+         state hash table (dumped as key/id pairs and re-inserted on
+         load), the per-id bookkeeping vectors, the SCC stack and the
+         four frame vectors.  The loop top is the consistent point. *)
+      let context =
+        Fmt.str "packed|%d|%d|%a|%s" n m Anonmem.Wiring.pp wiring
+          (String.concat "," (List.map string_of_int (Array.to_list inputs)))
+      in
+      let vec_bytes v = Checkpoint.bytes_of_ints (Array.sub v.Vec.a 0 v.Vec.len) in
+      let restore_vec v b =
+        Vec.reset v;
+        Array.iter (Vec.push v) (Checkpoint.ints_of_bytes b)
+      in
+      let itab_bytes () =
+        let pairs = ref [] in
+        let a = tab.Itab.a in
+        let i = ref (Array.length a - 2) in
+        while !i >= 0 do
+          if a.(!i) >= 0 then pairs := a.(!i) :: a.(!i + 1) :: !pairs;
+          i := !i - 2
+        done;
+        Checkpoint.bytes_of_ints (Array.of_list !pairs)
+      in
+      let restore_itab b =
+        Itab.reset tab;
+        let a = Checkpoint.ints_of_bytes b in
+        if Array.length a mod 2 <> 0 then
+          raise
+            (Checkpoint.Corrupt_checkpoint
+               "Rt_mutex_packed: itab section of odd length");
+        let i = ref 0 in
+        while !i < Array.length a do
+          ignore (Itab.find_or_add tab a.(!i) a.(!i + 1));
+          i := !i + 2
+        done
+      in
+      let save_ckpt path =
+        Checkpoint.save ~path
+          ([
+             ("context", Bytes.of_string context);
+             ("itab", itab_bytes ());
+             ("counters", Checkpoint.bytes_of_ints [| !count |]);
+             ("low", vec_bytes w.ws_low);
+             ("emask", vec_bytes w.ws_emask);
+             ("onstack", vec_bytes w.ws_onstack);
+             ("sccs", vec_bytes w.ws_sccs);
+             ("fr_u", vec_bytes w.ws_fr_u);
+             ("fr_s", vec_bytes w.ws_fr_s);
+             ("fr_pid", vec_bytes w.ws_fr_pid);
+             ("fr_epid", vec_bytes w.ws_fr_epid);
+           ]
+          @ ckpt_extra)
+      in
+      let resumed =
+        match ckpt with
+        | Some { Checkpoint.path; _ } when resume && Sys.file_exists path ->
+            let sections = Checkpoint.load ~path in
+            let ctx = Bytes.to_string (Checkpoint.find "context" sections) in
+            if not (String.equal ctx context) then
+              raise
+                (Checkpoint.Corrupt_checkpoint
+                   "Rt_mutex_packed: checkpoint context mismatch");
+            restore_itab (Checkpoint.find "itab" sections);
+            let counters =
+              Checkpoint.ints_of_bytes (Checkpoint.find "counters" sections)
+            in
+            if Array.length counters <> 1 then
+              raise
+                (Checkpoint.Corrupt_checkpoint
+                   "Rt_mutex_packed: counter section of wrong length");
+            count := counters.(0);
+            restore_vec w.ws_low (Checkpoint.find "low" sections);
+            restore_vec w.ws_emask (Checkpoint.find "emask" sections);
+            restore_vec w.ws_onstack (Checkpoint.find "onstack" sections);
+            restore_vec w.ws_sccs (Checkpoint.find "sccs" sections);
+            restore_vec w.ws_fr_u (Checkpoint.find "fr_u" sections);
+            restore_vec w.ws_fr_s (Checkpoint.find "fr_s" sections);
+            restore_vec w.ws_fr_pid (Checkpoint.find "fr_pid" sections);
+            restore_vec w.ws_fr_epid (Checkpoint.find "fr_epid" sections);
+            true
+        | _ -> false
+      in
       let push_state s epid =
         (* pre: s is fresh, already interned with id = !count *)
         if not (safe s) then raise Found_breach;
@@ -384,10 +472,29 @@ let check_wiring ?ws:reuse ?max_states ~cfg ~wiring ~inputs () =
           if lm <> 0 && lm land pidmask = lm then raise Found_fair
         end
       in
+      let ticks = ref 0 in
       let run () =
-        ignore (Itab.find_or_add tab 0 0);
-        push_state 0 0;
+        if not resumed then begin
+          ignore (Itab.find_or_add tab 0 0);
+          push_state 0 0
+        end;
         while Vec.(fr_u.len) > 0 do
+          incr ticks;
+          (match ckpt with
+          | Some { Checkpoint.path; every_states }
+            when every_states > 0 && !ticks mod every_states = 0 ->
+              save_ckpt path
+          | _ -> ());
+          (match governor with
+          | Some g -> (
+              match Governor.tick g with
+              | Some reason ->
+                  (match ckpt with
+                  | Some { Checkpoint.path; _ } -> save_ckpt path
+                  | None -> ());
+                  raise (Found_exhausted reason)
+              | None -> ())
+          | None -> ());
           let fi = Vec.(fr_u.len) - 1 in
           let pid = Vec.get fr_pid fi in
           if pid < n then begin
@@ -431,5 +538,6 @@ let check_wiring ?ws:reuse ?max_states ~cfg ~wiring ~inputs () =
       | Found_breach -> Breach
       | Found_fair -> Fair_cycle
       | Found_limit -> Limit !count
+      | Found_exhausted reason -> Exhausted { reason; states = !count }
     end
   end

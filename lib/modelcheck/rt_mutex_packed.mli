@@ -12,6 +12,10 @@ type verdict =
   | Breach  (** mutual-exclusion invariant or audit tripwire violated *)
   | Fair_cycle  (** deadlock: a fair SCC is reachable *)
   | Limit of int  (** state cap hit *)
+  | Exhausted of { reason : Governor.reason; states : int }
+      (** a resource governor tripped mid-sweep; when a checkpoint
+          policy was in force a final checkpoint was written first, so
+          the sweep resumes exactly where it stopped *)
   | Unsupported
       (** shape outside the packed envelope (n > 3, or the mixed-radix
           word would overflow); fall back to the generic engine *)
@@ -27,6 +31,10 @@ val ws : unit -> ws
 val check_wiring :
   ?ws:ws ->
   ?max_states:int ->
+  ?governor:Governor.t ->
+  ?ckpt:Checkpoint.policy ->
+  ?ckpt_extra:(string * Bytes.t) list ->
+  ?resume:bool ->
   cfg:Algorithms.Rt_mutex.cfg ->
   wiring:Anonmem.Wiring.t ->
   inputs:int array ->
@@ -36,4 +44,13 @@ val check_wiring :
     distinct identities by processor, as in {!Explorer.Make.explore}.
     Verdicts carry no witness: re-run the generic explorer on the
     offending wiring to extract one (violating wirings stop early, so
-    the re-run is cheap). *)
+    the re-run is cheap).
+
+    [governor] is polled once per Tarjan step; on a trip the verdict is
+    {!Exhausted} (after a final checkpoint write when [ckpt] is set).
+    [ckpt] checkpoints the whole loop state — packed-state table, Tarjan
+    bookkeeping, frame stack — every [every_states] steps, atomically;
+    [ckpt_extra] sections ride along (sweep drivers store their position
+    there); [resume] restarts from [ckpt.path] if it exists, raising
+    [Checkpoint.Corrupt_checkpoint] on a torn file or a context
+    mismatch. *)

@@ -172,6 +172,64 @@ let words t =
   let bytes_words b = 2 + (Bytes.length b / (Sys.word_size / 8)) in
   8 + bytes_words t.arena + bytes_words t.slots + bytes_words t.tags
 
+(* --- checkpoint (de)serialization -------------------------------------
+   The arena is the whole truth: dense ids are insertion order, and the
+   slot/tag arrays are a pure function of the interned keys.  So the
+   image is a small header plus a blit of the used arena prefix, and
+   [deserialize] rebuilds the slots exactly as [grow_slots] does —
+   membership, ids, [key_of_id] and iteration order all come back
+   bit-identical. *)
+
+let st_magic = "STBL0001"
+
+let corrupt fmt =
+  Printf.ksprintf (fun s -> raise (Checkpoint.Corrupt_checkpoint s)) fmt
+
+let serialize t =
+  let used = t.count * t.key_width in
+  let b = Bytes.create (8 + 8 + 8 + 8 + used) in
+  Bytes.blit_string st_magic 0 b 0 8;
+  Bytes.set_int64_le b 8 (Int64.of_int t.key_width);
+  Bytes.set_int64_le b 16 (Int64.of_int t.count);
+  Bytes.blit t.arena 0 b 32 used;
+  Bytes.set_int64_le b 24 (Int64.of_int (Checkpoint.checksum b 32 used));
+  b
+
+let deserialize b =
+  if Bytes.length b < 32 then
+    corrupt "State_table image truncated at header (%d bytes)" (Bytes.length b);
+  if Bytes.sub_string b 0 8 <> st_magic then
+    corrupt "State_table image has bad magic";
+  let key_width = Int64.to_int (Bytes.get_int64_le b 8) in
+  let count = Int64.to_int (Bytes.get_int64_le b 16) in
+  let crc = Int64.to_int (Bytes.get_int64_le b 24) in
+  if key_width < 0 || count < 0 || count > max_id + 1 then
+    corrupt "State_table image has implausible header (width %d, count %d)"
+      key_width count;
+  let used = count * key_width in
+  if Bytes.length b <> 32 + used then
+    corrupt "State_table image length %d, expected %d (width %d, count %d)"
+      (Bytes.length b) (32 + used) key_width count;
+  if Checkpoint.checksum b 32 used <> crc then
+    corrupt "State_table arena checksum mismatch";
+  (* Slot capacity: smallest power of two keeping load under 3/4. *)
+  let log2 = ref 3 in
+  while 4 * count >= 3 * (1 lsl !log2) do incr log2 done;
+  let t = create ~log2_slots:!log2 ~key_width () in
+  t.arena <- Bytes.create (max 64 (max used (64 * key_width)));
+  Bytes.blit b 32 t.arena 0 used;
+  t.count <- count;
+  let buf = Bytes.create key_width in
+  for id = 0 to count - 1 do
+    Bytes.blit t.arena (id * key_width) buf 0 key_width;
+    let h = hash (Bytes.unsafe_to_string buf) in
+    let rec free i = if slot_get t i = 0 then i else free ((i + 1) land t.mask) in
+    let i = free (h land t.mask) in
+    slot_set t i (id + 1);
+    Bytes.set t.tags i (Char.chr (tag_of_hash h))
+  done;
+  t
+
 module Packed_vec = struct
   type t = {
     stride : int;
@@ -240,4 +298,39 @@ module Packed_vec = struct
     i
 
   let words t = 6 + (Bytes.length t.buf / (Sys.word_size / 8))
+
+  let pv_magic = "PVEC0001"
+
+  let serialize t =
+    let used = t.len * t.stride in
+    let b = Bytes.create (8 + 8 + 8 + 8 + used) in
+    Bytes.blit_string pv_magic 0 b 0 8;
+    Bytes.set_int64_le b 8 (Int64.of_int t.stride);
+    Bytes.set_int64_le b 16 (Int64.of_int t.len);
+    Bytes.blit t.buf 0 b 32 used;
+    Bytes.set_int64_le b 24 (Int64.of_int (Checkpoint.checksum b 32 used));
+    b
+
+  let deserialize b =
+    if Bytes.length b < 32 then
+      corrupt "Packed_vec image truncated at header (%d bytes)"
+        (Bytes.length b);
+    if Bytes.sub_string b 0 8 <> pv_magic then
+      corrupt "Packed_vec image has bad magic";
+    let stride = Int64.to_int (Bytes.get_int64_le b 8) in
+    let len = Int64.to_int (Bytes.get_int64_le b 16) in
+    let crc = Int64.to_int (Bytes.get_int64_le b 24) in
+    if stride < 1 || stride > 7 || len < 0 then
+      corrupt "Packed_vec image has implausible header (stride %d, len %d)"
+        stride len;
+    let used = len * stride in
+    if Bytes.length b <> 32 + used then
+      corrupt "Packed_vec image length %d, expected %d (stride %d, len %d)"
+        (Bytes.length b) (32 + used) stride len;
+    if Checkpoint.checksum b 32 used <> crc then
+      corrupt "Packed_vec buffer checksum mismatch";
+    let t = create ~capacity:(max 1 len) ~stride () in
+    Bytes.blit b 32 t.buf 0 used;
+    t.len <- len;
+    t
 end

@@ -76,6 +76,17 @@ val hash : string -> int
     OCaml int).  Slot index is [hash land (capacity - 1)]; the stored tag
     is bits 55..62.  Exposed so tests can seed same-bucket collisions. *)
 
+val serialize : t -> Bytes.t
+(** Checkpoint image of the table: a checksummed header plus a blit of
+    the used arena prefix.  The slot/tag arrays are a pure function of
+    the interned keys, so they are rebuilt on load rather than stored. *)
+
+val deserialize : Bytes.t -> t
+(** Inverse of {!serialize} — membership, dense ids, {!key_of_id} and
+    iteration order are all restored exactly.  Raises
+    [Checkpoint.Corrupt_checkpoint] on truncation, bad framing or a
+    checksum mismatch. *)
+
 (** Growable vectors of fixed-stride little-endian unsigned integers,
     packed in one [Bytes] buffer — 1 to 7 bytes per element instead of a
     boxed-array word.  The explorers use stride 5 for packed parent links
@@ -101,4 +112,9 @@ module Packed_vec : sig
   val set : t -> int -> int -> unit
   val words : t -> int
   (** Approximate retained size in machine words. *)
+
+  val serialize : t -> Bytes.t
+  val deserialize : Bytes.t -> t
+  (** Checksummed image of the packed buffer; raises
+      [Checkpoint.Corrupt_checkpoint] on any integrity failure. *)
 end

@@ -236,7 +236,9 @@ module Exhaustive (P : Explorer.CHECKABLE) = struct
                   trace;
                   states_explored = stats.E.dfs_states;
                 }
-          | E.Dfs_ok _ | E.Dfs_cycle _ | E.Dfs_state_limit _ -> go rest)
+          | E.Dfs_ok _ | E.Dfs_cycle _ | E.Dfs_state_limit _
+          | E.Dfs_exhausted _ ->
+              go rest)
     in
     go wirings
 end

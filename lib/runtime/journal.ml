@@ -1,0 +1,235 @@
+(** Append-only run journal: the durable record of a long verification
+    sweep.
+
+    One JSONL line per completed cell, each framed with a sequence
+    number, a payload length and an FNV-64 checksum:
+
+    {v {"seq": 12, "crc": 1234567, "len": 18, "data": "mutex 2 3 ..."} v}
+
+    The framing makes the journal self-validating under the one failure
+    mode an append-only file actually has — a torn tail from a crash
+    mid-append.  {!load} accepts the longest valid prefix (contiguous
+    sequence numbers from 0, matching lengths, matching checksums) and
+    drops everything after the first damaged line; {!open_append}
+    compacts the file to that prefix (atomically, via a temporary file
+    and a rename) before appending, so a crashed run's journal heals on
+    the next open instead of poisoning it.
+
+    Payloads are opaque strings to this module — the feasibility sweep
+    stores {!Analysis.Feasibility.cell_to_record} lines — but must not
+    contain newlines (rejected by {!append}).
+
+    The [set_crash_after] hook is the self-chaos instrument: arm it with
+    [Some k] and the [k]-th subsequent {!append} writes a prefix of its
+    line, raises {!Simulated_crash} and disarms — exactly a crash
+    mid-append, which the durability tests then recover from. *)
+
+exception Simulated_crash
+
+(* FNV-1a folded to 63 bits, the same hash family as the checkpoint
+   container (but independent code: runtime must not depend on
+   modelcheck). *)
+let crc (s : string) =
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render ~seq data =
+  Printf.sprintf "{\"seq\": %d, \"crc\": %d, \"len\": %d, \"data\": \"%s\"}\n"
+    seq (crc data) (String.length data) (json_escape data)
+
+(* Parse one journal line.  The writer is this module, so the parser
+   only needs to read what {!render} produces — but defensively: any
+   deviation means a torn or hand-edited line, and the contract is to
+   reject it, never to crash. *)
+let parse_line line =
+  let int_field name =
+    let pat = Printf.sprintf "\"%s\": " name in
+    match
+      let plen = String.length pat in
+      let rec find i =
+        if i + plen > String.length line then None
+        else if String.sub line i plen = pat then Some (i + plen)
+        else find (i + 1)
+      in
+      find 0
+    with
+    | None -> None
+    | Some start ->
+        let rec stop i =
+          if i < String.length line && (line.[i] = '-' || (line.[i] >= '0' && line.[i] <= '9'))
+          then stop (i + 1)
+          else i
+        in
+        int_of_string_opt (String.sub line start (stop start - start))
+  in
+  let data_field () =
+    let pat = "\"data\": \"" in
+    let plen = String.length pat in
+    let rec find i =
+      if i + plen > String.length line then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+        let b = Buffer.create 32 in
+        let rec go i =
+          if i >= String.length line then None
+          else
+            match line.[i] with
+            | '"' -> Some (Buffer.contents b)
+            | '\\' ->
+                if i + 1 >= String.length line then None
+                else
+                  let consumed =
+                    match line.[i + 1] with
+                    | '"' ->
+                        Buffer.add_char b '"';
+                        2
+                    | '\\' ->
+                        Buffer.add_char b '\\';
+                        2
+                    | 'n' ->
+                        Buffer.add_char b '\n';
+                        2
+                    | 'u' when i + 5 < String.length line ->
+                        (match
+                           int_of_string_opt ("0x" ^ String.sub line (i + 2) 4)
+                         with
+                        | Some code ->
+                            Buffer.add_char b (Char.chr (code land 0xff))
+                        | None -> ());
+                        6
+                    | c ->
+                        Buffer.add_char b c;
+                        2
+                  in
+                  go (i + consumed)
+            | c ->
+                Buffer.add_char b c;
+                go (i + 1)
+        in
+        go start
+  in
+  match (int_field "seq", int_field "crc", int_field "len", data_field ()) with
+  | Some seq, Some c, Some len, Some data
+    when String.length data = len && crc data = c ->
+      Some (seq, data)
+  | _ -> None
+
+(** The valid prefix of a journal file: payloads of the lines numbered
+    contiguously from 0 whose length and checksum verify, stopping at
+    the first line that does not.  A missing file is an empty journal. *)
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let rec go seq acc =
+      match input_line ic with
+      | exception End_of_file -> List.rev acc
+      | line -> (
+          match parse_line line with
+          | Some (s, data) when s = seq -> go (seq + 1) (data :: acc)
+          | _ -> List.rev acc)
+    in
+    let records = go 0 [] in
+    close_in ic;
+    records
+  end
+
+type t = {
+  mutable oc : out_channel option;
+  mutable seq : int;  (** next sequence number to write *)
+  path : string;
+  mutable crash_after : int option;
+}
+
+let chaos_crash_after = ref None
+
+(** Arm the crash-injection hook: the [k]-th append (1-based) of the
+    next journal opened will tear its own line and raise
+    {!Simulated_crash}.  [None] disarms.  Applies to journals opened
+    {e after} the call. *)
+let set_crash_after k = chaos_crash_after := k
+
+(** Open [path] for appending, first compacting it to its valid prefix
+    (atomic write-rename); returns the journal and the recovered
+    payloads, in order. *)
+let open_append path =
+  let records = load path in
+  (* Rewrite the valid prefix; heals torn tails and renumbers nothing
+     (the prefix is contiguous from 0 by construction). *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  List.iteri (fun seq data -> output_string oc (render ~seq data)) records;
+  flush oc;
+  close_out oc;
+  Sys.rename tmp path;
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  ( {
+      oc = Some oc;
+      seq = List.length records;
+      path;
+      crash_after = !chaos_crash_after;
+    },
+    records )
+
+let create path =
+  if Sys.file_exists path then Sys.remove path;
+  fst (open_append path)
+
+(** Append one payload and flush it to the OS.  Raises
+    [Invalid_argument] on a newline in the payload (it would tear the
+    framing) and {!Simulated_crash} when the chaos hook fires. *)
+let append t data =
+  if String.contains data '\n' then
+    invalid_arg "Journal.append: payload contains a newline";
+  match t.oc with
+  | None -> invalid_arg "Journal.append: closed"
+  | Some oc ->
+      let line = render ~seq:t.seq data in
+      (match t.crash_after with
+      | Some k when k <= 1 ->
+          t.crash_after <- None;
+          chaos_crash_after := None;
+          (* Tear the line: write roughly half of it, flush so the torn
+             bytes actually land, and die before the rest. *)
+          output_string oc (String.sub line 0 (String.length line / 2));
+          flush oc;
+          raise Simulated_crash
+      | Some k -> t.crash_after <- Some (k - 1)
+      | None -> ());
+      output_string oc line;
+      flush oc;
+      t.seq <- t.seq + 1
+
+let path t = t.path
+let next_seq t = t.seq
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      flush oc;
+      close_out oc;
+      t.oc <- None

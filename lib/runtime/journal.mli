@@ -1,0 +1,39 @@
+(** Append-only, checksummed, self-healing run journal (JSONL).
+
+    The durable record of a long verification sweep: one line per
+    completed cell, each framed with a sequence number, payload length
+    and FNV-64 checksum so a crash mid-append can only ever tear the
+    final line — which {!load} and {!open_append} then drop/heal.
+    Payloads are opaque newline-free strings (the feasibility sweep
+    stores [Analysis.Feasibility.cell_to_record] lines). *)
+
+exception Simulated_crash
+(** Raised by {!append} when the {!set_crash_after} chaos hook fires. *)
+
+type t
+
+val create : string -> t
+(** Fresh journal at the path, truncating any existing file. *)
+
+val open_append : string -> t * string list
+(** Open for appending, first compacting the file to its valid prefix
+    (atomically); returns the recovered payloads in append order.  A
+    missing file yields an empty journal. *)
+
+val append : t -> string -> unit
+(** Append one payload and flush.  Raises [Invalid_argument] on a
+    newline in the payload or on a closed journal. *)
+
+val load : string -> string list
+(** The payloads of the longest valid prefix of the file — contiguous
+    sequence numbers from 0, verified lengths and checksums; everything
+    from the first damaged line on is ignored.  Missing file = []. *)
+
+val path : t -> string
+val next_seq : t -> int
+val close : t -> unit
+
+val set_crash_after : int option -> unit
+(** Self-chaos: arm with [Some k] and the [k]-th append (1-based) of
+    the next journal opened writes a torn half-line, raises
+    {!Simulated_crash} and disarms.  [None] disarms. *)

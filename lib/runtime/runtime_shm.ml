@@ -28,6 +28,10 @@
 
 open Repro_util
 
+module Journal = Journal
+(** Re-export: the append-only checksummed run journal (see
+    [journal.mli]), the durable record of long verification sweeps. *)
+
 (** Watchdog budgets used by the supervision tests.
 
     The tests bound non-terminating protocols (write-scan, the Bomb) with
@@ -58,7 +62,12 @@ module Make (P : Anonmem.Protocol.S) = struct
     | Done
     | Restarted of int
         (** completed, but only after this many injected crash-recoveries *)
-    | Timed_out  (** step budget or watchdog deadline exhausted *)
+    | Timed_out of { elapsed_s : float; checkpoint : string option }
+        (** step budget or watchdog deadline exhausted after [elapsed_s]
+            seconds of wall clock; [checkpoint], when present, is where
+            the run's progress survives (processors themselves never
+            checkpoint — the field is filled in by supervision layers
+            that do, e.g. {!Supervisor}) *)
     | Crashed of { injected : bool; reason : string }
         (** [injected = true]: a planned fault; [false]: a real exception
             escaped the protocol code (reported, never re-raised across
@@ -74,7 +83,10 @@ module Make (P : Anonmem.Protocol.S) = struct
   let pp_status ppf = function
     | Done -> Fmt.string ppf "done"
     | Restarted k -> Fmt.pf ppf "done after %d restart%s" k (if k = 1 then "" else "s")
-    | Timed_out -> Fmt.string ppf "timed out"
+    | Timed_out { elapsed_s; checkpoint } ->
+        Fmt.pf ppf "timed out after %.2fs%a" elapsed_s
+          Fmt.(option (any "; checkpoint at " ++ string))
+          checkpoint
     | Crashed { injected; reason } ->
         Fmt.pf ppf "crashed (%s%s)" (if injected then "injected: " else "") reason
 
@@ -188,6 +200,10 @@ module Make (P : Anonmem.Protocol.S) = struct
           Int64.add (Monotonic_clock.now ()) (Int64.of_float (secs *. 1e9))
       | None -> Int64.max_int
     in
+    let started = Monotonic_clock.now () in
+    let elapsed_s () =
+      Int64.to_float (Int64.sub (Monotonic_clock.now ()) started) /. 1e9
+    in
     let run_processor p =
       let steps = ref 0 in
       let recover_ops = ref recover_arms.(p) in
@@ -202,8 +218,12 @@ module Make (P : Anonmem.Protocol.S) = struct
         | local ->
             let status = if restarts > 0 then Restarted restarts else Done in
             (status, P.output cfg local, !steps)
-        | exception Step_limit k -> (Timed_out, None, k)
-        | exception Deadline_exceeded -> (Timed_out, None, !steps)
+        | exception Step_limit k ->
+            (Timed_out { elapsed_s = elapsed_s (); checkpoint = None }, None, k)
+        | exception Deadline_exceeded ->
+            ( Timed_out { elapsed_s = elapsed_s (); checkpoint = None },
+              None,
+              !steps )
         | exception Injected_crash_stop ->
             (Crashed { injected = true; reason = "crash-stop" }, None, !steps)
         | exception Injected_crash_recover ->
@@ -245,9 +265,58 @@ module Make (P : Anonmem.Protocol.S) = struct
     | None ->
         if
           (not allow_timeout)
-          && Array.exists (function Timed_out -> true | _ -> false) statuses
+          && Array.exists (function Timed_out _ -> true | _ -> false) statuses
         then Error (Fmt.str "some processor exceeded %d operations" max_steps)
         else Ok { outputs; steps; statuses; wiring }
+end
+
+(** Bounded restart-from-checkpoint supervision for long verification
+    jobs: run a job closure, and when it dies (any exception — a
+    governor-independent crash, an [Out_of_memory], a
+    [Checkpoint.Corrupt_checkpoint] from a torn file is {e not} retried
+    against the same file because the job itself decides how to read
+    it), restart it with exponential backoff, pointing it at the last
+    checkpoint that survived.  The job sees [~resume_from:(Some path)]
+    exactly when the checkpoint file exists, so a first run and a
+    restart-after-crash-before-first-checkpoint both start fresh.
+
+    [sleep] is injectable so the supervision tests exercise the backoff
+    schedule without waiting it out. *)
+module Supervisor = struct
+  type 'a outcome =
+    | Completed of { value : 'a; restarts : int }
+    | Gave_up of { restarts : int; last_error : string }
+
+  let pp_outcome pp_v ppf = function
+    | Completed { value; restarts } ->
+        Fmt.pf ppf "completed after %d restart%s: %a" restarts
+          (if restarts = 1 then "" else "s")
+          pp_v value
+    | Gave_up { restarts; last_error } ->
+        Fmt.pf ppf "gave up after %d restart%s: %s" restarts
+          (if restarts = 1 then "" else "s")
+          last_error
+
+  (** [supervise ~checkpoint f] runs [f ~resume_from] up to
+      [1 + max_restarts] times; the [k]-th restart sleeps
+      [backoff_s * 2^k] seconds first. *)
+  let supervise ?(max_restarts = 3) ?(backoff_s = 0.1)
+      ?(sleep = Unix.sleepf) ~checkpoint f =
+    let resume_from () =
+      if Sys.file_exists checkpoint then Some checkpoint else None
+    in
+    let rec go attempt =
+      match f ~resume_from:(resume_from ()) with
+      | value -> Completed { value; restarts = attempt }
+      | exception exn ->
+          if attempt >= max_restarts then
+            Gave_up
+              { restarts = attempt; last_error = Printexc.to_string exn }
+          else (
+            sleep (backoff_s *. (2. ** float_of_int attempt));
+            go (attempt + 1))
+    in
+    go 0
 end
 
 module Snapshot_run = Make (Algorithms.Snapshot)

@@ -1,0 +1,773 @@
+(* Durability suite: checkpoint/resume, run journals, resource governors.
+
+   The property that matters end-to-end is crash-equivalence: a verification
+   run that is killed at an arbitrary point and resumed must produce results
+   identical to an uninterrupted run — same verdicts, same state counts,
+   byte-identical feasibility JSON.  The tests below drive that property at
+   every layer: the checkpoint container (torn writes must preserve the
+   previous image), the journal (torn tails must heal), the State_table
+   serialization (QCheck round-trips + corruption refusal), each engine
+   (BFS, DFS, fault, packed — interrupted by a deterministic quota governor
+   and resumed to exact parity), the mutex sweep in [Core], and the
+   feasibility map with crash points fuzzed across every journal append. *)
+
+module Ckpt = Modelcheck.Checkpoint
+module Gov = Modelcheck.Governor
+module St = Modelcheck.State_table
+module Pv = Modelcheck.State_table.Packed_vec
+module J = Runtime_shm.Journal
+module F = Analysis.Feasibility
+
+let qcheck_count =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> int_of_string s
+  | None -> 200
+
+(* A fresh path that does not exist yet (temp_file creates the file, and
+   an existing-but-empty checkpoint must be rejected, not resumed). *)
+let fresh_path suffix =
+  let f = Filename.temp_file "durability" suffix in
+  Sys.remove f;
+  f
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = really_input_string ic n in
+  close_in ic;
+  b
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint container                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sections_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (t1, p1) (t2, p2) -> t1 = t2 && Bytes.equal p1 p2)
+       a b
+
+let sample_sections () =
+  [
+    ("context", Bytes.of_string "bfs|21|w|false");
+    ("table", Bytes.of_string (String.init 257 (fun i -> Char.chr (i land 0xff))));
+    ("counters", Ckpt.bytes_of_ints [| 7; 0; max_int; 42 |]);
+    ("empty", Bytes.create 0);
+  ]
+
+let test_ckpt_roundtrip () =
+  let s = sample_sections () in
+  Alcotest.(check bool)
+    "to_bytes/of_bytes round-trip" true
+    (sections_equal s (Ckpt.of_bytes (Ckpt.to_bytes s)));
+  let path = fresh_path ".ckpt" in
+  Ckpt.save ~path s;
+  Alcotest.(check bool)
+    "save/load round-trip" true
+    (sections_equal s (Ckpt.load ~path));
+  Alcotest.(check bool)
+    "no tmp litter" false
+    (Sys.file_exists (path ^ ".tmp"));
+  Sys.remove path
+
+let expect_corrupt f =
+  match f () with
+  | exception Ckpt.Corrupt_checkpoint _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt_checkpoint"
+
+let test_ckpt_corruption () =
+  let path = fresh_path ".ckpt" in
+  Ckpt.save ~path (sample_sections ());
+  let img = read_file path in
+  (* flip one payload byte *)
+  let flipped = Bytes.of_string img in
+  let off = String.length img - 3 in
+  Bytes.set flipped off (Char.chr (Char.code (Bytes.get flipped off) lxor 0x40));
+  write_file path (Bytes.to_string flipped);
+  expect_corrupt (fun () -> Ckpt.load ~path);
+  (* truncate at every boundary class: header, mid-section, mid-payload *)
+  List.iter
+    (fun keep ->
+      write_file path (String.sub img 0 keep);
+      expect_corrupt (fun () -> Ckpt.load ~path))
+    [ 0; 4; 11; String.length img / 2; String.length img - 1 ];
+  (* bad magic *)
+  write_file path ("XXXXXXXX" ^ String.sub img 8 (String.length img - 8));
+  expect_corrupt (fun () -> Ckpt.load ~path);
+  Sys.remove path;
+  expect_corrupt (fun () -> Ckpt.find "absent" (sample_sections ()));
+  expect_corrupt (fun () -> Ckpt.ints_of_bytes (Bytes.create 7))
+
+let test_ckpt_torn_write_preserves_old () =
+  let path = fresh_path ".ckpt" in
+  let v1 = [ ("gen", Ckpt.bytes_of_ints [| 1 |]) ] in
+  let v2 = [ ("gen", Ckpt.bytes_of_ints [| 2 |]) ] in
+  Ckpt.save ~path v1;
+  Ckpt.set_torn_write (Some 6);
+  (match Ckpt.save ~path v2 with
+  | exception Ckpt.Simulated_crash -> ()
+  | () -> Alcotest.fail "armed torn write must raise");
+  Alcotest.(check bool)
+    "previous checkpoint intact" true
+    (sections_equal v1 (Ckpt.load ~path));
+  (* the hook disarms itself: the retry succeeds *)
+  Ckpt.save ~path v2;
+  Alcotest.(check bool)
+    "retry lands v2" true
+    (sections_equal v2 (Ckpt.load ~path));
+  Sys.remove path
+
+let test_ints_roundtrip () =
+  let a = [| 0; 1; 255; 65_536; max_int; 4_611_686_018_427_387_903 |] in
+  Alcotest.(check (array int))
+    "bytes_of_ints round-trip" a
+    (Ckpt.ints_of_bytes (Ckpt.bytes_of_ints a))
+
+(* ------------------------------------------------------------------ *)
+(* Governor                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let reason = Alcotest.testable Gov.pp_reason ( = )
+
+let test_governor_quota () =
+  let g = Gov.create ~quota:5 () in
+  for i = 1 to 5 do
+    Alcotest.(check (option reason))
+      (Printf.sprintf "tick %d within quota" i)
+      None (Gov.tick g)
+  done;
+  Alcotest.(check (option reason)) "tick 6 trips" (Some Gov.Quota) (Gov.tick g);
+  Alcotest.(check (option reason)) "sticky" (Some Gov.Quota) (Gov.tick g);
+  Alcotest.(check (option reason)) "tripped" (Some Gov.Quota) (Gov.tripped g);
+  Gov.dispose g
+
+let test_governor_wall_zero () =
+  let g = Gov.create ~wall_seconds:0.0 () in
+  Alcotest.(check (option reason))
+    "zero wall budget trips on first tick" (Some Gov.Wall_clock) (Gov.tick g);
+  Gov.dispose g
+
+let test_governor_interrupt_shared () =
+  let flag = ref false in
+  let g1 = Gov.create ~interrupted_flag:flag () in
+  let g2 = Gov.create ~interrupted_flag:flag () in
+  Alcotest.(check (option reason)) "g1 clean" None (Gov.tick g1);
+  flag := true;
+  Alcotest.(check (option reason))
+    "g1 interrupted" (Some Gov.Interrupted) (Gov.tick g1);
+  Alcotest.(check (option reason))
+    "g2 shares the flag" (Some Gov.Interrupted) (Gov.tick g2);
+  Alcotest.(check bool) "interrupted observable" true (Gov.interrupted g1);
+  Gov.dispose g1;
+  Gov.dispose g2;
+  let g3 = Gov.create () in
+  Gov.interrupt g3;
+  Alcotest.(check (option reason))
+    "private interrupt" (Some Gov.Interrupted) (Gov.tick g3);
+  Gov.dispose g3
+
+let test_reason_strings () =
+  List.iter
+    (fun r ->
+      Alcotest.(check (option reason))
+        (Gov.reason_to_string r) (Some r)
+        (Gov.reason_of_string (Gov.reason_to_string r)))
+    [ Gov.Wall_clock; Gov.Heap; Gov.Quota; Gov.Interrupted ];
+  Alcotest.(check (option reason))
+    "unknown string" None
+    (Gov.reason_of_string "bogus")
+
+(* ------------------------------------------------------------------ *)
+(* State_table / Packed_vec serialization (satellite 3)                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_key w = QCheck.Gen.(string_size ~gen:(char_range 'a' 'd') (return w))
+
+let table_scenario =
+  QCheck.make
+    ~print:(fun (w, keys) ->
+      Printf.sprintf "width=%d keys=[%s]" w (String.concat ";" keys))
+    QCheck.Gen.(
+      1 -- 8 >>= fun w ->
+      list_size (0 -- 300) (gen_key w) >>= fun keys -> return (w, keys))
+
+let table_roundtrip =
+  QCheck.Test.make ~count:qcheck_count ~name:"State_table serialize round-trip"
+    table_scenario (fun (w, keys) ->
+      let t = St.create ~log2_slots:0 ~key_width:w () in
+      List.iter (fun k -> ignore (St.intern t k)) keys;
+      let t' = St.deserialize (St.serialize t) in
+      St.length t' = St.length t
+      && St.key_width t' = St.key_width t
+      && List.for_all (fun k -> St.find t' k = St.find t k) keys
+      && (St.length t = 0
+         ||
+         let ok = ref true in
+         St.iter (fun id k -> ok := !ok && St.key_of_id t id = k) t';
+         (* and interning continues where it left off *)
+         let fresh = String.make w 'z' in
+         !ok && St.intern t' fresh = St.length t)
+      )
+
+let test_table_corruption () =
+  let t = St.create ~key_width:3 () in
+  List.iter (fun k -> ignore (St.intern t k)) [ "abc"; "abd"; "xyz" ];
+  let img = St.serialize t in
+  (* flip one arena byte (past the 32-byte header) *)
+  let bad = Bytes.copy img in
+  Bytes.set bad 33 (Char.chr (Char.code (Bytes.get bad 33) lxor 1));
+  expect_corrupt (fun () -> St.deserialize bad);
+  (* torn image: every strict prefix must be refused *)
+  List.iter
+    (fun keep -> expect_corrupt (fun () -> St.deserialize (Bytes.sub img 0 keep)))
+    [ 0; 8; 31; Bytes.length img - 1 ];
+  (* bad magic *)
+  let bad = Bytes.copy img in
+  Bytes.set bad 0 '?';
+  expect_corrupt (fun () -> St.deserialize bad)
+
+let vec_scenario =
+  QCheck.make
+    ~print:(fun (stride, vals) ->
+      Printf.sprintf "stride=%d n=%d" stride (List.length vals))
+    QCheck.Gen.(
+      1 -- 7 >>= fun stride ->
+      let bound = (1 lsl (8 * min stride 7)) - 1 in
+      list_size (0 -- 200) (0 -- min bound 1_000_000_000) >>= fun vals ->
+      return (stride, vals))
+
+let vec_roundtrip =
+  QCheck.Test.make ~count:qcheck_count ~name:"Packed_vec serialize round-trip"
+    vec_scenario (fun (stride, vals) ->
+      let v = Pv.create ~stride () in
+      List.iter (fun x -> ignore (Pv.push v x)) vals;
+      let v' = Pv.deserialize (Pv.serialize v) in
+      Pv.length v' = Pv.length v
+      && Pv.stride v' = stride
+      && List.for_all2
+           (fun i x -> Pv.get v' i = x)
+           (List.mapi (fun i _ -> i) vals)
+           vals)
+
+let test_vec_corruption () =
+  let v = Pv.create ~stride:3 () in
+  List.iter (fun x -> ignore (Pv.push v x)) [ 1; 500; 70_000 ];
+  let img = Pv.serialize v in
+  let bad = Bytes.copy img in
+  let off = Bytes.length img - 1 in
+  Bytes.set bad off (Char.chr (Char.code (Bytes.get bad off) lxor 0x10));
+  expect_corrupt (fun () -> Pv.deserialize bad);
+  expect_corrupt (fun () -> Pv.deserialize (Bytes.sub img 0 (Bytes.length img - 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_roundtrip () =
+  let path = fresh_path ".journal" in
+  let jnl = J.create path in
+  let payloads =
+    [ "mutex 2 3 solved 5 1000"; "with \"quotes\" and \\ backslash"; "" ]
+  in
+  List.iter (J.append jnl) payloads;
+  J.close jnl;
+  Alcotest.(check (list string)) "load round-trip" payloads (J.load path);
+  let jnl, recovered = J.open_append path in
+  Alcotest.(check (list string)) "open_append recovers" payloads recovered;
+  J.append jnl "leader 2 2 solved 2 213";
+  J.close jnl;
+  Alcotest.(check (list string))
+    "append after reopen" (payloads @ [ "leader 2 2 solved 2 213" ])
+    (J.load path);
+  Alcotest.check_raises "newline rejected"
+    (Invalid_argument "Journal.append: payload contains a newline")
+    (fun () -> J.append (J.create path) "a\nb");
+  Sys.remove path
+
+let test_journal_torn_tail () =
+  let path = fresh_path ".journal" in
+  let jnl = J.create path in
+  J.append jnl "cell one";
+  J.append jnl "cell two";
+  J.close jnl;
+  (* simulate a crash mid-append: half a line at the tail *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"seq\": 2, \"crc\": 123";
+  close_out oc;
+  Alcotest.(check (list string))
+    "torn tail dropped" [ "cell one"; "cell two" ] (J.load path);
+  let jnl, recovered = J.open_append path in
+  Alcotest.(check (list string))
+    "heal keeps valid prefix" [ "cell one"; "cell two" ] recovered;
+  J.append jnl "cell three";
+  J.close jnl;
+  Alcotest.(check (list string))
+    "healed file appends cleanly"
+    [ "cell one"; "cell two"; "cell three" ]
+    (J.load path);
+  (* a corrupted middle line truncates the valid prefix there *)
+  let lines = String.split_on_char '\n' (read_file path) in
+  let mangled =
+    List.mapi
+      (fun i l ->
+        if i = 1 then String.map (function '2' -> '3' | c -> c) l else l)
+      lines
+  in
+  write_file path (String.concat "\n" mangled);
+  Alcotest.(check (list string))
+    "damage cuts the prefix" [ "cell one" ] (J.load path);
+  Sys.remove path
+
+let test_journal_crash_hook () =
+  let path = fresh_path ".journal" in
+  J.set_crash_after (Some 2);
+  let jnl = J.create path in
+  J.append jnl "first";
+  (match J.append jnl "second" with
+  | exception J.Simulated_crash -> ()
+  | () -> Alcotest.fail "armed journal append must crash");
+  Alcotest.(check (list string))
+    "torn line invisible" [ "first" ] (J.load path);
+  (* recovery heals and the hook stays disarmed *)
+  let jnl, recovered = J.open_append path in
+  Alcotest.(check (list string)) "recovered" [ "first" ] recovered;
+  J.append jnl "second";
+  J.close jnl;
+  Alcotest.(check (list string)) "redo lands" [ "first"; "second" ] (J.load path);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Feasibility cell codec                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cell_codec () =
+  let grids = F.grids ~quick:true () in
+  let floor_of, coprime_of = F.grid_params grids in
+  let statuses =
+    [
+      F.Solved { wirings = 5; states = 123_456 };
+      F.Safety_broken "p1 and p2 both acquired name 3";
+      F.Deadlock "processors p1, p2 spin forever";
+      F.Limit 100_000;
+      F.Unknown { reason = "wall-clock"; states = 42; checkpoint = None };
+      F.Unknown
+        {
+          reason = "quota";
+          states = 7;
+          checkpoint = Some "/tmp/ck/mutex-2-3.ckpt";
+        };
+    ]
+  in
+  List.iter
+    (fun status ->
+      let c =
+        {
+          F.task = "mutex";
+          n = 2;
+          m = 3;
+          expectation = F.Clean;
+          status;
+        }
+      in
+      match F.cell_of_record ~floor_of ~coprime_of (F.cell_to_record c) with
+      | None -> Alcotest.failf "codec lost %s" (F.cell_to_record c)
+      | Some c' ->
+          Alcotest.(check string)
+            ("codec round-trip: " ^ F.status_keyword status)
+            (F.cell_to_record c) (F.cell_to_record c');
+          Alcotest.(check bool)
+            "expectation re-derived" true
+            (c'.F.expectation = c.F.expectation))
+    statuses;
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        ("rejects: " ^ bad) true
+        (F.cell_of_record ~floor_of ~coprime_of bad = None))
+    [ ""; "mutex"; "mutex x 3 solved 1 2"; "mutex 2 3 nonsense"; "mutex 2 3 solved 1" ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine kill-and-resume parity                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive an engine closure to completion through repeated small-quota
+   interruptions, resuming from its checkpoint each round.  [step] gets a
+   fresh governor and must return [Ok v] on completion and [Error ()] on
+   exhaustion.  The quota makes interruption points deterministic and
+   scattered across the whole exploration. *)
+let drive ~quota step =
+  let rec go rounds =
+    if rounds > 10_000 then Alcotest.fail "resume loop did not converge"
+    else
+      let g = Gov.create ~quota () in
+      let r = step g in
+      Gov.dispose g;
+      match r with Ok v -> (v, rounds) | Error () -> go (rounds + 1)
+  in
+  go 0
+
+module Snap_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Snapshot)
+
+let test_bfs_resume_parity () =
+  let cfg = Algorithms.Snapshot.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  let reference =
+    match Snap_mc.explore ~cfg ~wiring ~inputs () with
+    | Snap_mc.Explored sp ->
+        (Snap_mc.state_count sp, Snap_mc.transition_count sp,
+         List.length sp.Snap_mc.terminal)
+    | _ -> Alcotest.fail "reference run must complete"
+  in
+  let path = fresh_path ".ckpt" in
+  let ckpt = { Ckpt.path; every_states = 25 } in
+  let (result, rounds) =
+    drive ~quota:60 (fun g ->
+        match
+          Snap_mc.explore ~governor:g ~ckpt ~resume:true ~cfg ~wiring ~inputs ()
+        with
+        | Snap_mc.Explored sp ->
+            Ok
+              (Snap_mc.state_count sp, Snap_mc.transition_count sp,
+               List.length sp.Snap_mc.terminal)
+        | Snap_mc.Exhausted _ -> Error ()
+        | _ -> Alcotest.fail "unexpected BFS verdict")
+  in
+  Alcotest.(check bool) "BFS was actually interrupted" true (rounds > 0);
+  Alcotest.(check (triple int int int))
+    "BFS resume parity" reference result;
+  if Sys.file_exists path then Sys.remove path
+
+let test_dfs_resume_parity () =
+  let cfg = Algorithms.Snapshot.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  let reference =
+    match Snap_mc.check_exhaustive ~cfg ~wiring ~inputs () with
+    | Snap_mc.Dfs_ok s ->
+        (s.Snap_mc.dfs_states, s.Snap_mc.dfs_transitions, s.Snap_mc.dfs_terminals)
+    | _ -> Alcotest.fail "reference DFS must complete"
+  in
+  let path = fresh_path ".ckpt" in
+  let ckpt = { Ckpt.path; every_states = 25 } in
+  let (result, rounds) =
+    drive ~quota:60 (fun g ->
+        match
+          Snap_mc.check_exhaustive ~governor:g ~ckpt ~resume:true ~cfg ~wiring
+            ~inputs ()
+        with
+        | Snap_mc.Dfs_ok s ->
+            Ok
+              (s.Snap_mc.dfs_states, s.Snap_mc.dfs_transitions,
+               s.Snap_mc.dfs_terminals)
+        | Snap_mc.Dfs_exhausted _ -> Error ()
+        | _ -> Alcotest.fail "unexpected DFS verdict")
+  in
+  Alcotest.(check bool) "DFS was actually interrupted" true (rounds > 0);
+  Alcotest.(check (triple int int int)) "DFS resume parity" reference result;
+  if Sys.file_exists path then Sys.remove path
+
+module Snap_fault = Modelcheck.Fault_explorer.Make (Modelcheck.Codecs.Snapshot)
+
+let test_fault_resume_parity () =
+  let cfg = Algorithms.Snapshot.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  let invariant _ = Ok () in
+  let reference =
+    match Snap_fault.explore ~max_crashes:1 ~invariant ~cfg ~wiring ~inputs () with
+    | Snap_fault.Safe s ->
+        (s.Snap_fault.states, s.Snap_fault.transitions, s.Snap_fault.crash_branches)
+    | _ -> Alcotest.fail "reference fault run must complete"
+  in
+  let path = fresh_path ".ckpt" in
+  let ckpt = { Ckpt.path; every_states = 40 } in
+  let (result, rounds) =
+    drive ~quota:100 (fun g ->
+        match
+          Snap_fault.explore ~max_crashes:1 ~governor:g ~ckpt ~resume:true
+            ~invariant ~cfg ~wiring ~inputs ()
+        with
+        | Snap_fault.Safe s ->
+            Ok
+              (s.Snap_fault.states, s.Snap_fault.transitions,
+               s.Snap_fault.crash_branches)
+        | Snap_fault.Exhausted _ -> Error ()
+        | _ -> Alcotest.fail "unexpected fault verdict")
+  in
+  Alcotest.(check bool) "fault run was actually interrupted" true (rounds > 0);
+  Alcotest.(check (triple int int int)) "fault resume parity" reference result;
+  if Sys.file_exists path then Sys.remove path
+
+module Packed = Modelcheck.Rt_mutex_packed
+
+let packed_drive ~cfg ~wiring ~inputs ~quota ~path =
+  let ckpt = { Ckpt.path; every_states = 50 } in
+  drive ~quota (fun g ->
+      match
+        Packed.check_wiring ~governor:g ~ckpt ~resume:true ~cfg ~wiring ~inputs
+          ()
+      with
+      | Packed.Exhausted _ -> Error ()
+      | v -> Ok v)
+
+let test_packed_resume_clean_parity () =
+  let cfg = Algorithms.Rt_mutex.cfg ~n:2 ~m:3 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:3 in
+  let inputs = [| 1; 2 |] in
+  let reference =
+    match Packed.check_wiring ~cfg ~wiring ~inputs () with
+    | Packed.Clean { states } -> states
+    | _ -> Alcotest.fail "reference packed (2,3) must be clean"
+  in
+  let path = fresh_path ".ckpt" in
+  let (v, rounds) = packed_drive ~cfg ~wiring ~inputs ~quota:150 ~path in
+  Alcotest.(check bool) "packed was actually interrupted" true (rounds > 0);
+  (match v with
+  | Packed.Clean { states } ->
+      Alcotest.(check int) "packed clean state parity" reference states
+  | _ -> Alcotest.fail "resumed packed (2,3) must be clean");
+  if Sys.file_exists path then Sys.remove path
+
+let test_packed_resume_cycle_parity () =
+  (* (2,2) is non-coprime: the verdict must survive interruption too *)
+  let cfg = Algorithms.Rt_mutex.cfg ~n:2 ~m:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  let reference = Packed.check_wiring ~cfg ~wiring ~inputs () in
+  (match reference with
+  | Packed.Fair_cycle -> ()
+  | _ -> Alcotest.fail "reference packed (2,2) must deadlock");
+  let path = fresh_path ".ckpt" in
+  let (v, _) = packed_drive ~cfg ~wiring ~inputs ~quota:40 ~path in
+  (match v with
+  | Packed.Fair_cycle -> ()
+  | _ -> Alcotest.fail "resumed packed (2,2) must still deadlock");
+  if Sys.file_exists path then Sys.remove path
+
+let test_verify_mutex_sweep_resume () =
+  let reference =
+    match Core.verify_mutex ~n:2 ~m:3 ~packed:true () with
+    | Core.Verified { wirings; states } -> (wirings, states)
+    | v -> Alcotest.failf "reference sweep: %s" (Fmt.str "%a" Core.pp_verdict v)
+  in
+  let path = fresh_path ".ckpt" in
+  let ckpt = { Ckpt.path; every_states = 100 } in
+  let saw_checkpoint_path = ref false in
+  let rec go rounds =
+    if rounds > 10_000 then Alcotest.fail "sweep resume did not converge"
+    else
+      let g = Gov.create ~quota:400 () in
+      let v =
+        Core.verify_mutex ~n:2 ~m:3 ~packed:true ~governor:g ~ckpt ~resume:true
+          ()
+      in
+      Gov.dispose g;
+      match v with
+      | Core.Verified { wirings; states } -> ((wirings, states), rounds)
+      | Core.Exhausted { checkpoint; _ } ->
+          if checkpoint = Some path then saw_checkpoint_path := true;
+          go (rounds + 1)
+      | v -> Alcotest.failf "sweep: %s" (Fmt.str "%a" Core.pp_verdict v)
+  in
+  let (result, rounds) = go 0 in
+  Alcotest.(check bool) "sweep was actually interrupted" true (rounds > 0);
+  Alcotest.(check bool)
+    "exhausted verdicts name the checkpoint" true !saw_checkpoint_path;
+  Alcotest.(check (pair int int))
+    "verify_mutex sweep resume parity" reference result;
+  if Sys.file_exists path then Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Map-level crash-resume differential                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic stand-in checker covering every status shape the
+   journal must carry (Limit is non-final, so resumed runs recompute it —
+   determinism keeps the final map identical either way). *)
+let stub ~task ~n ~m =
+  match (String.length task + n + m) mod 4 with
+  | 0 -> F.Solved { wirings = n * m; states = (n * 100) + m }
+  | 1 -> F.Safety_broken (Printf.sprintf "%s breaks at %d %d" task n m)
+  | 2 -> F.Deadlock "spin"
+  | _ -> F.Limit (n + m)
+
+let run_map_with_journal path =
+  let grids = F.grids ~quick:true () in
+  let floor_of, coprime_of = F.grid_params grids in
+  let jnl, recovered = J.open_append path in
+  let cached_cells =
+    List.filter_map (F.cell_of_record ~floor_of ~coprime_of) recovered
+    |> List.filter (fun c -> F.status_final c.F.status)
+  in
+  let cached ~task ~n ~m =
+    List.find_map
+      (fun c ->
+        if c.F.task = task && c.F.n = n && c.F.m = m then Some c.F.status
+        else None)
+      cached_cells
+  in
+  let cells =
+    F.run ~cached
+      ~on_fresh:(fun c -> J.append jnl (F.cell_to_record c))
+      ~check:stub grids
+  in
+  J.close jnl;
+  (cells, List.length cached_cells)
+
+let test_map_crash_resume_identical () =
+  let grids = F.grids ~quick:true () in
+  let total = List.length (List.concat_map (fun g -> g.F.g_cells) grids) in
+  let reference = F.to_json (F.run ~check:stub grids) in
+  (* kill at every journal append point, then resume: the final JSON must
+     be byte-identical to the uninterrupted run every time *)
+  for kill_at = 1 to total do
+    let path = fresh_path ".journal" in
+    J.set_crash_after (Some kill_at);
+    (match run_map_with_journal path with
+    | exception J.Simulated_crash -> ()
+    | _ -> Alcotest.failf "kill point %d did not fire" kill_at);
+    J.set_crash_after None;
+    let cells, replayed = run_map_with_journal path in
+    Alcotest.(check bool)
+      (Printf.sprintf "kill %d: resume replayed journal cells" kill_at)
+      true
+      (replayed <= kill_at - 1);
+    Alcotest.(check string)
+      (Printf.sprintf "kill %d: resumed map byte-identical" kill_at)
+      reference (F.to_json cells);
+    Sys.remove path
+  done
+
+let test_map_stop_skips_remaining () =
+  let grids = F.grids ~quick:true () in
+  let count = ref 0 in
+  let cells =
+    F.run
+      ~stop:(fun () -> !count >= 3)
+      ~on_cell:(fun _ -> incr count)
+      ~check:stub grids
+  in
+  Alcotest.(check int) "stopped after 3 cells" 3 (List.length cells)
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervisor_restart_backoff () =
+  let ckpt = fresh_path ".ckpt" in
+  let sleeps = ref [] in
+  let attempts = ref 0 in
+  let outcome =
+    Runtime_shm.Supervisor.supervise ~max_restarts:3 ~backoff_s:0.5
+      ~sleep:(fun s -> sleeps := s :: !sleeps)
+      ~checkpoint:ckpt
+      (fun ~resume_from ->
+        incr attempts;
+        match !attempts with
+        | 1 ->
+            Alcotest.(check (option string)) "first run fresh" None resume_from;
+            write_file ckpt "progress";
+            failwith "crash one"
+        | 2 ->
+            Alcotest.(check (option string))
+              "restart sees the checkpoint" (Some ckpt) resume_from;
+            failwith "crash two"
+        | _ ->
+            Alcotest.(check (option string))
+              "third run still resumes" (Some ckpt) resume_from;
+            "done")
+  in
+  (match outcome with
+  | Runtime_shm.Supervisor.Completed { value; restarts } ->
+      Alcotest.(check string) "value" "done" value;
+      Alcotest.(check int) "restarts" 2 restarts
+  | Runtime_shm.Supervisor.Gave_up _ -> Alcotest.fail "must complete");
+  Alcotest.(check (list (float 1e-9)))
+    "exponential backoff schedule" [ 0.5; 1.0 ] (List.rev !sleeps);
+  Sys.remove ckpt
+
+let test_supervisor_gives_up () =
+  let sleeps = ref 0 in
+  let outcome =
+    Runtime_shm.Supervisor.supervise ~max_restarts:2 ~backoff_s:0.1
+      ~sleep:(fun _ -> incr sleeps)
+      ~checkpoint:(fresh_path ".ckpt")
+      (fun ~resume_from:_ -> failwith "always down")
+  in
+  (match outcome with
+  | Runtime_shm.Supervisor.Gave_up { restarts; last_error } ->
+      Alcotest.(check int) "exhausted restart budget" 2 restarts;
+      Alcotest.(check bool)
+        "error preserved" true
+        (String.length last_error > 0)
+  | Runtime_shm.Supervisor.Completed _ -> Alcotest.fail "cannot complete");
+  Alcotest.(check int) "one sleep per restart" 2 !sleeps
+
+let () =
+  Alcotest.run "durability"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "round-trip" `Quick test_ckpt_roundtrip;
+          Alcotest.test_case "corruption refused" `Quick test_ckpt_corruption;
+          Alcotest.test_case "torn write preserves previous" `Quick
+            test_ckpt_torn_write_preserves_old;
+          Alcotest.test_case "int codec" `Quick test_ints_roundtrip;
+        ] );
+      ( "governor",
+        [
+          Alcotest.test_case "quota is exact and sticky" `Quick
+            test_governor_quota;
+          Alcotest.test_case "zero wall budget" `Quick test_governor_wall_zero;
+          Alcotest.test_case "shared interrupt flag" `Quick
+            test_governor_interrupt_shared;
+          Alcotest.test_case "reason strings" `Quick test_reason_strings;
+        ] );
+      ( "state-table-serialization",
+        [
+          QCheck_alcotest.to_alcotest table_roundtrip;
+          Alcotest.test_case "corrupt table refused" `Quick
+            test_table_corruption;
+          QCheck_alcotest.to_alcotest vec_roundtrip;
+          Alcotest.test_case "corrupt vec refused" `Quick test_vec_corruption;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "round-trip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail heals" `Quick test_journal_torn_tail;
+          Alcotest.test_case "crash hook" `Quick test_journal_crash_hook;
+        ] );
+      ( "cell-codec",
+        [ Alcotest.test_case "record round-trip" `Quick test_cell_codec ] );
+      ( "resume-parity",
+        [
+          Alcotest.test_case "BFS" `Quick test_bfs_resume_parity;
+          Alcotest.test_case "DFS" `Quick test_dfs_resume_parity;
+          Alcotest.test_case "fault explorer" `Quick test_fault_resume_parity;
+          Alcotest.test_case "packed clean cell" `Quick
+            test_packed_resume_clean_parity;
+          Alcotest.test_case "packed deadlock cell" `Quick
+            test_packed_resume_cycle_parity;
+          Alcotest.test_case "verify_mutex sweep" `Quick
+            test_verify_mutex_sweep_resume;
+        ] );
+      ( "map-differential",
+        [
+          Alcotest.test_case "crash at every append point" `Quick
+            test_map_crash_resume_identical;
+          Alcotest.test_case "stop skips remaining cells" `Quick
+            test_map_stop_skips_remaining;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "restart with backoff" `Quick
+            test_supervisor_restart_backoff;
+          Alcotest.test_case "gives up" `Quick test_supervisor_gives_up;
+        ] );
+    ]

@@ -444,6 +444,7 @@ let test_crash_search_catches_planted_bug () =
       Alcotest.(check bool) "witness nonempty" true (v.FE.steps <> [])
   | FE.Safe _ -> Alcotest.fail "planted invariant must fail"
   | FE.State_limit _ -> Alcotest.fail "state limit"
+  | FE.Exhausted _ -> Alcotest.fail "unexpected exhaustion"
 
 let () =
   Alcotest.run "fault"

@@ -146,7 +146,7 @@ let test_first_noncoprime_cells_pinned () =
         | Core.Verified _ -> "verified"
         | Core.Safety_violation _ -> "safety violation"
         | Core.Resource_limit _ -> "limit"
-        | Core.Liveness_violation _ -> assert false));
+        | Core.Liveness_violation _ | Core.Exhausted _ -> assert false));
   (match Core.verify_mutex ~n:3 ~m:2 () with
   | Core.Safety_violation _ -> ()
   | _ -> Alcotest.fail "mutex(3,2): want an exclusion break");

@@ -209,7 +209,8 @@ let test_double_collect_explored () =
       | MCD.Explored space ->
           Alcotest.(check bool) "explored" true (MCD.state_count space > 0)
       | MCD.Invariant_failed _ -> Alcotest.fail "no invariant given"
-      | MCD.State_limit _ -> Alcotest.fail "unexpected state limit")
+      | MCD.State_limit _ -> Alcotest.fail "unexpected state limit"
+      | MCD.Exhausted _ -> Alcotest.fail "unexpected exhaustion")
     (Anonmem.Wiring.enumerate ~n:2 ~m:2 ~fix_first:true)
 
 (* --- the packed 3-processor checker ---------------------------------------- *)

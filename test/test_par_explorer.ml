@@ -51,6 +51,7 @@ module Diff (P : Modelcheck.Explorer.CHECKABLE) = struct
         Alcotest.failf "sequential BFS: unexpected invariant failure: %s"
           v.E.message
     | E.State_limit k -> Alcotest.failf "sequential BFS: state limit %d" k
+    | E.Exhausted _ -> Alcotest.fail "sequential BFS: unexpected exhaustion"
 
   let par_bfs ?invariant ?stop_expansion ?(reduction = false) ~domains ~cfg
       ~wiring ~inputs () =
@@ -130,6 +131,7 @@ module Diff (P : Modelcheck.Explorer.CHECKABLE) = struct
     | E.Dfs_invariant_failed { message; _ } ->
         Alcotest.failf "%s: DFS unexpected invariant failure: %s" name message
     | E.Dfs_state_limit k -> Alcotest.failf "%s: DFS state limit %d" name k
+    | E.Dfs_exhausted _ -> Alcotest.failf "%s: DFS unexpected exhaustion" name
 
   (* Counterexample parity on a violating configuration: all engines must
      report the violation, BFS traces must have equal (minimal) length,

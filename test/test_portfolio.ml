@@ -29,6 +29,7 @@ let verdict_kind = function
   | Core.Safety_violation _ -> "safety"
   | Core.Liveness_violation _ -> "liveness"
   | Core.Resource_limit _ -> "limit"
+  | Core.Exhausted _ -> "exhausted"
 
 (* --- clean cells: three-engine agreement --------------------------------- *)
 
