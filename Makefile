@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-mc bench-fuzz bench-portfolio mc-smoke mc-long fuzz-smoke fuzz-long fault-smoke faults-long portfolio-smoke portfolio-long feasibility resume-smoke clean
+.PHONY: build test bench bench-mc bench-fuzz bench-portfolio mc-smoke mc-long fuzz-smoke fuzz-long fault-smoke faults-long portfolio-smoke portfolio-long feasibility resume-smoke coverage clean
 
 build:
 	dune build @all
@@ -147,6 +147,24 @@ resume-smoke:
 	cmp _resume_smoke/reference.json _resume_smoke/resumed.json
 	@echo "resume-smoke: resumed map byte-identical to uninterrupted run"
 
+# Line-coverage report over the library code.  Requires the bisect_ppx
+# backend (`opam install bisect_ppx`); the (instrumentation) stanzas in
+# the lib dune files are inert without it, so regular builds and tests
+# never pay for it or need it installed.  Writes the per-file summary to
+# _coverage/summary.txt and an HTML report to _coverage/html/.
+coverage:
+	@command -v bisect-ppx-report >/dev/null 2>&1 || \
+	  { echo "coverage: bisect_ppx is not installed (opam install bisect_ppx)"; exit 1; }
+	rm -rf _coverage && mkdir -p _coverage
+	find . -name '*.coverage' -not -path './_opam/*' -delete
+	BISECT_FILE=$(CURDIR)/_coverage/bisect \
+	  dune runtest --force --instrument-with bisect_ppx
+	bisect-ppx-report summary --per-file _coverage/bisect*.coverage \
+	  | tee _coverage/summary.txt
+	bisect-ppx-report html -o _coverage/html _coverage/bisect*.coverage
+	@echo "coverage: open _coverage/html/index.html"
+
 clean:
 	dune clean
-	rm -rf _resume_smoke
+	rm -rf _resume_smoke _coverage
+	find . -name '*.coverage' -not -path './_opam/*' -delete 2>/dev/null || true

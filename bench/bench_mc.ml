@@ -37,11 +37,17 @@ module Par = Modelcheck.Par_explorer.Make (P)
 
 type row = {
   case : string;
-  engine : string; (* "seq" | "par" *)
+  engine : string; (* "seq" | "seq-pruned" | "par" *)
   domains : int;
   reduction : bool;
   states : int;
   transitions : int;
+  pruned : int;
+      (** successors skipped by the proved-invariant oracle; 0 for
+          unpruned rows, and 0 by construction on pruned rows (a proved
+          invariant never fires on a reachable state) — the column pins
+          reachable-state parity, the candidate-universe fields carry
+          the reduction claim *)
   wall_s : float;
   live_words : int;  (** retained words of the explored space *)
   top_heap_words : int;  (** process heap high-water mark at row end *)
@@ -96,30 +102,34 @@ let layout_comparison : (int * int) option ref = ref None
 
 let mib_of_words w = float_of_int (w * (Sys.word_size / 8)) /. 1048576.
 
-let seq_case ?stop_expansion ~case ~reduction ~cfg ~wiring ~inputs () =
+let seq_case ?stop_expansion ?prune ~case ~reduction ~cfg ~wiring ~inputs () =
   let space, wall_s, live_words, top_heap_words =
     measure (fun () ->
-        match E.explore ?stop_expansion ~reduction ~cfg ~wiring ~inputs () with
+        match
+          E.explore ?stop_expansion ?prune ~reduction ~cfg ~wiring ~inputs ()
+        with
         | E.Explored sp -> sp
         | _ -> failwith (case ^ ": sequential exploration did not complete"))
   in
   let states = E.state_count space
   and transitions = E.transition_count space in
+  let engine = if prune = None then "seq" else "seq-pruned" in
   rows :=
     {
       case;
-      engine = "seq";
+      engine;
       domains = 1;
       reduction;
       states;
       transitions;
+      pruned = space.E.pruned;
       wall_s;
       live_words;
       top_heap_words;
     }
     :: !rows;
-  Printf.printf "%-24s seq        %s %9d states %9d trans %8.2fs %8.1f MiB\n%!"
-    case
+  Printf.printf "%-24s %-10s %s %9d states %9d trans %8.2fs %8.1f MiB\n%!"
+    case engine
     (if reduction then "red  " else "full ")
     states transitions wall_s (mib_of_words live_words);
   (space, live_words)
@@ -140,6 +150,7 @@ let par_case ~case ~domains ~reduction ~cfg ~wiring ~inputs () =
       reduction;
       states;
       transitions;
+      pruned = 0;
       wall_s;
       live_words;
       top_heap_words;
@@ -150,11 +161,37 @@ let par_case ~case ~domains ~reduction ~cfg ~wiring ~inputs () =
     (if reduction then "red  " else "full ")
     states transitions wall_s (mib_of_words live_words)
 
+(* The proved-invariant pruning oracle (Inductive.proved passes both
+   induction obligations at this n, so states violating it are
+   unreachable and the pruned sweep must reproduce the unpruned space
+   exactly — asserted below, not assumed). *)
+let prune_oracle cfg inputs (st : E.state) =
+  Modelcheck.Inductive.violates_state ~cfg ~inputs Modelcheck.Inductive.proved
+    ~locals:st.E.locals ~registers:st.E.registers
+
+(* Run the pruned twin of a sequential row and hard-fail the benchmark on
+   any reachable-state disparity: verdict parity is the soundness claim,
+   the row's wall-clock delta is the oracle's evaluation overhead. *)
+let pruned_twin ?stop_expansion ~case ~reduction ~cfg ~wiring ~inputs
+    (base_space : E.space) =
+  let space, _ =
+    seq_case ?stop_expansion ~prune:(prune_oracle cfg inputs) ~case ~reduction
+      ~cfg ~wiring ~inputs ()
+  in
+  if
+    E.state_count space <> E.state_count base_space
+    || E.transition_count space <> E.transition_count base_space
+  then failwith (case ^ ": pruned run lost reachable-state parity");
+  if space.E.pruned <> 0 then
+    failwith (case ^ ": proved invariant pruned a reachable state")
+
 let run_matrix ?(measure_layout = false) ~case ~domain_counts ~cfg ~wiring
     ~inputs () =
+  let full_space = ref None in
   List.iter
     (fun reduction ->
       let space, live = seq_case ~case ~reduction ~cfg ~wiring ~inputs () in
+      if not reduction then full_space := Some space;
       if measure_layout && not reduction then begin
         let seed = seed_layout_words space in
         layout_comparison := Some (seed, live);
@@ -167,9 +204,10 @@ let run_matrix ?(measure_layout = false) ~case ~domain_counts ~cfg ~wiring
         (fun domains ->
           par_case ~case ~domains ~reduction ~cfg ~wiring ~inputs ())
         domain_counts)
-    [ false; true ]
+    [ false; true ];
+  Option.get !full_space
 
-let json_of_rows rows ~reduction_factor ~layout =
+let json_of_rows rows ~reduction_factor ~layout ~universe =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"bench\": \"mc\",\n";
@@ -189,16 +227,27 @@ let json_of_rows rows ~reduction_factor ~layout =
         (Printf.sprintf "  \"headline_memory_factor\": %.2f,\n"
            (float_of_int seed /. float_of_int arena))
   | None -> ());
+  (let u = universe in
+   Buffer.add_string b
+     (Printf.sprintf "  \"invariant_universe_n4_syn_states\": %d,\n"
+        u.Modelcheck.Inductive.u_syn_states);
+   Buffer.add_string b
+     (Printf.sprintf "  \"invariant_universe_n4_adm_states\": %d,\n"
+        u.Modelcheck.Inductive.u_adm_states);
+   Buffer.add_string b
+     (Printf.sprintf "  \"invariant_candidate_state_reduction_n4\": %.2f,\n"
+        (float_of_int u.Modelcheck.Inductive.u_syn_states
+        /. float_of_int u.Modelcheck.Inductive.u_adm_states)));
   Buffer.add_string b "  \"cases\": [\n";
   List.iteri
     (fun i r ->
       Buffer.add_string b
         (Printf.sprintf
            "    {\"case\": %S, \"engine\": %S, \"domains\": %d, \"reduction\": \
-            %b, \"states\": %d, \"transitions\": %d, \"wall_s\": %.3f, \
-            \"live_words\": %d, \"top_heap_words\": %d}%s\n"
-           r.case r.engine r.domains r.reduction r.states r.transitions r.wall_s
-           r.live_words r.top_heap_words
+            %b, \"states\": %d, \"transitions\": %d, \"pruned\": %d, \
+            \"wall_s\": %.3f, \"live_words\": %d, \"top_heap_words\": %d}%s\n"
+           r.case r.engine r.domains r.reduction r.states r.transitions
+           r.pruned r.wall_s r.live_words r.top_heap_words
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ]\n}\n";
@@ -214,16 +263,27 @@ let () =
     | _ :: w :: _ -> w
     | _ -> assert false
   in
-  run_matrix ~measure_layout:quick ~case:"snapshot_n2_group"
-    ~domain_counts:[ 1; 2; 4 ] ~cfg:cfg2 ~wiring:group_wiring2
-    ~inputs:[| 1; 1 |] ();
+  let sp2 =
+    run_matrix ~measure_layout:quick ~case:"snapshot_n2_group"
+      ~domain_counts:[ 1; 2; 4 ] ~cfg:cfg2 ~wiring:group_wiring2
+      ~inputs:[| 1; 1 |] ()
+  in
+  pruned_twin ~case:"snapshot_n2_group" ~reduction:false ~cfg:cfg2
+    ~wiring:group_wiring2 ~inputs:[| 1; 1 |] sp2;
   (* n = 3, identity wiring, single input class: |G| = 6, ~2M raw states. *)
   if not quick then begin
-    run_matrix ~measure_layout:true ~case:"snapshot_n3_identity"
-      ~domain_counts:[ 1; 2; 4 ]
-      ~cfg:(Snap.standard ~n:3)
-      ~wiring:(Anonmem.Wiring.identity ~n:3 ~m:3)
-      ~inputs:[| 1; 1; 1 |] ();
+    let cfg3 = Snap.standard ~n:3 in
+    let wiring3 = Anonmem.Wiring.identity ~n:3 ~m:3 in
+    let sp3 =
+      run_matrix ~measure_layout:true ~case:"snapshot_n3_identity"
+        ~domain_counts:[ 1; 2; 4 ] ~cfg:cfg3 ~wiring:wiring3
+        ~inputs:[| 1; 1; 1 |] ()
+    in
+    (* The pruned twin of the n=3 full row: the invariant passed
+       induction at n=3 (anonsim inductive --check -n 3), so parity is a
+       theorem this row re-verifies empirically. *)
+    pruned_twin ~case:"snapshot_n3_identity" ~reduction:false ~cfg:cfg3
+      ~wiring:wiring3 ~inputs:[| 1; 1; 1 |] sp3;
     (* n = 4, identity wiring, bounded depth: expansion stops once two
        processors have completed a scan — a symmetric predicate, so the
        reduced run explores the true quotient of the bounded space.
@@ -245,9 +305,12 @@ let () =
     let cfg4 = Snap.cfg ~n:4 ~m:4 in
     let wiring4 = Anonmem.Wiring.identity ~n:4 ~m:4 in
     let inputs4 = [| 1; 1; 1; 1 |] in
-    ignore
-      (seq_case ~stop_expansion:stop_two_scans ~case:"snapshot_n4_bounded"
-         ~reduction:true ~cfg:cfg4 ~wiring:wiring4 ~inputs:inputs4 ())
+    let sp4, _ =
+      seq_case ~stop_expansion:stop_two_scans ~case:"snapshot_n4_bounded"
+        ~reduction:true ~cfg:cfg4 ~wiring:wiring4 ~inputs:inputs4 ()
+    in
+    pruned_twin ~stop_expansion:stop_two_scans ~case:"snapshot_n4_bounded"
+      ~reduction:true ~cfg:cfg4 ~wiring:wiring4 ~inputs:inputs4 sp4
   end;
   let ordered = List.rev !rows in
   let headline = if quick then "snapshot_n2_group" else "snapshot_n3_identity" in
@@ -262,9 +325,24 @@ let () =
         float_of_int full.states /. float_of_int red.states
     | _ -> nan
   in
+  (* Candidate-universe accounting at n=4 from the closed-form counter:
+     syntactic local assignments vs assignments admitted by the proved
+     clauses — the measured candidate-state reduction the pruning oracle
+     represents on the bounded row. *)
+  let universe =
+    Modelcheck.Inductive.universe_counts ~n:4 Modelcheck.Inductive.proved
+  in
+  Printf.printf
+    "invariant universe @ n=4: %d syntactic -> %d admitted local \
+     assignments (%.1fx candidate-state reduction)\n"
+    universe.Modelcheck.Inductive.u_syn_states
+    universe.Modelcheck.Inductive.u_adm_states
+    (float_of_int universe.Modelcheck.Inductive.u_syn_states
+    /. float_of_int universe.Modelcheck.Inductive.u_adm_states);
   let oc = open_out "BENCH_mc.json" in
   output_string oc
-    (json_of_rows ordered ~reduction_factor ~layout:!layout_comparison);
+    (json_of_rows ordered ~reduction_factor ~layout:!layout_comparison
+       ~universe);
   close_out oc;
   (match !layout_comparison with
   | Some (seed, arena) ->

@@ -218,19 +218,30 @@ let snapshot_invariant cfg inputs (st : Snapshot_mc.state) =
     switches to the parallel engine ({!Modelcheck.Par_explorer}) with that
     many worker domains.  Both engines return the same summary type and
     agree on every verdict (asserted by the differential suite). *)
+let snapshot_prune_oracle cfg inputs (st : Snapshot_mc.state) =
+  Modelcheck.Inductive.violates_state ~cfg ~inputs
+    Modelcheck.Inductive.proved ~locals:st.Snapshot_mc.locals
+    ~registers:st.Snapshot_mc.registers
+
 let verify_snapshot_model ?(n = 3) ?(inputs = None) ?max_states
-    ?(reduction = false) ?(domains = 1) ?governor ?ckpt ?(resume = false) () =
+    ?(reduction = false) ?(domains = 1) ?(prune_with_invariant = false)
+    ?governor ?ckpt ?(resume = false) () =
   let inputs = match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1) in
   let cfg = Algorithms.Snapshot.standard ~n in
+  let prune =
+    if prune_with_invariant then Some (snapshot_prune_oracle cfg inputs)
+    else None
+  in
   if domains > 1 then
     (* The parallel engine shares no checkpointable sweep position; run
-       it unbudgeted (callers wanting durability use domains = 1). *)
+       it unbudgeted and unpruned (callers wanting durability or pruning
+       use domains = 1). *)
     Snapshot_par_mc.check_all_wirings ?max_states ~reduction ~domains
       ~invariant:(snapshot_invariant cfg inputs)
       ~cfg ~inputs ()
   else
-    Snapshot_mc.check_all_wirings ?max_states ~reduction ?governor ?ckpt
-      ~resume
+    Snapshot_mc.check_all_wirings ?max_states ~reduction ?prune ?governor
+      ?ckpt ~resume
       ~invariant:(snapshot_invariant cfg inputs)
       ~cfg ~inputs ()
 
@@ -250,13 +261,18 @@ module Snapshot_fault_mc =
     territory (a crash-stopped processor is exactly one that is never
     scheduled again). *)
 let verify_snapshot_model_crashes ?(n = 2) ?(inputs = None) ?(max_crashes = 1)
-    ?max_states ?(reduction = false) ?governor () =
+    ?max_states ?(reduction = false) ?(prune_with_invariant = false) ?governor
+    () =
   let inputs =
     match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1)
   in
   let cfg = Algorithms.Snapshot.standard ~n in
+  let prune =
+    if prune_with_invariant then Some (snapshot_prune_oracle cfg inputs)
+    else None
+  in
   Snapshot_fault_mc.check_all_wirings ?max_states ~max_crashes ~reduction
-    ?governor
+    ?prune ?governor
     ~invariant:(snapshot_invariant cfg inputs)
     ~cfg ~inputs ()
 
@@ -568,7 +584,7 @@ let verify_mutex ?(n = 2) ?(m = 3) ?cfg ?max_states ?(reduction = false)
               ~resume:(resume_idx = Some idx)
               ~cfg ~wiring ~inputs ()
           with
-          | Modelcheck.Rt_mutex_packed.Clean { states = k } ->
+          | Modelcheck.Rt_mutex_packed.Clean { states = k; _ } ->
               go (idx + 1) (wcount + 1) (states + k)
           | Modelcheck.Rt_mutex_packed.Limit k -> Resource_limit k
           | Modelcheck.Rt_mutex_packed.Exhausted { reason; states = k } ->

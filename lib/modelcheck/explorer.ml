@@ -86,6 +86,10 @@ type summary = {
   max_space_states : int;
   total_transitions : int;
   terminal_states : int;
+  total_pruned : int;
+      (** successors skipped by the [~prune] oracle; 0 when pruning is
+          off, and 0 by construction when the oracle is a proved
+          invariant (its violating states are unreachable) *)
   all_wait_free : bool;
 }
 (** Aggregate of a [check_all_wirings] sweep.  Defined outside the functor
@@ -99,6 +103,7 @@ let empty_summary =
     max_space_states = 0;
     total_transitions = 0;
     terminal_states = 0;
+    total_pruned = 0;
     all_wait_free = true;
   }
 
@@ -218,6 +223,9 @@ module Make (P : CHECKABLE) = struct
             adjacency image; [deg] delimits the per-source runs *)
     deg : State_table.Packed_vec.t;  (** id -> out-degree (expanded ids) *)
     terminal : int list;  (** ids of states where all processors halted *)
+    pruned : int;
+        (** candidate successors skipped by the [~prune] oracle — not
+            interned, not edges; 0 when pruning was off *)
   }
 
   let state_count space = State_table.length space.table
@@ -272,11 +280,15 @@ module Make (P : CHECKABLE) = struct
       whose successors should not be explored — used to bound protocols
       with unbounded state.  [progress] is called every [2^20] states.
       [reduction] explores the symmetry quotient instead (visited keys are
-      canonical orbit minima); invariant and [stop_expansion] must then be
-      symmetric predicates. *)
+      canonical orbit minima); invariant, [stop_expansion] and [prune] must
+      then be symmetric predicates.  [prune] (default: never) drops
+      candidate successor states without interning them — sound exactly
+      when pruned states are unreachable, e.g. states violating an
+      invariant {e proved} inductive by {!Inductive.check_abstract}; the
+      drop count is reported in [space.pruned]. *)
   let explore ?(max_states = 50_000_000) ?invariant ?stop_expansion ?progress
-      ?(reduction = false) ?governor ?ckpt ?(resume = false) ~cfg ~wiring
-      ~inputs () =
+      ?(reduction = false) ?prune ?governor ?ckpt ?(resume = false) ~cfg
+      ~wiring ~inputs () =
     guard_processors ~engine:"Explorer.explore" (P.processors cfg);
     let canon = if reduction then Some (canon_of ~cfg ~wiring ~inputs) else None in
     let canonical key =
@@ -287,8 +299,8 @@ module Make (P : CHECKABLE) = struct
        the step relation.  A mismatched resume is a structured error, not
        a silently wrong exploration. *)
     let context =
-      Fmt.str "bfs|%d|%a|%b|%S" (key_width cfg) Anonmem.Wiring.pp wiring
-        reduction
+      Fmt.str "bfs|%d|%a|%b|%b|%S" (key_width cfg) Anonmem.Wiring.pp wiring
+        reduction (prune <> None)
         (canonical (encode_state cfg (init_state ~cfg ~inputs)))
     in
     let resumed =
@@ -322,6 +334,13 @@ module Make (P : CHECKABLE) = struct
             State_table.Packed_vec.create ~stride:1 (),
             ref [] )
     in
+    let pruned =
+      ref
+        (match resumed with
+        | Some sections ->
+            (Checkpoint.ints_of_bytes (Checkpoint.find "pruned" sections)).(0)
+        | None -> 0)
+    in
     let save_ckpt path =
       Checkpoint.save ~path
         [
@@ -331,6 +350,7 @@ module Make (P : CHECKABLE) = struct
           ("succ", State_table.Packed_vec.serialize succ);
           ("deg", State_table.Packed_vec.serialize deg);
           ("terminal", Checkpoint.bytes_of_ints (Array.of_list !terminal));
+          ("pruned", Checkpoint.bytes_of_ints [| !pruned |]);
         ]
     in
     let queue = Queue.create () in
@@ -408,9 +428,15 @@ module Make (P : CHECKABLE) = struct
                   limit_hit := true
                 else begin
                   let st' = successor cfg wiring st p in
-                  let id' = add_state st' ~from:((id lsl 4) lor p) in
-                  ignore
-                    (State_table.Packed_vec.push succ ((id' lsl 4) lor p))
+                  match prune with
+                  | Some f when f st' ->
+                      (* unreachable by the proved invariant: neither
+                         interned nor recorded as an edge *)
+                      incr pruned
+                  | _ ->
+                      let id' = add_state st' ~from:((id lsl 4) lor p) in
+                      ignore
+                        (State_table.Packed_vec.push succ ((id' lsl 4) lor p))
                 end)
               en
       end;
@@ -441,6 +467,7 @@ module Make (P : CHECKABLE) = struct
           succ;
           deg;
           terminal = List.rev !terminal;
+          pruned = !pruned;
         }
       in
       match !violation with
@@ -659,6 +686,7 @@ module Make (P : CHECKABLE) = struct
     dfs_transitions : int;
     dfs_terminals : int;
     dfs_max_depth : int;
+    dfs_pruned : int;  (** successors skipped by the [~prune] oracle *)
   }
 
   type dfs_result =
@@ -689,16 +717,17 @@ module Make (P : CHECKABLE) = struct
       obstruction-free (e.g. consensus), where cycles are expected and only
       the invariant is being checked. *)
   let check_exhaustive ?(max_states = 100_000_000) ?(fail_on_cycle = true)
-      ?invariant ?stop_expansion ?progress ?(reduction = false) ?governor
-      ?ckpt ?(resume = false) ?(ckpt_extra = []) ~cfg ~wiring ~inputs () =
+      ?invariant ?stop_expansion ?progress ?(reduction = false) ?prune
+      ?governor ?ckpt ?(resume = false) ?(ckpt_extra = []) ~cfg ~wiring
+      ~inputs () =
     guard_processors ~engine:"Explorer.check_exhaustive" (P.processors cfg);
     let canon = if reduction then Some (canon_of ~cfg ~wiring ~inputs) else None in
     let canonical key =
       match canon with Some c -> Canon.canonicalize c key | None -> key
     in
     let context =
-      Fmt.str "dfs|%d|%a|%b|%b|%S" (key_width cfg) Anonmem.Wiring.pp wiring
-        reduction fail_on_cycle
+      Fmt.str "dfs|%d|%a|%b|%b|%b|%S" (key_width cfg) Anonmem.Wiring.pp wiring
+        reduction fail_on_cycle (prune <> None)
         (canonical (encode_state cfg (init_state ~cfg ~inputs)))
     in
     let resumed =
@@ -726,12 +755,14 @@ module Make (P : CHECKABLE) = struct
     (* 1 = gray (on the DFS path), 2 = black (done) *)
     let n = P.processors cfg in
     let transitions = ref 0 and terminals = ref 0 and max_depth = ref 0 in
+    let pruned = ref 0 in
     let stats () =
       {
         dfs_states = State_table.length table;
         dfs_transitions = !transitions;
         dfs_terminals = !terminals;
         dfs_max_depth = !max_depth;
+        dfs_pruned = !pruned;
       }
     in
     let outcome = ref None in
@@ -764,14 +795,15 @@ module Make (P : CHECKABLE) = struct
         let counters =
           Checkpoint.ints_of_bytes (Checkpoint.find "counters" sections)
         in
-        if Array.length counters <> 4 then
+        if Array.length counters <> 5 then
           raise
             (Checkpoint.Corrupt_checkpoint
                "Explorer.check_exhaustive: counter section of wrong length");
         transitions := counters.(0);
         terminals := counters.(1);
         max_depth := counters.(2);
-        depth := counters.(3)
+        depth := counters.(3);
+        pruned := counters.(4)
     | None -> ());
     let save_ckpt path =
       let frames =
@@ -788,7 +820,7 @@ module Make (P : CHECKABLE) = struct
            ("frames", Checkpoint.bytes_of_ints frames);
            ( "counters",
              Checkpoint.bytes_of_ints
-               [| !transitions; !terminals; !max_depth; !depth |] );
+               [| !transitions; !terminals; !max_depth; !depth; !pruned |] );
          ]
         @ ckpt_extra)
     in
@@ -892,6 +924,9 @@ module Make (P : CHECKABLE) = struct
               any_enabled := true;
               incr transitions;
               let st' = successor cfg wiring st p in
+              match prune with
+              | Some f when f st' -> incr pruned
+              | _ -> (
               let key' = canonical (encode_state cfg st') in
               match State_table.find table key' with
               | None ->
@@ -918,7 +953,7 @@ module Make (P : CHECKABLE) = struct
                              processors = List.sort_uniq compare pids;
                              stats = stats ();
                            })
-                  end
+                  end)
             end
           end
       end
@@ -947,11 +982,12 @@ module Make (P : CHECKABLE) = struct
       s.max_space_states;
       s.total_transitions;
       s.terminal_states;
+      s.total_pruned;
       (if s.all_wait_free then 1 else 0);
     |]
 
   let sweep_of_ints a =
-    if Array.length a <> 7 then
+    if Array.length a <> 8 then
       raise
         (Checkpoint.Corrupt_checkpoint "sweep section of wrong length");
     ( a.(0),
@@ -961,11 +997,12 @@ module Make (P : CHECKABLE) = struct
         max_space_states = a.(3);
         total_transitions = a.(4);
         terminal_states = a.(5);
-        all_wait_free = a.(6) = 1;
+        total_pruned = a.(6);
+        all_wait_free = a.(7) = 1;
       } )
 
   let check_all_wirings ?max_states ?invariant ?(require_wait_free = true)
-      ?on_wiring ?wirings ?(reduction = false) ?governor ?ckpt
+      ?on_wiring ?wirings ?(reduction = false) ?prune ?governor ?ckpt
       ?(resume = false) ~cfg ~inputs () =
     let n = P.processors cfg and m = P.registers cfg in
     let wirings =
@@ -997,8 +1034,9 @@ module Make (P : CHECKABLE) = struct
           [ ("sweep", Checkpoint.bytes_of_ints (sweep_to_ints idx summary)) ]
         in
         match
-          check_exhaustive ?max_states ?invariant ~reduction ?governor ?ckpt
-            ~resume:(resume_idx = Some idx) ~ckpt_extra ~cfg ~wiring ~inputs ()
+          check_exhaustive ?max_states ?invariant ~reduction ?prune ?governor
+            ?ckpt ~resume:(resume_idx = Some idx) ~ckpt_extra ~cfg ~wiring
+            ~inputs ()
         with
         | Dfs_exhausted { reason; stats } ->
             Error
@@ -1015,6 +1053,7 @@ module Make (P : CHECKABLE) = struct
                 summary with
                 wirings_checked = summary.wirings_checked + 1;
                 total_states = summary.total_states + stats.dfs_states;
+                total_pruned = summary.total_pruned + stats.dfs_pruned;
                 all_wait_free = false;
               }
             in
@@ -1037,6 +1076,7 @@ module Make (P : CHECKABLE) = struct
                 total_transitions =
                   summary.total_transitions + stats.dfs_transitions;
                 terminal_states = summary.terminal_states + stats.dfs_terminals;
+                total_pruned = summary.total_pruned + stats.dfs_pruned;
               }
             in
             (match on_wiring with Some f -> f wiring summary | None -> ());

@@ -43,7 +43,8 @@
 open Algorithms
 
 type verdict =
-  | Clean of { states : int }  (** swept exhaustively, no violation *)
+  | Clean of { states : int; pruned : int }
+      (** swept exhaustively, no violation *)
   | Breach  (** mutual-exclusion invariant or audit tripwire violated *)
   | Fair_cycle  (** deadlock: a fair SCC is reachable *)
   | Limit of int  (** state cap hit *)
@@ -273,8 +274,8 @@ let reset_ws w =
   Vec.reset w.ws_fr_pid;
   Vec.reset w.ws_fr_epid
 
-let check_wiring ?ws:reuse ?max_states ?governor ?ckpt ?(ckpt_extra = [])
-    ?(resume = false) ~cfg ~wiring ~inputs () =
+let check_wiring ?ws:reuse ?max_states ?prune ?governor ?ckpt
+    ?(ckpt_extra = []) ?(resume = false) ~cfg ~wiring ~inputs () =
   let n = Rt_mutex.processors cfg in
   let m = Rt_mutex.registers cfg in
   if n < 1 || n > 3 || Array.length inputs <> n then Unsupported
@@ -347,6 +348,7 @@ let check_wiring ?ws:reuse ?max_states ?governor ?ckpt ?(ckpt_extra = [])
          root pop [emask] is then exactly the SCC's internal-edge pid
          set — the fairness check needs no second pass over members. *)
       let count = ref 0 in
+      let pruned = ref 0 in
       let w = match reuse with Some w -> reset_ws w; w | None -> ws () in
       let tab = w.ws_tab in
       let low = w.ws_low and emask = w.ws_emask in
@@ -363,7 +365,8 @@ let check_wiring ?ws:reuse ?max_states ?governor ?ckpt ?(ckpt_extra = [])
          load), the per-id bookkeeping vectors, the SCC stack and the
          four frame vectors.  The loop top is the consistent point. *)
       let context =
-        Fmt.str "packed|%d|%d|%a|%s" n m Anonmem.Wiring.pp wiring
+        Fmt.str "packed|%d|%d|%a|%b|%s" n m Anonmem.Wiring.pp wiring
+          (prune <> None)
           (String.concat "," (List.map string_of_int (Array.to_list inputs)))
       in
       let vec_bytes v = Checkpoint.bytes_of_ints (Array.sub v.Vec.a 0 v.Vec.len) in
@@ -399,7 +402,7 @@ let check_wiring ?ws:reuse ?max_states ?governor ?ckpt ?(ckpt_extra = [])
           ([
              ("context", Bytes.of_string context);
              ("itab", itab_bytes ());
-             ("counters", Checkpoint.bytes_of_ints [| !count |]);
+             ("counters", Checkpoint.bytes_of_ints [| !count; !pruned |]);
              ("low", vec_bytes w.ws_low);
              ("emask", vec_bytes w.ws_emask);
              ("onstack", vec_bytes w.ws_onstack);
@@ -424,11 +427,12 @@ let check_wiring ?ws:reuse ?max_states ?governor ?ckpt ?(ckpt_extra = [])
             let counters =
               Checkpoint.ints_of_bytes (Checkpoint.find "counters" sections)
             in
-            if Array.length counters <> 1 then
+            if Array.length counters <> 2 then
               raise
                 (Checkpoint.Corrupt_checkpoint
                    "Rt_mutex_packed: counter section of wrong length");
             count := counters.(0);
+            pruned := counters.(1);
             restore_vec w.ws_low (Checkpoint.find "low" sections);
             restore_vec w.ws_emask (Checkpoint.find "emask" sections);
             restore_vec w.ws_onstack (Checkpoint.find "onstack" sections);
@@ -501,6 +505,9 @@ let check_wiring ?ws:reuse ?max_states ?governor ?ckpt ?(ckpt_extra = [])
             Vec.set fr_pid fi (pid + 1);
             let s' = succ_of (Vec.get fr_s fi) pid in
             if s' >= 0 then begin
+              match prune with
+              | Some f when f s' -> incr pruned
+              | _ ->
               let r = Itab.find_or_add tab s' !count in
               if r < 0 then push_state s' pid
               else if Vec.get onstack r = 1 then begin
@@ -533,7 +540,7 @@ let check_wiring ?ws:reuse ?max_states ?governor ?ckpt ?(ckpt_extra = [])
       in
       try
         run ();
-        Clean { states = !count }
+        Clean { states = !count; pruned = !pruned }
       with
       | Found_breach -> Breach
       | Found_fair -> Fair_cycle

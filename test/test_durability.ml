@@ -522,14 +522,14 @@ let test_packed_resume_clean_parity () =
   let inputs = [| 1; 2 |] in
   let reference =
     match Packed.check_wiring ~cfg ~wiring ~inputs () with
-    | Packed.Clean { states } -> states
+    | Packed.Clean { states; _ } -> states
     | _ -> Alcotest.fail "reference packed (2,3) must be clean"
   in
   let path = fresh_path ".ckpt" in
   let (v, rounds) = packed_drive ~cfg ~wiring ~inputs ~quota:150 ~path in
   Alcotest.(check bool) "packed was actually interrupted" true (rounds > 0);
   (match v with
-  | Packed.Clean { states } ->
+  | Packed.Clean { states; _ } ->
       Alcotest.(check int) "packed clean state parity" reference states
   | _ -> Alcotest.fail "resumed packed (2,3) must be clean");
   if Sys.file_exists path then Sys.remove path

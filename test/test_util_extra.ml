@@ -1,0 +1,243 @@
+(* Direct unit tests for the small utility modules the analyses lean on:
+   Digraph (differential against a brute-force transitive closure) and
+   Stats (known distributions plus a naive nearest-rank oracle). *)
+
+open Repro_util
+
+(* --- digraph: brute-force oracle ------------------------------------------ *)
+
+(* Adjacency matrix closure.  [path.(u).(v)] = a path of >= 1 edge;
+   [reach] additionally admits the empty path. *)
+let closure n edges =
+  let path = Array.make_matrix n n false in
+  List.iter (fun (u, v) -> path.(u).(v) <- true) edges;
+  for k = 0 to n - 1 do
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if path.(u).(k) && path.(k).(v) then path.(u).(v) <- true
+      done
+    done
+  done;
+  path
+
+let graph_of n edges =
+  let g = Digraph.create n in
+  List.iter (fun (u, v) -> Digraph.add_edge g u v) edges;
+  g
+
+let sorted l = List.sort compare l
+
+let check_graph_against_oracle name n edges =
+  let g = graph_of n edges in
+  let path = closure n edges in
+  let reach u v = u = v || path.(u).(v) in
+  Alcotest.(check int) (name ^ ": vertex_count") n (Digraph.vertex_count g);
+  Alcotest.(check int)
+    (name ^ ": edge_count")
+    (List.length edges) (Digraph.edge_count g);
+  (* successors: exactly the recorded out-edges, duplicates kept *)
+  for u = 0 to n - 1 do
+    Alcotest.(check (list int))
+      (Fmt.str "%s: successors of %d" name u)
+      (sorted (List.filter_map (fun (a, b) -> if a = u then Some b else None) edges))
+      (sorted (Digraph.successors g u))
+  done;
+  (* acyclicity <=> no vertex reaches itself through >= 1 edge *)
+  let acyclic = ref true in
+  for v = 0 to n - 1 do
+    if path.(v).(v) then acyclic := false
+  done;
+  Alcotest.(check bool) (name ^ ": is_acyclic") !acyclic (Digraph.is_acyclic g);
+  (* self loops *)
+  for v = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Fmt.str "%s: self loop at %d" name v)
+      (List.mem (v, v) edges)
+      (Digraph.has_self_loop g v)
+  done;
+  (* sources: no incoming edge *)
+  Alcotest.(check (list int))
+    (name ^ ": sources")
+    (sorted
+       (List.filter
+          (fun v -> not (List.exists (fun (_, b) -> b = v) edges))
+          (List.init n Fun.id)))
+    (sorted (Digraph.sources g));
+  (* reachability from every singleton and one two-element seed set *)
+  let check_reachable starts =
+    let r = Digraph.reachable_from g starts in
+    for v = 0 to n - 1 do
+      Alcotest.(check bool)
+        (Fmt.str "%s: reach %a -> %d" name Fmt.(Dump.list int) starts v)
+        (List.exists (fun s -> reach s v) starts)
+        r.(v)
+    done
+  in
+  for s = 0 to n - 1 do
+    check_reachable [ s ]
+  done;
+  if n >= 2 then check_reachable [ 0; n - 1 ];
+  (* SCCs: the mutual-reachability partition, as a set of sorted lists *)
+  let comps = Digraph.sccs g in
+  let expected_partition =
+    let seen = Array.make n false in
+    let out = ref [] in
+    for v = 0 to n - 1 do
+      if not seen.(v) then begin
+        let comp =
+          List.filter (fun u -> reach v u && reach u v) (List.init n Fun.id)
+        in
+        List.iter (fun u -> seen.(u) <- true) comp;
+        out := sorted comp :: !out
+      end
+    done;
+    sorted !out
+  in
+  Alcotest.(check (list (list int)))
+    (name ^ ": sccs partition") expected_partition
+    (sorted (List.map sorted comps));
+  (* scc_ids agrees with the partition and numbers components in reverse
+     topological order: every cross-component edge points to an
+     earlier-numbered (sink-ward) component *)
+  let ids, count = Digraph.scc_ids g in
+  Alcotest.(check int) (name ^ ": scc count") (List.length comps) count;
+  List.iter
+    (fun comp ->
+      match comp with
+      | [] -> Alcotest.fail "empty SCC"
+      | v :: rest ->
+          List.iter
+            (fun u ->
+              Alcotest.(check int)
+                (Fmt.str "%s: comp ids of %d and %d" name v u)
+                ids.(v) ids.(u))
+            rest)
+    comps;
+  List.iter
+    (fun (u, v) ->
+      if ids.(u) <> ids.(v) then
+        Alcotest.(check bool)
+          (Fmt.str "%s: edge %d->%d is sink-ward" name u v)
+          true
+          (ids.(v) < ids.(u)))
+    edges
+
+let test_digraph_known () =
+  (* hand-picked shapes: a DAG, a cycle, a two-SCC chain, self loops *)
+  check_graph_against_oracle "dag" 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ];
+  check_graph_against_oracle "cycle" 3 [ (0, 1); (1, 2); (2, 0) ];
+  check_graph_against_oracle "two sccs" 4
+    [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ];
+  check_graph_against_oracle "self loop" 2 [ (0, 0); (0, 1) ];
+  check_graph_against_oracle "empty" 3 [];
+  check_graph_against_oracle "duplicates" 2 [ (0, 1); (0, 1) ];
+  check_graph_against_oracle "singleton" 1 []
+
+let graph_arb =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 8 >>= fun n ->
+      list_size (int_bound 20) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+      >>= fun edges -> return (n, edges))
+  in
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Fmt.str "n=%d edges=%a" n Fmt.(Dump.list (Dump.pair int int)) edges)
+    gen
+
+let prop_digraph_random =
+  QCheck.Test.make ~name:"digraph agrees with the brute-force closure"
+    graph_arb (fun (n, edges) ->
+      check_graph_against_oracle "random" n edges;
+      true)
+
+(* --- stats ---------------------------------------------------------------- *)
+
+let test_stats_known () =
+  (match Stats.summarize [ 3; 1; 2 ] with
+  | Some s ->
+      Alcotest.(check int) "count" 3 s.Stats.count;
+      Alcotest.(check int) "min" 1 s.Stats.min;
+      Alcotest.(check int) "max" 3 s.Stats.max;
+      Alcotest.(check int) "median" 2 s.Stats.median;
+      Alcotest.(check int) "p90" 3 s.Stats.p90;
+      Alcotest.(check (float 1e-9)) "mean" 2.0 s.Stats.mean;
+      Alcotest.(check (float 1e-9)) "stddev" (sqrt (2.0 /. 3.0)) s.Stats.stddev;
+      (* the printer is part of the experiment-log format *)
+      Alcotest.(check string) "pp"
+        "n=3 min=1 med=2 p90=3 max=3 mean=2.0"
+        (Fmt.str "%a" Stats.pp_summary s)
+  | None -> Alcotest.fail "summarize on a non-empty list");
+  Alcotest.(check bool) "empty list" true (Stats.summarize [] = None);
+  Alcotest.(check bool) "empty median" true (Stats.median [] = None);
+  Alcotest.(check bool) "empty percentile" true (Stats.percentile 0.9 [] = None);
+  (* a constant sample *)
+  match Stats.summarize [ 5; 5; 5; 5 ] with
+  | Some s ->
+      Alcotest.(check int) "constant median" 5 s.Stats.median;
+      Alcotest.(check (float 1e-9)) "constant stddev" 0.0 s.Stats.stddev
+  | None -> Alcotest.fail "summarize on a constant list"
+
+(* Independent nearest-rank implementation: the smallest sorted index
+   whose cumulative share reaches q. *)
+let naive_percentile q xs =
+  match List.sort compare xs with
+  | [] -> None
+  | xs ->
+      let n = List.length xs in
+      let rec find i = function
+        | [ last ] -> last
+        | x :: rest ->
+            if float_of_int (i + 1) >= q *. float_of_int n then x
+            else find (i + 1) rest
+        | [] -> assert false
+      in
+      Some (find 0 xs)
+
+let samples_arb =
+  QCheck.make
+    ~print:(fun (xs, q) -> Fmt.str "%a @ %.2f" Fmt.(Dump.list int) xs q)
+    QCheck.Gen.(
+      pair
+        (list_size (int_bound 30) (int_range (-50) 50))
+        (float_bound_inclusive 1.0))
+
+let prop_percentile_nearest_rank =
+  QCheck.Test.make ~name:"percentile matches the naive nearest-rank oracle"
+    samples_arb (fun (xs, q) ->
+      QCheck.assume (q > 0.0);
+      Stats.percentile q xs = naive_percentile q xs)
+
+let prop_summary_bounds =
+  QCheck.Test.make ~name:"summary fields are ordered and within range"
+    (QCheck.make
+       ~print:(fun xs -> Fmt.str "%a" Fmt.(Dump.list int) xs)
+       QCheck.Gen.(list_size (int_range 1 30) (int_range (-50) 50)))
+    (fun xs ->
+      match Stats.summarize xs with
+      | None -> false
+      | Some s ->
+          s.Stats.min <= s.Stats.median
+          && s.Stats.median <= s.Stats.p90
+          && s.Stats.p90 <= s.Stats.max
+          && s.Stats.mean >= float_of_int s.Stats.min
+          && s.Stats.mean <= float_of_int s.Stats.max
+          && s.Stats.stddev >= 0.0
+          && List.mem s.Stats.median xs
+          && List.mem s.Stats.p90 xs)
+
+let () =
+  Alcotest.run "util-extra"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "known shapes vs oracle" `Quick test_digraph_known;
+          QCheck_alcotest.to_alcotest prop_digraph_random;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "known distributions" `Quick test_stats_known;
+          QCheck_alcotest.to_alcotest prop_percentile_nearest_rank;
+          QCheck_alcotest.to_alcotest prop_summary_bounds;
+        ] );
+    ]
