@@ -37,7 +37,7 @@ module Par = Modelcheck.Par_explorer.Make (P)
 
 type row = {
   case : string;
-  engine : string; (* "seq" | "seq-pruned" | "par" *)
+  engine : string; (* "seq" | "seq-pruned" | "par" | "ws" | "fp" *)
   domains : int;
   reduction : bool;
   states : int;
@@ -51,9 +51,40 @@ type row = {
   wall_s : float;
   live_words : int;  (** retained words of the explored space *)
   top_heap_words : int;  (** process heap high-water mark at row end *)
+  spill_bytes : int;  (** fingerprint rows: bytes written to disk runs *)
+  omission_bound : float;  (** fingerprint rows: states^2 / 2^64 *)
+  rss_kb : int;
+      (** VmHWM at row end — the process-wide resident high-water mark,
+          monotone across rows, so RAM-cap claims must be read off rows
+          that run *before* the larger exact explorations *)
 }
 
 let rows : row list ref = ref []
+
+(* Peak resident set (VmHWM, kB) from /proc/self/status; 0 when the
+   field is unavailable (non-Linux hosts). *)
+let vm_hwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | line ->
+            let acc =
+              if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+                try
+                  Scanf.sscanf
+                    (String.sub line 6 (String.length line - 6))
+                    " %d" Fun.id
+                with Scanf.Scan_failure _ | Failure _ -> acc
+              else acc
+            in
+            go acc
+        | exception End_of_file ->
+            close_in ic;
+            acc
+      in
+      go 0
 
 let measure f =
   Gc.compact ();
@@ -126,6 +157,9 @@ let seq_case ?stop_expansion ?prune ~case ~reduction ~cfg ~wiring ~inputs () =
       wall_s;
       live_words;
       top_heap_words;
+      spill_bytes = 0;
+      omission_bound = 0.0;
+      rss_kb = vm_hwm_kb ();
     }
     :: !rows;
   Printf.printf "%-24s %-10s %s %9d states %9d trans %8.2fs %8.1f MiB\n%!"
@@ -154,12 +188,98 @@ let par_case ~case ~domains ~reduction ~cfg ~wiring ~inputs () =
       wall_s;
       live_words;
       top_heap_words;
+      spill_bytes = 0;
+      omission_bound = 0.0;
+      rss_kb = vm_hwm_kb ();
     }
     :: !rows;
   Printf.printf "%-24s par x%d     %s %9d states %9d trans %8.2fs %8.1f MiB\n%!"
     case domains
     (if reduction then "red  " else "full ")
     states transitions wall_s (mib_of_words live_words)
+
+module Ws = Modelcheck.Ws_explorer.Make (P)
+
+let ws_case ~case ~domains ~reduction ~cfg ~wiring ~inputs () =
+  let stats, wall_s, live_words, top_heap_words =
+    measure (fun () ->
+        match Ws.explore ~reduction ~domains ~cfg ~wiring ~inputs () with
+        | Ws.Ws_ok { stats; _ } -> stats
+        | _ -> failwith (case ^ ": work-stealing exploration did not complete"))
+  in
+  let states = stats.Ws.states and transitions = stats.Ws.transitions in
+  rows :=
+    {
+      case;
+      engine = "ws";
+      domains;
+      reduction;
+      states;
+      transitions;
+      pruned = 0;
+      wall_s;
+      live_words;
+      top_heap_words;
+      spill_bytes = 0;
+      omission_bound = 0.0;
+      rss_kb = vm_hwm_kb ();
+    }
+    :: !rows;
+  Printf.printf
+    "%-24s ws  x%d     %s %9d states %9d trans %8.2fs %6d steals\n%!" case
+    domains
+    (if reduction then "red  " else "full ")
+    states transitions wall_s stats.Ws.steals
+
+(* A fingerprint row: RAM-bounded safety-only exploration.  [expect]
+   (when the exact twin already ran) pins state/transition parity hard;
+   the n=4 row runs *before* its exact twin so its VmHWM reading is its
+   own, and is cross-checked post hoc. *)
+let fp_case ?stop_expansion ?expect ~case ~reduction ~ram_budget_bytes ~cfg
+    ~wiring ~inputs () =
+  let st, wall_s, live_words, top_heap_words =
+    measure (fun () ->
+        match
+          E.explore_fp ?stop_expansion ~reduction ~ram_budget_bytes ~cfg
+            ~wiring ~inputs ()
+        with
+        | E.Fp_explored st -> st
+        | _ -> failwith (case ^ ": fingerprint exploration did not complete"))
+  in
+  (match expect with
+  | Some (states, transitions)
+    when states <> st.E.fp_states || transitions <> st.E.fp_transitions ->
+      failwith (case ^ ": fingerprint run lost parity with the exact engine")
+  | _ -> ());
+  let rss_kb = vm_hwm_kb () in
+  rows :=
+    {
+      case;
+      engine = "fp";
+      domains = 1;
+      reduction;
+      states = st.E.fp_states;
+      transitions = st.E.fp_transitions;
+      pruned = st.E.fp_pruned;
+      wall_s;
+      live_words;
+      top_heap_words;
+      spill_bytes = st.E.fp_bytes_spilled;
+      omission_bound = st.E.fp_bound;
+      rss_kb;
+    }
+    :: !rows;
+  Printf.printf
+    "%-24s fp (%3dMiB) %s %9d states %9d trans %8.2fs %2d runs %8.1f MiB \
+     spilled, bound %.3g, VmHWM %.1f MiB\n\
+     %!"
+    case
+    (ram_budget_bytes / 1048576)
+    (if reduction then "red  " else "full ")
+    st.E.fp_states st.E.fp_transitions wall_s st.E.fp_runs
+    (float_of_int st.E.fp_bytes_spilled /. 1048576.)
+    st.E.fp_bound
+    (float_of_int rss_kb /. 1024.)
 
 (* The proved-invariant pruning oracle (Inductive.proved passes both
    induction obligations at this n, so states violating it are
@@ -202,7 +322,8 @@ let run_matrix ?(measure_layout = false) ~case ~domain_counts ~cfg ~wiring
       end;
       List.iter
         (fun domains ->
-          par_case ~case ~domains ~reduction ~cfg ~wiring ~inputs ())
+          par_case ~case ~domains ~reduction ~cfg ~wiring ~inputs ();
+          ws_case ~case ~domains ~reduction ~cfg ~wiring ~inputs ())
         domain_counts)
     [ false; true ];
   Option.get !full_space
@@ -245,9 +366,11 @@ let json_of_rows rows ~reduction_factor ~layout ~universe =
         (Printf.sprintf
            "    {\"case\": %S, \"engine\": %S, \"domains\": %d, \"reduction\": \
             %b, \"states\": %d, \"transitions\": %d, \"pruned\": %d, \
-            \"wall_s\": %.3f, \"live_words\": %d, \"top_heap_words\": %d}%s\n"
+            \"wall_s\": %.3f, \"live_words\": %d, \"top_heap_words\": %d, \
+            \"spill_bytes\": %d, \"omission_bound\": %.3g, \"rss_kb\": %d}%s\n"
            r.case r.engine r.domains r.reduction r.states r.transitions
-           r.pruned r.wall_s r.live_words r.top_heap_words
+           r.pruned r.wall_s r.live_words r.top_heap_words r.spill_bytes
+           r.omission_bound r.rss_kb
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ]\n}\n";
@@ -270,20 +393,17 @@ let () =
   in
   pruned_twin ~case:"snapshot_n2_group" ~reduction:false ~cfg:cfg2
     ~wiring:group_wiring2 ~inputs:[| 1; 1 |] sp2;
+  (* Fingerprint twins of the n=2 rows: a deliberately starved 1 KiB
+     budget forces the disk-spill path even on this tiny space. *)
+  fp_case ~case:"snapshot_n2_group" ~reduction:false ~ram_budget_bytes:1024
+    ~expect:(E.state_count sp2, E.transition_count sp2)
+    ~cfg:cfg2 ~wiring:group_wiring2 ~inputs:[| 1; 1 |] ();
+  fp_case ~case:"snapshot_n2_group" ~reduction:true ~ram_budget_bytes:1024
+    ~cfg:cfg2 ~wiring:group_wiring2 ~inputs:[| 1; 1 |] ();
   (* n = 3, identity wiring, single input class: |G| = 6, ~2M raw states. *)
   if not quick then begin
     let cfg3 = Snap.standard ~n:3 in
     let wiring3 = Anonmem.Wiring.identity ~n:3 ~m:3 in
-    let sp3 =
-      run_matrix ~measure_layout:true ~case:"snapshot_n3_identity"
-        ~domain_counts:[ 1; 2; 4 ] ~cfg:cfg3 ~wiring:wiring3
-        ~inputs:[| 1; 1; 1 |] ()
-    in
-    (* The pruned twin of the n=3 full row: the invariant passed
-       induction at n=3 (anonsim inductive --check -n 3), so parity is a
-       theorem this row re-verifies empirically. *)
-    pruned_twin ~case:"snapshot_n3_identity" ~reduction:false ~cfg:cfg3
-      ~wiring:wiring3 ~inputs:[| 1; 1; 1 |] sp3;
     (* n = 4, identity wiring, bounded depth: expansion stops once two
        processors have completed a scan — a symmetric predicate, so the
        reduced run explores the true quotient of the bounded space.
@@ -305,6 +425,34 @@ let () =
     let cfg4 = Snap.cfg ~n:4 ~m:4 in
     let wiring4 = Anonmem.Wiring.identity ~n:4 ~m:4 in
     let inputs4 = [| 1; 1; 1; 1 |] in
+    (* The headline fingerprint row runs FIRST: VmHWM is process-wide
+       and monotone, so the RAM-cap claim (the 28.5M-state n=4 quotient
+       to a verdict inside a 128 MiB fingerprint budget, spill engaged)
+       must be read before the exact giants raise the high-water mark.
+       Parity with the exact n=4 row is asserted post hoc below. *)
+    fp_case ~stop_expansion:stop_two_scans ~case:"snapshot_n4_bounded"
+      ~reduction:true
+      ~ram_budget_bytes:(128 * 1024 * 1024)
+      ~cfg:cfg4 ~wiring:wiring4 ~inputs:inputs4 ();
+    let sp3 =
+      run_matrix ~measure_layout:true ~case:"snapshot_n3_identity"
+        ~domain_counts:[ 1; 2; 4 ] ~cfg:cfg3 ~wiring:wiring3
+        ~inputs:[| 1; 1; 1 |] ()
+    in
+    (* The pruned twin of the n=3 full row: the invariant passed
+       induction at n=3 (anonsim inductive --check -n 3), so parity is a
+       theorem this row re-verifies empirically. *)
+    pruned_twin ~case:"snapshot_n3_identity" ~reduction:false ~cfg:cfg3
+      ~wiring:wiring3 ~inputs:[| 1; 1; 1 |] sp3;
+    (* Fingerprint twins at 4 MiB — enough to force several spill runs
+       on the ~2M-state space while matching the exact counts. *)
+    fp_case ~case:"snapshot_n3_identity" ~reduction:false
+      ~ram_budget_bytes:(4 * 1024 * 1024)
+      ~expect:(E.state_count sp3, E.transition_count sp3)
+      ~cfg:cfg3 ~wiring:wiring3 ~inputs:[| 1; 1; 1 |] ();
+    fp_case ~case:"snapshot_n3_identity" ~reduction:true
+      ~ram_budget_bytes:(4 * 1024 * 1024)
+      ~cfg:cfg3 ~wiring:wiring3 ~inputs:[| 1; 1; 1 |] ();
     let sp4, _ =
       seq_case ~stop_expansion:stop_two_scans ~case:"snapshot_n4_bounded"
         ~reduction:true ~cfg:cfg4 ~wiring:wiring4 ~inputs:inputs4 ()
@@ -313,6 +461,25 @@ let () =
       ~reduction:true ~cfg:cfg4 ~wiring:wiring4 ~inputs:inputs4 sp4
   end;
   let ordered = List.rev !rows in
+  (* Cross-engine parity, post hoc: every fingerprint and work-stealing
+     row must agree with the sequential row of its (case, reduction)
+     cell — this is the check that covers rows whose exact twin ran
+     after them (the n=4 fingerprint row) and every reduced twin. *)
+  List.iter
+    (fun r ->
+      if r.engine = "fp" || r.engine = "ws" then
+        match
+          List.find_opt
+            (fun s ->
+              s.engine = "seq" && s.case = r.case && s.reduction = r.reduction)
+            ordered
+        with
+        | Some s when s.states <> r.states || s.transitions <> r.transitions ->
+            failwith
+              (Printf.sprintf "%s: %s row lost parity with the exact engine"
+                 r.case r.engine)
+        | _ -> ())
+    ordered;
   let headline = if quick then "snapshot_n2_group" else "snapshot_n3_identity" in
   let find ~reduction =
     List.find_opt

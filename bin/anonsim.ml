@@ -186,6 +186,38 @@ let check_snapshot_cmd =
             "Explore with N worker domains (the sharded layer-synchronous \
              parallel engine).  N=1 keeps the sequential explorer.")
   in
+  let par_ws_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "par-ws" ] ~docv:"N"
+          ~doc:
+            "Explore with N worker domains using the work-stealing engine \
+             (Chase-Lev frontier deques, no layer barriers).  Supports \
+             $(b,--max-seconds) but not $(b,--checkpoint) (there is no \
+             consistent cut to snapshot without stopping the pool).  \
+             Mutually exclusive with $(b,--par) and $(b,--fingerprint).")
+  in
+  let fingerprint_arg =
+    Arg.(
+      value & flag
+      & info [ "fingerprint" ]
+          ~doc:
+            "Use the hash-compacted fingerprint engine: visited states are \
+             64-bit fingerprints in a RAM tier capped by $(b,--fp-ram-mb), \
+             spilling sorted runs to disk past the budget.  Safety-only \
+             (wait-freedom is not decided) and lossy with a quantified \
+             error: the summary reports the birthday omission bound \
+             (states^2 / 2^64).  Supports $(b,--checkpoint), $(b,--resume) \
+             and $(b,--max-seconds).")
+  in
+  let fp_ram_mb_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "fp-ram-mb" ] ~docv:"MB"
+          ~doc:
+            "RAM budget (MiB) for the fingerprint engine's in-memory tier; \
+             past 3/4 load the tier spills to sorted on-disk runs.")
+  in
   let reduce_arg =
     Arg.(
       value & flag
@@ -223,9 +255,25 @@ let check_snapshot_cmd =
             "Wall-clock budget; on expiry the run writes a final \
              checkpoint (with $(b,--checkpoint)) and exits with code 3.")
   in
-  let run n max_states crashes par reduce checkpoint resume max_seconds =
+  let run n max_states crashes par par_ws fingerprint fp_ram_mb reduce
+      checkpoint resume max_seconds =
     if par < 1 then `Error (true, "--par must be at least 1")
-    else if par > 1 && (checkpoint <> None || max_seconds <> None) then
+    else if par_ws < 0 then `Error (true, "--par-ws must be at least 1")
+    else if par_ws > 0 && par > 1 then
+      `Error (true, "--par and --par-ws are mutually exclusive")
+    else if fingerprint && (par > 1 || par_ws > 0) then
+      `Error
+        (true, "--fingerprint is a sequential engine (drop --par/--par-ws)")
+    else if par_ws > 0 && checkpoint <> None then
+      `Error
+        ( true,
+          "--par-ws has no checkpoint support; use --max-seconds for bounded \
+           runs" )
+    else if fp_ram_mb < 1 then `Error (true, "--fp-ram-mb must be at least 1")
+    else if
+      (not fingerprint) && par > 1
+      && (checkpoint <> None || max_seconds <> None)
+    then
       `Error
         ( true,
           "--checkpoint/--max-seconds require the sequential engine (--par 1)"
@@ -244,6 +292,20 @@ let check_snapshot_cmd =
         (fun path -> { Modelcheck.Checkpoint.path; every_states = 100_000 })
         checkpoint
     in
+    (* The resume command must reproduce every flag baked into the
+       checkpoint's context fingerprint — a mismatched engine or
+       reduction setting is refused on load. *)
+    let resume_hint f =
+      Printf.printf
+        "resume with: anonsim check-snapshot -n %d%s%s --checkpoint %s \
+         --resume\n"
+        n
+        (if reduce then " --reduce" else "")
+        (if fingerprint then
+           Printf.sprintf " --fingerprint --fp-ram-mb %d" fp_ram_mb
+         else "")
+        f
+    in
     let finish_durably e =
       (* The sweep returns a plain [Error] for budget trips too; the
          governor's sticky verdict tells the two apart from a genuine
@@ -251,67 +313,94 @@ let check_snapshot_cmd =
       match Option.map Modelcheck.Governor.tripped governor with
       | Some (Some Modelcheck.Governor.Interrupted) ->
           Printf.printf "interrupted: %s\n" e;
-          (match checkpoint with
-          | Some f ->
-              Printf.printf
-                "resume with: anonsim check-snapshot -n %d --checkpoint %s \
-                 --resume\n"
-                n f
-          | None -> ());
+          Option.iter resume_hint checkpoint;
           Stdlib.exit exit_interrupted
       | Some (Some _) ->
           Printf.printf "budget exhausted: %s\n" e;
-          (match checkpoint with
-          | Some f ->
-              Printf.printf
-                "resume with: anonsim check-snapshot -n %d --checkpoint %s \
-                 --resume\n"
-                n f
-          | None -> ());
+          Option.iter resume_hint checkpoint;
           Stdlib.exit exit_exhausted
       | _ ->
           prerr_endline e;
           Stdlib.exit exit_violation
     in
-    match
-      Core.verify_snapshot_model ~n ?max_states ~reduction:reduce ~domains:par
-        ?governor ?ckpt ~resume ()
-    with
-    | Error e -> finish_durably e
-    | Ok s -> (
-        (* A clean verdict retires the checkpoint: resuming a finished
-           run must start over, not replay a stale position. *)
-        (match checkpoint with
-        | Some f when Sys.file_exists f -> Sys.remove f
-        | _ -> ());
-        Printf.printf
-          "verified: snapshot algorithm correct and wait-free for n=%d\n" n;
-        Printf.printf
-          "wirings: %d, states: %d (largest space %d), transitions: %d, \
-           terminal states: %d\n"
-          s.Modelcheck.Explorer.wirings_checked s.Modelcheck.Explorer.total_states
-          s.Modelcheck.Explorer.max_space_states s.Modelcheck.Explorer.total_transitions
-          s.Modelcheck.Explorer.terminal_states;
-        if crashes <= 0 then `Ok ()
-        else
-          match
-            Core.verify_snapshot_model_crashes ~n ~max_crashes:crashes
-              ?max_states ~reduction:reduce ?governor ()
-          with
-          | Error e -> finish_durably e
-          | Ok fs ->
-              Printf.printf
-                "verified: containment safety holds for n=%d under at most %d \
-                 injected crash-stop(s)\n"
-                n crashes;
-              Printf.printf
-                "wirings: %d, states: %d, transitions: %d (of which %d crash \
-                 branches)\n"
-                fs.Core.Snapshot_fault_mc.wirings_checked
-                fs.Core.Snapshot_fault_mc.total_states
-                fs.Core.Snapshot_fault_mc.total_transitions
-                fs.Core.Snapshot_fault_mc.total_crash_branches;
-              `Ok ())
+    (* A clean verdict retires the checkpoint: resuming a finished run
+       must start over, not replay a stale position. *)
+    let retire_checkpoint () =
+      match checkpoint with
+      | Some f when Sys.file_exists f -> Sys.remove f
+      | _ -> ()
+    in
+    let check_crashes () =
+      if crashes <= 0 then `Ok ()
+      else
+        match
+          Core.verify_snapshot_model_crashes ~n ~max_crashes:crashes
+            ?max_states ~reduction:reduce ?governor ()
+        with
+        | Error e -> finish_durably e
+        | Ok fs ->
+            Printf.printf
+              "verified: containment safety holds for n=%d under at most %d \
+               injected crash-stop(s)\n"
+              n crashes;
+            Printf.printf
+              "wirings: %d, states: %d, transitions: %d (of which %d crash \
+               branches)\n"
+              fs.Core.Snapshot_fault_mc.wirings_checked
+              fs.Core.Snapshot_fault_mc.total_states
+              fs.Core.Snapshot_fault_mc.total_transitions
+              fs.Core.Snapshot_fault_mc.total_crash_branches;
+            `Ok ()
+    in
+    if fingerprint then
+      match
+        Core.verify_snapshot_model_fp ~n ?max_states ~reduction:reduce
+          ~ram_budget_bytes:(fp_ram_mb * 1024 * 1024)
+          ?governor ?ckpt ~resume ()
+      with
+      | Error e -> finish_durably e
+      | Ok s ->
+          retire_checkpoint ();
+          Printf.printf
+            "verified (fingerprint engine): containment safety holds for \
+             n=%d\n"
+            n;
+          Printf.printf
+            "wirings: %d, states: %d (largest space %d), transitions: %d, \
+             terminal states: %d\n"
+            s.Modelcheck.Explorer.fp_wirings
+            s.Modelcheck.Explorer.fp_total_states
+            s.Modelcheck.Explorer.fp_max_space_states
+            s.Modelcheck.Explorer.fp_total_transitions
+            s.Modelcheck.Explorer.fp_terminal_states;
+          Printf.printf
+            "omission bound: %.3g (birthday, states^2 / 2^64); spilled runs: \
+             %d (%d bytes)\n"
+            s.Modelcheck.Explorer.fp_omission_bound
+            s.Modelcheck.Explorer.fp_spilled_runs
+            s.Modelcheck.Explorer.fp_spill_bytes;
+          Printf.printf
+            "note: safety only — the fingerprint engine stores no edges, so \
+             wait-freedom is not decided\n";
+          check_crashes ()
+    else
+      match
+        Core.verify_snapshot_model ~n ?max_states ~reduction:reduce
+          ~domains:(if par_ws > 0 then par_ws else par)
+          ~ws:(par_ws > 0) ?governor ?ckpt ~resume ()
+      with
+      | Error e -> finish_durably e
+      | Ok s ->
+          retire_checkpoint ();
+          Printf.printf
+            "verified: snapshot algorithm correct and wait-free for n=%d\n" n;
+          Printf.printf
+            "wirings: %d, states: %d (largest space %d), transitions: %d, \
+             terminal states: %d\n"
+            s.Modelcheck.Explorer.wirings_checked s.Modelcheck.Explorer.total_states
+            s.Modelcheck.Explorer.max_space_states s.Modelcheck.Explorer.total_transitions
+            s.Modelcheck.Explorer.terminal_states;
+          check_crashes ()
     end
   in
   Cmd.v
@@ -321,7 +410,11 @@ let check_snapshot_cmd =
           (containment safety + wait-freedom) over all wirings — the \
           paper's TLC claim.  With $(b,--crashes) K, additionally \
           re-verify safety under at most K injected crash-stop faults.  \
-          $(b,--par) N shards the exploration over N domains; $(b,--reduce) \
+          $(b,--par) N shards the exploration over N domains \
+          (layer-synchronous); $(b,--par-ws) N uses the work-stealing pool \
+          instead; $(b,--fingerprint) switches to the RAM-bounded \
+          hash-compaction engine (safety only, quantified omission bound); \
+          $(b,--reduce) \
           switches on symmetry reduction.  $(b,--checkpoint), \
           $(b,--resume) and $(b,--max-seconds) make the run durable: \
           exploration state is snapshotted atomically and an interrupted \
@@ -330,7 +423,8 @@ let check_snapshot_cmd =
     Term.(
       ret
         (const run $ n_arg ~default:2 $ max_states_arg $ crashes_arg $ par_arg
-       $ reduce_arg $ checkpoint_arg $ resume_arg $ max_seconds_arg))
+       $ par_ws_arg $ fingerprint_arg $ fp_ram_mb_arg $ reduce_arg
+       $ checkpoint_arg $ resume_arg $ max_seconds_arg))
 
 (* check-nonatomic: the Section-8 claim *)
 

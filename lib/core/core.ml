@@ -181,6 +181,7 @@ let lower_bound_demo ~n () = Analysis.Lower_bound.run ~n ()
 module Snapshot_mc = Modelcheck.Explorer.Make (Modelcheck.Codecs.Snapshot)
 module Snapshot_par_mc =
   Modelcheck.Par_explorer.Make (Modelcheck.Codecs.Snapshot)
+module Snapshot_ws_mc = Modelcheck.Ws_explorer.Make (Modelcheck.Codecs.Snapshot)
 
 (** The strong snapshot invariant checked during model checking: every
     pair of outputs produced so far is related by containment, every
@@ -224,18 +225,24 @@ let snapshot_prune_oracle cfg inputs (st : Snapshot_mc.state) =
     ~registers:st.Snapshot_mc.registers
 
 let verify_snapshot_model ?(n = 3) ?(inputs = None) ?max_states
-    ?(reduction = false) ?(domains = 1) ?(prune_with_invariant = false)
-    ?governor ?ckpt ?(resume = false) () =
+    ?(reduction = false) ?(domains = 1) ?(ws = false)
+    ?(prune_with_invariant = false) ?governor ?ckpt ?(resume = false) () =
   let inputs = match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1) in
   let cfg = Algorithms.Snapshot.standard ~n in
   let prune =
     if prune_with_invariant then Some (snapshot_prune_oracle cfg inputs)
     else None
   in
-  if domains > 1 then
-    (* The parallel engine shares no checkpointable sweep position; run
-       it unbudgeted and unpruned (callers wanting durability or pruning
-       use domains = 1). *)
+  if domains > 1 && ws then
+    (* Work-stealing engine: governed but not checkpointable (no
+       consistent cut without stopping the pool) and unpruned. *)
+    Snapshot_ws_mc.check_all_wirings ?max_states ~reduction ?governor ~domains
+      ~invariant:(snapshot_invariant cfg inputs)
+      ~cfg ~inputs ()
+  else if domains > 1 then
+    (* The layer-synchronous engine shares no checkpointable sweep
+       position; run it unbudgeted and unpruned (callers wanting
+       durability or pruning use domains = 1). *)
     Snapshot_par_mc.check_all_wirings ?max_states ~reduction ~domains
       ~invariant:(snapshot_invariant cfg inputs)
       ~cfg ~inputs ()
@@ -244,6 +251,31 @@ let verify_snapshot_model ?(n = 3) ?(inputs = None) ?max_states
       ?ckpt ~resume
       ~invariant:(snapshot_invariant cfg inputs)
       ~cfg ~inputs ()
+
+(** RAM-bounded, safety-only variant of {!verify_snapshot_model}: the
+    hash-compacted fingerprint engine
+    ({!Modelcheck.Explorer.Make.check_all_wirings_fp}) sweeps the same
+    wirings under [ram_budget_bytes] of visited-set RAM, spilling sorted
+    fingerprint runs to disk past the budget.  The summary's
+    [fp_omission_bound] (birthday bound, states² · 2⁻⁶⁴) qualifies the
+    verdict; wait-freedom is {e not} decided (no edges are stored) — use
+    the exact engines for liveness.  Supports the full
+    governor/checkpoint/resume contract of the sequential engine. *)
+let verify_snapshot_model_fp ?(n = 3) ?(inputs = None) ?max_states
+    ?(reduction = false) ?(prune_with_invariant = false) ?ram_budget_bytes
+    ?batch_states ?spill_dir ?governor ?ckpt ?(resume = false) () =
+  let inputs =
+    match inputs with Some i -> i | None -> Array.init n (fun i -> i + 1)
+  in
+  let cfg = Algorithms.Snapshot.standard ~n in
+  let prune =
+    if prune_with_invariant then Some (snapshot_prune_oracle cfg inputs)
+    else None
+  in
+  Snapshot_mc.check_all_wirings_fp ?max_states ~reduction ?prune
+    ?ram_budget_bytes ?batch_states ?spill_dir ?governor ?ckpt ~resume
+    ~invariant:(snapshot_invariant cfg inputs)
+    ~cfg ~inputs ()
 
 module Snapshot_fault_mc =
   Modelcheck.Fault_explorer.Make (Modelcheck.Codecs.Snapshot)

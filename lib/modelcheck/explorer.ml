@@ -107,6 +107,38 @@ let empty_summary =
     all_wait_free = true;
   }
 
+type fp_summary = {
+  fp_wirings : int;
+  fp_total_states : int;
+  fp_max_space_states : int;
+  fp_total_transitions : int;
+  fp_terminal_states : int;
+  fp_total_pruned : int;
+  fp_omission_bound : float;
+      (** union bound over the per-wiring birthday bounds: the probability
+          that {e any} state anywhere in the sweep was omitted by a 64-bit
+          fingerprint collision *)
+  fp_spilled_runs : int;
+  fp_spill_bytes : int;
+}
+(** Aggregate of a {!Make.check_all_wirings_fp} sweep.  The fingerprint
+    engine stores no edges, so — unlike {!summary} — there is no
+    wait-freedom verdict: it is a safety-only engine whose answer is
+    qualified by [fp_omission_bound]. *)
+
+let empty_fp_summary =
+  {
+    fp_wirings = 0;
+    fp_total_states = 0;
+    fp_max_space_states = 0;
+    fp_total_transitions = 0;
+    fp_terminal_states = 0;
+    fp_total_pruned = 0;
+    fp_omission_bound = 0.0;
+    fp_spilled_runs = 0;
+    fp_spill_bytes = 0;
+  }
+
 module Make (P : CHECKABLE) = struct
   type state = { locals : P.local array; registers : P.value array }
 
@@ -1077,6 +1109,431 @@ module Make (P : CHECKABLE) = struct
                   summary.total_transitions + stats.dfs_transitions;
                 terminal_states = summary.terminal_states + stats.dfs_terminals;
                 total_pruned = summary.total_pruned + stats.dfs_pruned;
+              }
+            in
+            (match on_wiring with Some f -> f wiring summary | None -> ());
+            go (idx + 1) summary
+    in
+    go start_idx start_summary
+
+  (** {1 Fingerprint (hash-compacted) exploration}
+
+      The exact engines above are bounded by RAM: the visited set stores
+      every key's bytes.  This engine follows TLC's hash-compaction
+      playbook instead — a state is remembered only as the 64-bit
+      fingerprint of its canonical key, in a {!Fingerprint_set} whose RAM
+      tier is capped by [ram_budget_bytes] and whose overflow spills to
+      sorted on-disk runs.  The BFS proceeds in {e layers}, and candidate
+      successors are probed in batches of up to [batch_states] keys, so
+      each spill run is streamed once per batch rather than once per
+      state.
+
+      The engine is {e safety-only}: it stores no edges or parents, so it
+      decides invariants and counts states/transitions/terminals but
+      cannot decide wait-freedom.  It is also {e lossy} with a quantified
+      error: a 64-bit collision silently omits a subtree, with total
+      probability at most the reported birthday bound (states² · 2⁻⁶⁴).
+      Counterexample traces are reconstructed by rerunning the exact BFS
+      (minimal-length, as usual) — intended for the test-scale spaces
+      where violations are planted; at frontier scale the message alone
+      still identifies the failing invariant.
+
+      Checkpoints are written at batch boundaries (the consistent points:
+      every expanded state's candidates have been flushed into the set):
+      the RAM tier and a manifest pinning the run files ride in the
+      checkpoint via {!Fingerprint_set.to_sections}, and the two frontier
+      halves (the unexpanded remainder of the current layer, the
+      accumulated next layer) are stored as fixed-width key runs.  On a
+      governor trip the run files are kept on disk for the resume;
+      otherwise {!Fingerprint_set.close} deletes them. *)
+
+  type fp_stats = {
+    fp_states : int;
+    fp_transitions : int;
+    fp_terminals : int;
+    fp_pruned : int;
+    fp_layers : int;  (** BFS depth reached (layers fully expanded) *)
+    fp_runs : int;  (** spill runs written *)
+    fp_bytes_spilled : int;
+    fp_bound : float;  (** birthday omission bound for this exploration *)
+  }
+
+  type fp_result =
+    | Fp_explored of fp_stats
+    | Fp_invariant_failed of {
+        stats : fp_stats;
+        message : string;
+        trace : (int * state) list;
+            (** minimal-length counterexample, rebuilt by the exact BFS *)
+      }
+    | Fp_state_limit of int
+    | Fp_exhausted of { reason : Governor.reason; states : int }
+
+  let explore_fp ?(max_states = 1_000_000_000) ?invariant ?stop_expansion
+      ?progress ?(reduction = false) ?prune ?governor ?ckpt ?(resume = false)
+      ?(ckpt_extra = []) ?(ram_budget_bytes = 64 * 1024 * 1024)
+      ?(batch_states = 1 lsl 20) ?spill_dir ~cfg ~wiring ~inputs () =
+    guard_processors ~engine:"Explorer.explore_fp" (P.processors cfg);
+    let canon = if reduction then Some (canon_of ~cfg ~wiring ~inputs) else None in
+    let canonical key =
+      match canon with Some c -> Canon.canonicalize c key | None -> key
+    in
+    let kw = key_width cfg in
+    let context =
+      Fmt.str "fpbfs|%d|%a|%b|%b|%d|%S" kw Anonmem.Wiring.pp wiring reduction
+        (prune <> None) ram_budget_bytes
+        (canonical (encode_state cfg (init_state ~cfg ~inputs)))
+    in
+    (* Spill runs must live next to the checkpoint when there is one: a
+       resumed run re-opens them by manifest. *)
+    let dir =
+      match (spill_dir, ckpt) with
+      | Some d, _ -> Some d
+      | None, Some { Checkpoint.path; _ } -> Some (path ^ ".runs")
+      | None, None -> None
+    in
+    let resumed =
+      match ckpt with
+      | Some { Checkpoint.path; _ } when resume && Sys.file_exists path ->
+          let sections = Checkpoint.load ~path in
+          let ctx = Bytes.to_string (Checkpoint.find "context" sections) in
+          if not (String.equal ctx context) then
+            raise
+              (Checkpoint.Corrupt_checkpoint
+                 "Explorer.explore_fp: checkpoint context mismatch");
+          Some sections
+      | _ -> None
+    in
+    let keys_of_section b =
+      let len = Bytes.length b in
+      if len mod kw <> 0 then
+        raise
+          (Checkpoint.Corrupt_checkpoint
+             "Explorer.explore_fp: frontier section not a multiple of the \
+              key width");
+      List.init (len / kw) (fun i -> Bytes.sub_string b (i * kw) kw)
+    in
+    let states = ref 0
+    and transitions = ref 0
+    and terminals = ref 0
+    and pruned = ref 0
+    and layers = ref 0
+    and expanded = ref 0 in
+    let cur = ref [] and next = ref [] (* reversed accumulator *) in
+    let violation = ref None in
+    let fps =
+      match resumed with
+      | Some sections ->
+          let dir =
+            match dir with
+            | Some d -> d
+            | None -> assert false (* resume implies a checkpoint path *)
+          in
+          let fps = Fingerprint_set.of_sections ~dir sections in
+          let c =
+            Checkpoint.ints_of_bytes (Checkpoint.find "counters" sections)
+          in
+          if Array.length c <> 6 then
+            raise
+              (Checkpoint.Corrupt_checkpoint
+                 "Explorer.explore_fp: counter section of wrong length");
+          states := c.(0);
+          transitions := c.(1);
+          terminals := c.(2);
+          pruned := c.(3);
+          layers := c.(4);
+          expanded := c.(5);
+          cur := keys_of_section (Checkpoint.find "fcur" sections);
+          next := List.rev (keys_of_section (Checkpoint.find "fnext" sections));
+          fps
+      | None -> Fingerprint_set.create ~ram_budget_bytes ?dir ()
+    in
+    let concat_keys keys =
+      let b = Buffer.create (kw * List.length keys) in
+      List.iter (Buffer.add_string b) keys;
+      Buffer.to_bytes b
+    in
+    let save_ckpt path =
+      Checkpoint.save ~path
+        ([
+           ("context", Bytes.of_string context);
+           ( "counters",
+             Checkpoint.bytes_of_ints
+               [|
+                 !states; !transitions; !terminals; !pruned; !layers; !expanded;
+               |] );
+           ("fcur", concat_keys !cur);
+           ("fnext", concat_keys (List.rev !next));
+         ]
+        @ Fingerprint_set.to_sections fps
+        @ ckpt_extra)
+    in
+    let last_ckpt = ref !expanded in
+    let maybe_ckpt () =
+      match ckpt with
+      | Some { Checkpoint.path; every_states }
+        when every_states > 0 && !expanded - !last_ckpt >= every_states ->
+          save_ckpt path;
+          last_ckpt := !expanded
+      | _ -> ()
+    in
+    let limit = ref false in
+    let cands = ref [] and ncands = ref 0 in
+    (* Probe a batch: fresh keys are counted, invariant-checked on their
+       decoded representative, and queued for the next layer. *)
+    let flush () =
+      if !cands <> [] then begin
+        let arr = Array.of_list (List.rev !cands) in
+        cands := [];
+        ncands := 0;
+        let fresh = Fingerprint_set.add_batch fps arr in
+        Array.iteri
+          (fun i key ->
+            if fresh.(i) then begin
+              incr states;
+              (match progress with
+              | Some f when !states land ((1 lsl 20) - 1) = 0 -> f !states
+              | _ -> ());
+              (match invariant with
+              | Some check -> (
+                  match check (decode_state cfg key) with
+                  | Ok () -> ()
+                  | Error message ->
+                      if !violation = None then violation := Some message)
+              | None -> ());
+              next := key :: !next
+            end)
+          arr;
+        if !states >= max_states then limit := true
+      end
+    in
+    let exhausted = ref None in
+    (if resumed = None then
+       let key0 = canonical (encode_state cfg (init_state ~cfg ~inputs)) in
+       let fresh = Fingerprint_set.add_batch fps [| key0 |] in
+       assert fresh.(0);
+       states := 1;
+       (match invariant with
+       | Some check -> (
+           match check (decode_state cfg key0) with
+           | Ok () -> ()
+           | Error message -> violation := Some message)
+       | None -> ());
+       cur := [ key0 ]);
+    let running = ref (!violation = None) in
+    while !running do
+      (* Consume the current layer, batching candidate successors. *)
+      while
+        !cur <> [] && !violation = None && !exhausted = None && not !limit
+      do
+        (match governor with
+        | Some g -> (
+            match Governor.tick g with
+            | Some reason -> exhausted := Some reason
+            | None -> ())
+        | None -> ());
+        if !exhausted = None then begin
+          match !cur with
+          | [] -> ()
+          | key :: rest ->
+              cur := rest;
+              incr expanded;
+              let st = decode_state cfg key in
+              let expand =
+                match stop_expansion with Some f -> not (f st) | None -> true
+              in
+              if expand then begin
+                match enabled cfg st with
+                | [] -> incr terminals
+                | en ->
+                    List.iter
+                      (fun p ->
+                        let st' = successor cfg wiring st p in
+                        match prune with
+                        | Some f when f st' -> incr pruned
+                        | _ ->
+                            incr transitions;
+                            cands := canonical (encode_state cfg st') :: !cands;
+                            incr ncands)
+                      en
+              end;
+              if !ncands >= batch_states then begin
+                flush ();
+                maybe_ckpt ()
+              end
+        end
+      done;
+      (* Pause point: flush what is pending so the set and the frontier
+         halves are a consistent image, then classify. *)
+      flush ();
+      if !violation <> None then running := false
+      else if !exhausted <> None then begin
+        (match ckpt with
+        | Some { Checkpoint.path; _ } -> save_ckpt path
+        | None -> ());
+        running := false
+      end
+      else if !limit then running := false
+      else if !next = [] then running := false
+      else begin
+        maybe_ckpt ();
+        cur := List.rev !next;
+        next := [];
+        incr layers
+      end
+    done;
+    let stats () =
+      {
+        fp_states = !states;
+        fp_transitions = !transitions;
+        fp_terminals = !terminals;
+        fp_pruned = !pruned;
+        fp_layers = !layers;
+        fp_runs = Fingerprint_set.spilled_runs fps;
+        fp_bytes_spilled = Fingerprint_set.spill_bytes fps;
+        fp_bound = Fingerprint_set.omission_bound fps;
+      }
+    in
+    match !violation with
+    | Some message ->
+        let st = stats () in
+        Fingerprint_set.close fps;
+        (* Minimal counterexample via the exact engine (same quotient,
+           same oracle) — the fingerprint set has no parents to walk. *)
+        let trace =
+          match
+            explore ?invariant ?stop_expansion ~reduction ?prune ~cfg ~wiring
+              ~inputs ()
+          with
+          | Invariant_failed (_, v) -> v.trace
+          | _ -> []
+        in
+        Fp_invariant_failed { stats = st; message; trace }
+    | None ->
+        if !exhausted <> None then begin
+          let n = !states in
+          Fingerprint_set.close ~keep_runs:(ckpt <> None) fps;
+          Fp_exhausted { reason = Option.get !exhausted; states = n }
+        end
+        else if !limit then begin
+          let n = !states in
+          Fingerprint_set.close fps;
+          Fp_state_limit n
+        end
+        else begin
+          let st = stats () in
+          Fingerprint_set.close fps;
+          Fp_explored st
+        end
+
+  (* Sweep position for multi-wiring fingerprint checkpoints; the float
+     bound travels as the two 32-bit halves of its IEEE-754 image (the
+     int sections are 63-bit-safe, a raw bits_of_float is not). *)
+  let fp_sweep_to_ints idx s =
+    let bits = Int64.bits_of_float s.fp_omission_bound in
+    [|
+      idx;
+      s.fp_wirings;
+      s.fp_total_states;
+      s.fp_max_space_states;
+      s.fp_total_transitions;
+      s.fp_terminal_states;
+      s.fp_total_pruned;
+      s.fp_spilled_runs;
+      s.fp_spill_bytes;
+      Int64.to_int (Int64.logand bits 0xffffffffL);
+      Int64.to_int (Int64.shift_right_logical bits 32);
+    |]
+
+  let fp_sweep_of_ints a =
+    if Array.length a <> 11 then
+      raise
+        (Checkpoint.Corrupt_checkpoint "fp sweep section of wrong length");
+    let bits =
+      Int64.logor
+        (Int64.of_int a.(9))
+        (Int64.shift_left (Int64.of_int a.(10)) 32)
+    in
+    ( a.(0),
+      {
+        fp_wirings = a.(1);
+        fp_total_states = a.(2);
+        fp_max_space_states = a.(3);
+        fp_total_transitions = a.(4);
+        fp_terminal_states = a.(5);
+        fp_total_pruned = a.(6);
+        fp_spilled_runs = a.(7);
+        fp_spill_bytes = a.(8);
+        fp_omission_bound = Int64.float_of_bits bits;
+      } )
+
+  (** Safety-only sweep over wirings with the fingerprint engine: same
+      iteration, checkpointing and error-string contract as
+      {!check_all_wirings}, but RAM-bounded and without wait-freedom
+      verdicts.  A fresh fingerprint set serves each wiring (runs are
+      deleted between wirings); the summary's omission bound is the union
+      bound over the per-wiring bounds. *)
+  let check_all_wirings_fp ?max_states ?invariant ?on_wiring ?wirings
+      ?(reduction = false) ?prune ?governor ?ckpt ?(resume = false)
+      ?ram_budget_bytes ?batch_states ?spill_dir ~cfg ~inputs () =
+    let n = P.processors cfg and m = P.registers cfg in
+    let wirings =
+      match wirings with
+      | Some ws -> ws
+      | None -> Anonmem.Wiring.enumerate ~n ~m ~fix_first:true
+    in
+    let wiring_arr = Array.of_list wirings in
+    let start_idx, start_summary, resume_idx =
+      match ckpt with
+      | Some { Checkpoint.path; _ } when resume && Sys.file_exists path ->
+          let sections = Checkpoint.load ~path in
+          let idx, s =
+            fp_sweep_of_ints
+              (Checkpoint.ints_of_bytes (Checkpoint.find "fp_sweep" sections))
+          in
+          if idx < 0 || idx >= Array.length wiring_arr then
+            raise
+              (Checkpoint.Corrupt_checkpoint
+                 "fp sweep index outside the wiring list");
+          (idx, s, Some idx)
+      | _ -> (0, empty_fp_summary, None)
+    in
+    let rec go idx summary =
+      if idx >= Array.length wiring_arr then Ok summary
+      else
+        let wiring = wiring_arr.(idx) in
+        let ckpt_extra =
+          [ ("fp_sweep", Checkpoint.bytes_of_ints (fp_sweep_to_ints idx summary)) ]
+        in
+        match
+          explore_fp ?max_states ?invariant ~reduction ?prune ?governor ?ckpt
+            ~resume:(resume_idx = Some idx) ~ckpt_extra ?ram_budget_bytes
+            ?batch_states ?spill_dir ~cfg ~wiring ~inputs ()
+        with
+        | Fp_exhausted { reason; states } ->
+            Error
+              (Fmt.str "exhausted (%a) at %d states" Governor.pp_reason reason
+                 states)
+        | Fp_state_limit k -> Error (Fmt.str "state limit hit at %d states" k)
+        | Fp_invariant_failed { message; _ } ->
+            Error
+              (Fmt.str "invariant violated under wiring %a: %s"
+                 Anonmem.Wiring.pp wiring message)
+        | Fp_explored st ->
+            let summary =
+              {
+                fp_wirings = summary.fp_wirings + 1;
+                fp_total_states = summary.fp_total_states + st.fp_states;
+                fp_max_space_states =
+                  max summary.fp_max_space_states st.fp_states;
+                fp_total_transitions =
+                  summary.fp_total_transitions + st.fp_transitions;
+                fp_terminal_states =
+                  summary.fp_terminal_states + st.fp_terminals;
+                fp_total_pruned = summary.fp_total_pruned + st.fp_pruned;
+                fp_omission_bound = summary.fp_omission_bound +. st.fp_bound;
+                fp_spilled_runs = summary.fp_spilled_runs + st.fp_runs;
+                fp_spill_bytes = summary.fp_spill_bytes + st.fp_bytes_spilled;
               }
             in
             (match on_wiring with Some f -> f wiring summary | None -> ());

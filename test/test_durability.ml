@@ -472,6 +472,147 @@ let test_dfs_resume_parity () =
   Alcotest.(check (triple int int int)) "DFS resume parity" reference result;
   if Sys.file_exists path then Sys.remove path
 
+(* The fingerprint engine's checkpoints carry the RAM tier, the spill-run
+   manifest and the frontier halves; spill runs live next to the
+   checkpoint.  An interrupted-and-resumed run must agree with an
+   uninterrupted run on every deterministic field — states, transitions,
+   terminals and the omission bound.  The spill *layout* (run count and
+   bytes) is not deterministic across interrupt patterns: each resume
+   re-batches the frontier, so only engagement of the disk path is
+   asserted, not its shape. *)
+
+let rm_rf_runs dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_fp_resume_parity () =
+  let cfg = Algorithms.Snapshot.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  let deterministic (s : Snap_mc.fp_stats) =
+    ( (s.Snap_mc.fp_states, s.Snap_mc.fp_transitions, s.Snap_mc.fp_terminals),
+      s.Snap_mc.fp_bound )
+  in
+  let reference =
+    match
+      Snap_mc.explore_fp ~ram_budget_bytes:1024 ~batch_states:32 ~cfg ~wiring
+        ~inputs ()
+    with
+    | Snap_mc.Fp_explored s ->
+        Alcotest.(check bool)
+          "reference run spilled" true
+          (s.Snap_mc.fp_runs > 0);
+        deterministic s
+    | _ -> Alcotest.fail "reference fp run must complete"
+  in
+  let path = fresh_path ".ckpt" in
+  let ckpt = { Ckpt.path; every_states = 25 } in
+  let (result, rounds) =
+    drive ~quota:60 (fun g ->
+        match
+          Snap_mc.explore_fp ~governor:g ~ckpt ~resume:true
+            ~ram_budget_bytes:1024 ~batch_states:32 ~cfg ~wiring ~inputs ()
+        with
+        | Snap_mc.Fp_explored s ->
+            Alcotest.(check bool)
+              "resumed run used the disk path" true
+              (s.Snap_mc.fp_runs > 0);
+            Ok (deterministic s)
+        | Snap_mc.Fp_exhausted _ -> Error ()
+        | _ -> Alcotest.fail "unexpected fp verdict")
+  in
+  Alcotest.(check bool) "fp was actually interrupted" true (rounds > 0);
+  Alcotest.(check (pair (triple int int int) (float 0.)))
+    "fp resume parity (deterministic fields)" reference result;
+  if Sys.file_exists path then Sys.remove path;
+  rm_rf_runs (path ^ ".runs")
+
+let test_fp_corrupt_run_refused () =
+  (* Spill runs are pinned by the checkpoint manifest and re-verified on
+     every resume: a flipped payload byte or a truncated tail must raise
+     Corrupt_checkpoint, and restoring the original bytes must let the
+     very same resume complete. *)
+  let cfg = Algorithms.Snapshot.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  let path = fresh_path ".ckpt" in
+  let runs_dir = path ^ ".runs" in
+  let ckpt = { Ckpt.path; every_states = 25 } in
+  let g = Gov.create ~quota:400 () in
+  (match
+     Snap_mc.explore_fp ~governor:g ~ckpt ~ram_budget_bytes:1024
+       ~batch_states:32 ~cfg ~wiring ~inputs ()
+   with
+  | Snap_mc.Fp_exhausted _ -> ()
+  | _ -> Alcotest.fail "quota 400 must interrupt the 2827-state space");
+  Gov.dispose g;
+  let run0 = Filename.concat runs_dir "run-0.fpr" in
+  Alcotest.(check bool) "a spill run exists on disk" true (Sys.file_exists run0);
+  let img = read_file run0 in
+  let resume () =
+    ignore
+      (Snap_mc.explore_fp ~ckpt ~resume:true ~ram_budget_bytes:1024
+         ~batch_states:32 ~cfg ~wiring ~inputs ())
+  in
+  (* flip one payload byte (the header is 16 bytes) *)
+  let flipped = Bytes.of_string img in
+  Bytes.set flipped 20 (Char.chr (Char.code (Bytes.get flipped 20) lxor 0x01));
+  write_file run0 (Bytes.to_string flipped);
+  expect_corrupt resume;
+  (* truncated tail *)
+  write_file run0 (String.sub img 0 (String.length img - 8));
+  expect_corrupt resume;
+  (* restored bytes: the same resume runs to completion *)
+  write_file run0 img;
+  (match
+     Snap_mc.explore_fp ~ckpt ~resume:true ~ram_budget_bytes:1024
+       ~batch_states:32 ~cfg ~wiring ~inputs ()
+   with
+  | Snap_mc.Fp_explored _ -> ()
+  | _ -> Alcotest.fail "restored run must resume to completion");
+  if Sys.file_exists path then Sys.remove path;
+  rm_rf_runs runs_dir
+
+let test_fp_sweep_resume_parity () =
+  (* Sweep-level: the accumulated fp summary (including the float
+     omission bound, which travels as two 32-bit halves of its IEEE
+     image) must survive any number of quota interruptions bitwise. *)
+  let reference =
+    match Core.verify_snapshot_model_fp ~n:2 ~ram_budget_bytes:1024 () with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let path = fresh_path ".ckpt" in
+  let ckpt = { Ckpt.path; every_states = 25 } in
+  let (result, rounds) =
+    drive ~quota:150 (fun g ->
+        match
+          Core.verify_snapshot_model_fp ~n:2 ~ram_budget_bytes:1024 ~governor:g
+            ~ckpt ~resume:true ()
+        with
+        | Ok s -> Ok s
+        | Error e ->
+            if String.length e >= 9 && String.sub e 0 9 = "exhausted" then
+              Error ()
+            else Alcotest.fail e)
+  in
+  let module X = Modelcheck.Explorer in
+  Alcotest.(check bool) "fp sweep was actually interrupted" true (rounds > 0);
+  Alcotest.(check int) "wirings" reference.X.fp_wirings result.X.fp_wirings;
+  Alcotest.(check int) "states" reference.X.fp_total_states
+    result.X.fp_total_states;
+  Alcotest.(check int) "transitions" reference.X.fp_total_transitions
+    result.X.fp_total_transitions;
+  Alcotest.(check int) "terminals" reference.X.fp_terminal_states
+    result.X.fp_terminal_states;
+  Alcotest.(check (float 0.))
+    "omission bound survives the float codec" reference.X.fp_omission_bound
+    result.X.fp_omission_bound;
+  if Sys.file_exists path then Sys.remove path;
+  rm_rf_runs (path ^ ".runs")
+
 module Snap_fault = Modelcheck.Fault_explorer.Make (Modelcheck.Codecs.Snapshot)
 
 let test_fault_resume_parity () =
@@ -749,6 +890,11 @@ let () =
         [
           Alcotest.test_case "BFS" `Quick test_bfs_resume_parity;
           Alcotest.test_case "DFS" `Quick test_dfs_resume_parity;
+          Alcotest.test_case "fingerprint" `Quick test_fp_resume_parity;
+          Alcotest.test_case "fingerprint corrupt run refused" `Quick
+            test_fp_corrupt_run_refused;
+          Alcotest.test_case "fingerprint sweep" `Quick
+            test_fp_sweep_resume_parity;
           Alcotest.test_case "fault explorer" `Quick test_fault_resume_parity;
           Alcotest.test_case "packed clean cell" `Quick
             test_packed_resume_clean_parity;

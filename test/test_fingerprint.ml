@@ -1,0 +1,456 @@
+(* Differential battery for the disk-spillable fingerprint engine
+   (Explorer.explore_fp over Fingerprint_set).
+
+   The contract under test: on every protocol, wiring and input
+   assignment the fingerprint engine visits exactly the states the exact
+   BFS visits (hash compaction may only ever lose states, and the
+   birthday bound says how improbably) — so at these space sizes the
+   state, transition and terminal counts must be *equal*, the reported
+   omission bound must be < 1e-12, and all of that must survive a
+   deliberately starved RAM budget that forces the set through its
+   disk-spill path mid-exploration.  Planted bugs must surface as
+   Fp_invariant_failed with a minimal counterexample that replays
+   through Witness.Replay, and the multi-wiring sweep must agree with
+   the exact sweep field by field.  A QCheck model test drives the bare
+   Fingerprint_set against a Hashtbl oracle across random batch
+   scripts under a 1 KiB budget, exercising in-batch dedup, RAM-tier
+   probing and sorted-run merges together.
+
+   Everything here is tiny (n <= 3, bounded) and runs under @mc-smoke;
+   MC_LONG=1 widens the n=3 slice. *)
+
+module Snap = Algorithms.Snapshot
+module Fp = Modelcheck.Fingerprint_set
+
+let long_mode = Sys.getenv_opt "MC_LONG" <> None
+
+let qcheck_count =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> int_of_string s
+  | None -> if long_mode then 300 else 100
+
+(* ------------------------------------------------------------------ *)
+(* The differential harness, generic in the checkable protocol.       *)
+(* ------------------------------------------------------------------ *)
+
+module FpDiff (P : Modelcheck.Explorer.CHECKABLE) = struct
+  module E = Modelcheck.Explorer.Make (P)
+  module Replay = Modelcheck.Witness.Replay (P)
+
+  type counts = { states : int; transitions : int; terminals : int }
+
+  let exact ?invariant ?stop_expansion ?(reduction = false) ~cfg ~wiring
+      ~inputs () =
+    match
+      E.explore ?invariant ?stop_expansion ~reduction ~cfg ~wiring ~inputs ()
+    with
+    | E.Explored sp ->
+        {
+          states = E.state_count sp;
+          transitions = E.transition_count sp;
+          terminals = List.length sp.E.terminal;
+        }
+    | E.Invariant_failed (_, v) ->
+        Alcotest.failf "exact BFS: unexpected invariant failure: %s" v.E.message
+    | E.State_limit k -> Alcotest.failf "exact BFS: state limit %d" k
+    | E.Exhausted _ -> Alcotest.fail "exact BFS: unexpected exhaustion"
+
+  let fp ?invariant ?stop_expansion ?(reduction = false) ?ram_budget_bytes
+      ?batch_states ~cfg ~wiring ~inputs () =
+    match
+      E.explore_fp ?invariant ?stop_expansion ~reduction ?ram_budget_bytes
+        ?batch_states ~cfg ~wiring ~inputs ()
+    with
+    | E.Fp_explored st -> st
+    | E.Fp_invariant_failed { message; _ } ->
+        Alcotest.failf "fp BFS: unexpected invariant failure: %s" message
+    | E.Fp_state_limit k -> Alcotest.failf "fp BFS: state limit %d" k
+    | E.Fp_exhausted _ -> Alcotest.fail "fp BFS: unexpected exhaustion"
+
+  let check_counts ?(bound = 1e-12) name (ex : counts) (st : E.fp_stats) =
+    Alcotest.(check int) (name ^ ": states") ex.states st.E.fp_states;
+    Alcotest.(check int)
+      (name ^ ": transitions")
+      ex.transitions st.E.fp_transitions;
+    Alcotest.(check int) (name ^ ": terminals") ex.terminals st.E.fp_terminals;
+    Alcotest.(check bool)
+      (Fmt.str "%s: omission bound %g < %g" name st.E.fp_bound bound)
+      true
+      (st.E.fp_bound < bound && st.E.fp_bound >= 0.0)
+
+  (* One (wiring, inputs) cell: exact vs fingerprint at the default
+     budget, at a starved 1 KiB budget with 64-state batches (forcing
+     layer-by-layer spills on any space past ~100 states), and reduced
+     vs reduced.  [bound] scales with the space: states^2 / 2^64 is
+     ~7e-13 at 3k states but ~2e-11 at the 19k-state consensus cell. *)
+  let cell ?invariant ?stop_expansion ?bound ~name ~cfg ~wiring ~inputs () =
+    let ex = exact ?invariant ?stop_expansion ~cfg ~wiring ~inputs () in
+    check_counts ?bound name ex
+      (fp ?invariant ?stop_expansion ~cfg ~wiring ~inputs ());
+    check_counts ?bound (name ^ " starved") ex
+      (fp ?invariant ?stop_expansion ~ram_budget_bytes:1024 ~batch_states:64
+         ~cfg ~wiring ~inputs ());
+    let red =
+      exact ?invariant ?stop_expansion ~reduction:true ~cfg ~wiring ~inputs ()
+    in
+    check_counts ?bound (name ^ " reduced") red
+      (fp ?invariant ?stop_expansion ~reduction:true ~cfg ~wiring ~inputs ())
+end
+
+module SnapDiff = FpDiff (Modelcheck.Codecs.Snapshot)
+module WsDiff = FpDiff (Modelcheck.Codecs.Write_scan)
+module DcDiff = FpDiff (Modelcheck.Codecs.Double_collect)
+module ConsDiff = FpDiff (Modelcheck.Codecs.Consensus)
+module RenDiff = FpDiff (Modelcheck.Codecs.Renaming)
+
+let wirings2 = Anonmem.Wiring.enumerate ~n:2 ~m:2 ~fix_first:true
+let wirings3 = Anonmem.Wiring.enumerate ~n:3 ~m:3 ~fix_first:true
+
+(* ------------------------------------------------------------------ *)
+(* Protocol matrices, mirroring the engine-parity suite.              *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_n2_matrix () =
+  let cfg = Snap.standard ~n:2 in
+  List.iter
+    (fun wiring ->
+      List.iter
+        (fun inputs ->
+          SnapDiff.cell
+            ~name:
+              (Fmt.str "snapshot n=2 %a %a" Anonmem.Wiring.pp wiring
+                 Fmt.(Dump.array int)
+                 inputs)
+            ~invariant:(Core.snapshot_invariant cfg inputs)
+            ~cfg ~wiring ~inputs ())
+        [ [| 1; 2 |]; [| 1; 1 |] ])
+    wirings2
+
+let snap3_stop level (st : SnapDiff.E.state) =
+  Array.exists (fun l -> Snap.level_of_local l >= level) st.SnapDiff.E.locals
+
+let test_snapshot_n3_bounded () =
+  let cfg = Snap.standard ~n:3 in
+  let level = if long_mode then 2 else 1 in
+  let some_wirings =
+    match wirings3 with
+    | a :: b :: c :: _ -> if long_mode then [ a; b; c ] else [ a; b ]
+    | _ -> assert false
+  in
+  List.iter
+    (fun wiring ->
+      SnapDiff.cell
+        ~name:(Fmt.str "snapshot n=3 lvl<%d %a" level Anonmem.Wiring.pp wiring)
+        ~invariant:(Core.snapshot_invariant cfg [| 1; 1; 1 |])
+        ~stop_expansion:(snap3_stop level) ~cfg ~wiring ~inputs:[| 1; 1; 1 |] ())
+    some_wirings
+
+let test_write_scan_matrix () =
+  (* Cyclic spaces: the non-terminating write-scan loop still has a
+     finite visited set, so the fingerprint engine terminates with the
+     exact counts (it just cannot say anything about wait-freedom). *)
+  let cfg = Algorithms.Write_scan.cfg ~n:2 ~m:2 in
+  List.iter
+    (fun wiring ->
+      WsDiff.cell
+        ~name:(Fmt.str "write-scan %a" Anonmem.Wiring.pp wiring)
+        ~cfg ~wiring ~inputs:[| 1; 2 |] ())
+    wirings2
+
+let test_double_collect_matrix () =
+  let cfg = Algorithms.Double_collect.standard ~n:2 in
+  List.iter
+    (fun wiring ->
+      DcDiff.cell
+        ~name:(Fmt.str "double-collect %a" Anonmem.Wiring.pp wiring)
+        ~cfg ~wiring ~inputs:[| 1; 1 |] ())
+    wirings2
+
+let test_consensus_bounded_matrix () =
+  let cfg = Algorithms.Consensus.standard ~n:2 in
+  let stop (st : ConsDiff.E.state) =
+    Array.exists
+      (fun (l : Algorithms.Consensus.local) -> l.Algorithms.Consensus.ts >= 2)
+      st.ConsDiff.E.locals
+  in
+  List.iter
+    (fun wiring ->
+      ConsDiff.cell ~bound:1e-9
+        ~name:(Fmt.str "consensus %a" Anonmem.Wiring.pp wiring)
+        ~stop_expansion:stop ~cfg ~wiring ~inputs:[| 1; 2 |] ())
+    wirings2
+
+let test_renaming_matrix () =
+  let cfg = Algorithms.Renaming.standard ~n:2 in
+  List.iter
+    (fun wiring ->
+      RenDiff.cell
+        ~name:(Fmt.str "renaming %a" Anonmem.Wiring.pp wiring)
+        ~cfg ~wiring ~inputs:[| 1; 1 |] ())
+    wirings2
+
+(* ------------------------------------------------------------------ *)
+(* Spill engagement and sweep-level agreement.                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_starved_budget_spills () =
+  (* The starved columns above only guarantee parity; this cell pins
+     that the 1 KiB budget actually exercised the disk path on the
+     2827-state identity space — runs written, bytes accounted, and the
+     omission bound still tiny. *)
+  let cfg = Snap.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  let ex = SnapDiff.exact ~cfg ~wiring ~inputs () in
+  let st =
+    SnapDiff.fp ~ram_budget_bytes:1024 ~batch_states:64 ~cfg ~wiring ~inputs ()
+  in
+  SnapDiff.check_counts "starved identity" ex st;
+  Alcotest.(check bool) "spill runs written" true (st.SnapDiff.E.fp_runs > 0);
+  Alcotest.(check bool)
+    "spill bytes accounted" true
+    (st.SnapDiff.E.fp_bytes_spilled > 8 * st.SnapDiff.E.fp_runs)
+
+let test_sweep_agreement () =
+  (* check_all_wirings_fp vs check_all_wirings, field by field, on the
+     full n=2 sweep (both input assignments).  The fp sweep proves
+     safety only, so wait-freedom is the one column with no
+     counterpart. *)
+  let cfg = Snap.standard ~n:2 in
+  let module E = SnapDiff.E in
+  List.iter
+    (fun inputs ->
+      let invariant = Core.snapshot_invariant cfg inputs in
+      let exact =
+        match E.check_all_wirings ~invariant ~cfg ~inputs () with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "exact sweep failed: %s" e
+      in
+      let fp =
+        match E.check_all_wirings_fp ~invariant ~cfg ~inputs () with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "fp sweep failed: %s" e
+      in
+      let module X = Modelcheck.Explorer in
+      Alcotest.(check int) "wirings" exact.X.wirings_checked fp.X.fp_wirings;
+      Alcotest.(check int) "total states" exact.X.total_states
+        fp.X.fp_total_states;
+      Alcotest.(check int) "max space" exact.X.max_space_states
+        fp.X.fp_max_space_states;
+      Alcotest.(check int) "total transitions" exact.X.total_transitions
+        fp.X.fp_total_transitions;
+      Alcotest.(check int) "terminals" exact.X.terminal_states
+        fp.X.fp_terminal_states;
+      Alcotest.(check bool)
+        (Fmt.str "sweep union bound %g < 1e-12" fp.X.fp_omission_bound)
+        true
+        (fp.X.fp_omission_bound < 1e-12))
+    [ [| 1; 2 |]; [| 1; 1 |] ]
+
+let test_core_fp_parity () =
+  (* The Core-level entry point: fp summary equals the exact engine's
+     summary on the standard n=2 verification, pruned or not. *)
+  List.iter
+    (fun prune_with_invariant ->
+      let exact =
+        match Core.verify_snapshot_model ~n:2 ~prune_with_invariant () with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let fp =
+        match Core.verify_snapshot_model_fp ~n:2 ~prune_with_invariant () with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let module X = Modelcheck.Explorer in
+      Alcotest.(check int)
+        (Fmt.str "core totals (prune=%b)" prune_with_invariant)
+        exact.X.total_states fp.X.fp_total_states;
+      Alcotest.(check int)
+        (Fmt.str "core transitions (prune=%b)" prune_with_invariant)
+        exact.X.total_transitions fp.X.fp_total_transitions;
+      Alcotest.(check int)
+        (Fmt.str "core pruned (prune=%b)" prune_with_invariant)
+        exact.X.total_pruned fp.X.fp_total_pruned)
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* Planted bugs: counterexamples out of a set with no parents.        *)
+(* ------------------------------------------------------------------ *)
+
+let no_output_invariant cfg (st : SnapDiff.E.state) =
+  if Array.exists (fun l -> Snap.output cfg l <> None) st.SnapDiff.E.locals then
+    Error "planted: someone terminated"
+  else Ok ()
+
+let test_planted_counterexample () =
+  (* The fingerprint set stores no parent links; the engine rebuilds the
+     witness with an exact re-exploration.  The trace must replay to a
+     violating state and be minimal (equal to the exact BFS length) —
+     under the default and the starved budget, reduced and not. *)
+  let cfg = Snap.standard ~n:2 in
+  let module E = SnapDiff.E in
+  List.iter
+    (fun wiring ->
+      List.iter
+        (fun (reduction, inputs, budget) ->
+          let invariant = no_output_invariant cfg in
+          let seq_len =
+            match E.explore ~invariant ~reduction ~cfg ~wiring ~inputs () with
+            | E.Invariant_failed (_, v) -> List.length v.E.trace
+            | _ -> Alcotest.fail "exact BFS missed the planted bug"
+          in
+          match
+            E.explore_fp ~invariant ~reduction ?ram_budget_bytes:budget
+              ?batch_states:(Option.map (fun _ -> 64) budget)
+              ~cfg ~wiring ~inputs ()
+          with
+          | E.Fp_invariant_failed { trace; message; _ } ->
+              Alcotest.(check bool) "planted message" true
+                (String.length message > 0);
+              Alcotest.(check int)
+                (Fmt.str "minimal length (reduction=%b)" reduction)
+                seq_len (List.length trace);
+              let final =
+                SnapDiff.Replay.final ~cfg ~wiring ~inputs (List.map fst trace)
+              in
+              (match invariant final with
+              | Error _ -> ()
+              | Ok () ->
+                  Alcotest.fail "fp trace replays to a non-violating state")
+          | _ -> Alcotest.failf "fp engine missed the planted bug")
+        [
+          (false, [| 1; 2 |], None);
+          (false, [| 1; 2 |], Some 1024);
+          (true, [| 1; 1 |], None);
+        ])
+    wirings2
+
+(* ------------------------------------------------------------------ *)
+(* The bare set vs a Hashtbl oracle (QCheck).                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_fp_set_model =
+  (* Random batch scripts against an exact oracle under a 1 KiB budget:
+     add_batch must flag exactly the first global occurrence of each key
+     (in-batch duplicates included), across RAM probes, mid-batch spills
+     and sorted-run merges alike.  A false negative here is a hash
+     collision between short ASCII keys — probability ~ 1e-16 per run. *)
+  QCheck.Test.make ~name:"fingerprint set vs Hashtbl oracle (1 KiB budget)"
+    ~count:qcheck_count
+    QCheck.(
+      list_of_size
+        Gen.(1 -- 8)
+        (list_of_size Gen.(0 -- 40) (string_of_size Gen.(1 -- 10))))
+    (fun batches ->
+      let t = Fp.create ~ram_budget_bytes:1024 () in
+      let seen = Hashtbl.create 64 in
+      let ok =
+        List.for_all
+          (fun batch ->
+            let arr = Array.of_list batch in
+            let fresh = Fp.add_batch t arr in
+            let expect =
+              Array.map
+                (fun k ->
+                  if Hashtbl.mem seen k then false
+                  else begin
+                    Hashtbl.add seen k ();
+                    true
+                  end)
+                arr
+            in
+            fresh = expect)
+          batches
+      in
+      let ok = ok && Fp.cardinal t = Hashtbl.length seen in
+      Fp.close t;
+      ok)
+
+let test_fp_set_sections_roundtrip () =
+  (* to_sections/of_sections must rebuild an equivalent set: same
+     cardinal, same spill manifest, and every previously-added key is
+     still a duplicate afterwards. *)
+  let dir = Filename.temp_file "fpset" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let t = Fp.create ~ram_budget_bytes:1024 ~dir () in
+  let keys = Array.init 500 (Printf.sprintf "key-%04d") in
+  let fresh = Fp.add_batch t keys in
+  Alcotest.(check bool) "all initially fresh" true
+    (Array.for_all Fun.id fresh);
+  Alcotest.(check bool) "budget forced a spill" true (Fp.spilled_runs t > 0);
+  let sections = Fp.to_sections t in
+  let t' = Fp.of_sections ~dir sections in
+  Alcotest.(check int) "cardinal preserved" (Fp.cardinal t) (Fp.cardinal t');
+  Alcotest.(check int) "runs preserved" (Fp.spilled_runs t)
+    (Fp.spilled_runs t');
+  let again = Fp.add_batch t' keys in
+  Alcotest.(check bool) "no key re-admitted after reload" true
+    (Array.for_all not again);
+  Fp.close ~keep_runs:true t;
+  Fp.close t';
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  (* Missing run files must fail the rebuild, not silently admit states. *)
+  let dir2 = Filename.temp_file "fpset" "" in
+  Sys.remove dir2;
+  Unix.mkdir dir2 0o700;
+  (match Fp.of_sections ~dir:dir2 sections with
+  | exception Modelcheck.Checkpoint.Corrupt_checkpoint _ -> ()
+  | _ -> Alcotest.fail "of_sections with missing runs must raise");
+  try Unix.rmdir dir2 with Unix.Unix_error _ -> ()
+
+let test_fingerprint_function () =
+  let fp = Fp.fingerprint in
+  Alcotest.(check bool) "deterministic" true (fp "abc" = fp "abc");
+  Alcotest.(check bool) "distinct keys, distinct fps" true
+    (fp "abc" <> fp "abd" && fp "" <> fp "\x00" && fp "a" <> fp "aa");
+  (* The zero fingerprint is reserved as the empty-slot marker. *)
+  let nonzero = ref true in
+  for i = 0 to 9999 do
+    if fp (Printf.sprintf "probe-%d" i) = 0L then nonzero := false
+  done;
+  Alcotest.(check bool) "no zero fingerprints" true !nonzero
+
+let () =
+  Alcotest.run "fingerprint"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "snapshot n=2, all wirings x inputs" `Quick
+            test_snapshot_n2_matrix;
+          Alcotest.test_case "snapshot n=3, level-bounded" `Quick
+            test_snapshot_n3_bounded;
+          Alcotest.test_case "write-scan (cyclic spaces)" `Quick
+            test_write_scan_matrix;
+          Alcotest.test_case "double-collect" `Quick test_double_collect_matrix;
+          Alcotest.test_case "consensus, ts-bounded" `Quick
+            test_consensus_bounded_matrix;
+          Alcotest.test_case "renaming" `Quick test_renaming_matrix;
+        ] );
+      ( "spill",
+        [
+          Alcotest.test_case "starved budget engages the disk path" `Quick
+            test_starved_budget_spills;
+          Alcotest.test_case "sections round-trip" `Quick
+            test_fp_set_sections_roundtrip;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "fp sweep = exact sweep, field by field" `Quick
+            test_sweep_agreement;
+          Alcotest.test_case "Core fp entry point parity" `Quick
+            test_core_fp_parity;
+        ] );
+      ( "counterexamples",
+        [
+          Alcotest.test_case "planted bug: minimal replayable witness" `Quick
+            test_planted_counterexample;
+        ] );
+      ( "set",
+        [
+          QCheck_alcotest.to_alcotest prop_fp_set_model;
+          Alcotest.test_case "fingerprint function basics" `Quick
+            test_fingerprint_function;
+        ] );
+    ]

@@ -1,8 +1,14 @@
-(* Differential tests of the three exploration engines — sequential BFS
-   (Explorer.explore), sequential DFS (Explorer.check_exhaustive) and the
-   sharded parallel BFS (Par_explorer.explore) — with and without symmetry
-   reduction, plus QCheck soundness properties of the Canon
-   orbit-minimum canonicalization itself.
+(* Differential tests of the four exploration engines — sequential BFS
+   (Explorer.explore), sequential DFS (Explorer.check_exhaustive), the
+   sharded layer-synchronous parallel BFS (Par_explorer.explore) and the
+   work-stealing parallel BFS (Ws_explorer.explore) — with and without
+   symmetry reduction, plus QCheck soundness properties of the Canon
+   orbit-minimum canonicalization itself, a model-based QCheck test of
+   the Chase–Lev work-stealing deque against a sequential oracle, a
+   multi-domain steal stress test, and termination-detection
+   regressions for the work-stealing pool (trivial spaces, violations
+   and governor trips mid-steal must all produce structured results,
+   never a hang).
 
    The contract under test: for every checkable protocol, wiring and
    input assignment, all engines agree on the invariant verdict, the
@@ -28,6 +34,7 @@ let qcheck_count = if long_mode then 500 else 120
 module Diff (P : Modelcheck.Explorer.CHECKABLE) = struct
   module E = Modelcheck.Explorer.Make (P)
   module Par = Modelcheck.Par_explorer.Make (P)
+  module Ws = Modelcheck.Ws_explorer.Make (P)
   module Replay = Modelcheck.Witness.Replay (P)
 
   type verdicts = {
@@ -70,6 +77,27 @@ module Diff (P : Modelcheck.Explorer.CHECKABLE) = struct
         Alcotest.failf "parallel BFS: unexpected invariant failure: %s" message
     | Par.Par_state_limit k -> Alcotest.failf "parallel BFS: state limit %d" k
 
+  let ws_bfs ?invariant ?stop_expansion ?(reduction = false) ~domains ~cfg
+      ~wiring ~inputs () =
+    match
+      Ws.explore ?invariant ?stop_expansion ~reduction ~domains ~cfg ~wiring
+        ~inputs ()
+    with
+    | Ws.Ws_ok { stats; divergent; _ } ->
+        {
+          states = stats.Ws.states;
+          transitions = stats.Ws.transitions;
+          terminals = stats.Ws.terminals;
+          divergent;
+        }
+    | Ws.Ws_invariant_failed { message; _ } ->
+        Alcotest.failf "work-stealing BFS: unexpected invariant failure: %s"
+          message
+    | Ws.Ws_state_limit k ->
+        Alcotest.failf "work-stealing BFS: state limit %d" k
+    | Ws.Ws_exhausted _ ->
+        Alcotest.fail "work-stealing BFS: unexpected exhaustion"
+
   let check_verdicts name (a : verdicts) (b : verdicts) ~exact_counts =
     if exact_counts then begin
       Alcotest.(check int) (name ^ ": states") a.states b.states;
@@ -106,7 +134,18 @@ module Diff (P : Modelcheck.Explorer.CHECKABLE) = struct
           par_bfs ?invariant ?stop_expansion ~reduction:true ~domains ~cfg
             ~wiring ~inputs ()
         in
-        check_verdicts (nm ^ " reduced") red parr ~exact_counts:true)
+        check_verdicts (nm ^ " reduced") red parr ~exact_counts:true;
+        (* Work-stealing columns: exact count parity too — state
+           ownership and edge recording are independent of steal order. *)
+        let ws =
+          ws_bfs ?invariant ?stop_expansion ~domains ~cfg ~wiring ~inputs ()
+        in
+        check_verdicts (nm ^ " ws") seq ws ~exact_counts:true;
+        let wsr =
+          ws_bfs ?invariant ?stop_expansion ~reduction:true ~domains ~cfg
+            ~wiring ~inputs ()
+        in
+        check_verdicts (nm ^ " ws reduced") red wsr ~exact_counts:true)
       domain_counts;
     (* DFS engine: verdict-level agreement (cycle <-> nonempty divergent
        set; states/transitions equal on every run without pruning). *)
@@ -180,6 +219,23 @@ module Diff (P : Modelcheck.Explorer.CHECKABLE) = struct
         | _ ->
             Alcotest.failf "%s: parallel BFS (%d domains) missed the violation"
               name domains)
+      domain_counts;
+    List.iter
+      (fun domains ->
+        match
+          Ws.explore ~invariant ~reduction ~domains ~cfg ~wiring ~inputs ()
+        with
+        | Ws.Ws_invariant_failed { trace; _ } ->
+            (* Work-stealing traces are valid executions but not
+               necessarily shortest (steals abandon layer order), so
+               replay only — no minimal-length assertion. *)
+            replay_and_check
+              (Printf.sprintf "%s ws%d" name domains)
+              (List.map fst trace)
+        | _ ->
+            Alcotest.failf
+              "%s: work-stealing BFS (%d domains) missed the violation" name
+              domains)
       domain_counts
 end
 
@@ -492,6 +548,198 @@ let test_snapshot3_nd_planted_search () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* The work-stealing deque and pool termination.                      *)
+(* ------------------------------------------------------------------ *)
+
+module Deque = Modelcheck.Ws_explorer.Deque
+module Gov = Modelcheck.Governor
+
+(* Model-based: a random push/pop/steal script applied to the deque and
+   to a list oracle (top at the head, bottom at the tail).  Without
+   concurrency every CAS is uncontended, so pop must return the newest
+   element, steal the oldest, and both must agree with the oracle
+   exactly — including across buffer growth (capacity starts at 8). *)
+let prop_deque_sequential_model =
+  QCheck.Test.make ~name:"deque: push/pop/steal vs sequential oracle"
+    ~count:qcheck_count
+    QCheck.(list_of_size Gen.(0 -- 200) (int_bound 2))
+    (fun ops ->
+      let q = Deque.create ~capacity:8 () in
+      let model = ref [] in
+      let counter = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+              incr counter;
+              Deque.push q !counter;
+              model := !model @ [ !counter ];
+              Deque.size q = List.length !model
+          | 1 ->
+              let expect =
+                match List.rev !model with
+                | [] -> None
+                | x :: rest ->
+                    model := List.rev rest;
+                    Some x
+              in
+              Deque.pop q = expect && Deque.size q = List.length !model
+          | _ ->
+              let expect =
+                match !model with
+                | [] -> None
+                | x :: rest ->
+                    model := rest;
+                    Some x
+              in
+              Deque.steal q = expect && Deque.size q = List.length !model)
+        ops)
+
+let test_ws_deque_steal_stress () =
+  (* One owner pushing (and occasionally popping) [0, n) while three
+     thief domains hammer [steal] on the same deque: every item must be
+     consumed exactly once — no loss, no duplication — and the test must
+     terminate (a lost item would hang the consumed-counter loops, so
+     both loops carry a bail-out that fails the multiset check). *)
+  let n = 10_000 in
+  let q = Deque.create () in
+  let consumed = Atomic.make 0 in
+  let thief () =
+    let mine = ref [] in
+    let tries = ref 0 in
+    while Atomic.get consumed < n && !tries < 200_000_000 do
+      incr tries;
+      match Deque.steal q with
+      | Some x ->
+          mine := x :: !mine;
+          Atomic.incr consumed
+      | None -> Domain.cpu_relax ()
+    done;
+    !mine
+  in
+  let thieves = Array.init 3 (fun _ -> Domain.spawn thief) in
+  let mine = ref [] in
+  let take = function
+    | Some x ->
+        mine := x :: !mine;
+        Atomic.incr consumed
+    | None -> ()
+  in
+  for i = 0 to n - 1 do
+    Deque.push q i;
+    if i land 7 = 0 then take (Deque.pop q)
+  done;
+  let tries = ref 0 in
+  while Atomic.get consumed < n && !tries < 200_000_000 do
+    incr tries;
+    match Deque.pop q with
+    | Some _ as r -> take r
+    | None -> Domain.cpu_relax ()
+  done;
+  let stolen = Array.to_list thieves |> List.concat_map Domain.join in
+  let all = List.sort compare (!mine @ stolen) in
+  Alcotest.(check (list int))
+    "every pushed item consumed exactly once"
+    (List.init n Fun.id) all
+
+let test_ws_single_state_space () =
+  (* Degenerate frontier: expansion stopped at the initial state.  Every
+     domain count must detect global quiescence from the in-flight
+     counter (one unit, transmuted into the root's frontier item and
+     released unexpanded) and return a structured Ws_ok — not hang. *)
+  let cfg = Snap.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  let module W = SnapDiff.Ws in
+  List.iter
+    (fun domains ->
+      match
+        W.explore ~stop_expansion:(fun _ -> true) ~domains ~cfg ~wiring ~inputs
+          ()
+      with
+      | W.Ws_ok { stats; wait_free; divergent } ->
+          Alcotest.(check int)
+            (Fmt.str "ws%d: single state" domains)
+            1 stats.W.states;
+          Alcotest.(check int)
+            (Fmt.str "ws%d: no transitions" domains)
+            0 stats.W.transitions;
+          (* A stopped state is not terminal: it was never expanded. *)
+          Alcotest.(check int)
+            (Fmt.str "ws%d: no terminals" domains)
+            0 stats.W.terminals;
+          Alcotest.(check bool)
+            (Fmt.str "ws%d: trivially wait-free" domains)
+            true
+            (wait_free && divergent = [])
+      | _ -> Alcotest.failf "ws%d: single-state space must return Ws_ok" domains)
+    [ 1; 2; 4 ]
+
+let test_ws_governor_trip_mid_steal () =
+  (* A 25-state quota on a 2827-state space with 4 domains: some worker
+     trips the governor mid-run (possibly on a stolen item) and the pool
+     must drain to a structured Ws_exhausted with the quota reason —
+     the sticky first-cause-wins stop cell is what is under test. *)
+  let cfg = Snap.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  let module W = SnapDiff.Ws in
+  let g = Gov.create ~quota:25 () in
+  (match W.explore ~governor:g ~domains:4 ~cfg ~wiring ~inputs () with
+  | W.Ws_exhausted { reason; states } ->
+      Alcotest.(check string) "quota reason" "quota"
+        (Gov.reason_to_string reason);
+      Alcotest.(check bool) "made progress before tripping" true (states > 0)
+  | _ -> Alcotest.fail "quota trip must yield Ws_exhausted");
+  Gov.dispose g;
+  (* Sweep level: the governor error string matches the shared shape. *)
+  let g = Gov.create ~quota:25 () in
+  (match
+     SnapDiff.Ws.check_all_wirings ~governor:g ~domains:2 ~cfg ~inputs ()
+   with
+  | Error msg ->
+      Alcotest.(check bool)
+        (Fmt.str "sweep error names exhaustion: %s" msg)
+        true
+        (String.length msg >= 9 && String.sub msg 0 9 = "exhausted")
+  | Ok _ -> Alcotest.fail "quota-bounded sweep cannot finish");
+  Gov.dispose g
+
+let test_ws_state_limit_mid_steal () =
+  let cfg = Snap.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  let module W = SnapDiff.Ws in
+  match W.explore ~max_states:100 ~domains:4 ~cfg ~wiring ~inputs () with
+  | W.Ws_state_limit k ->
+      (* Concurrent interns may overshoot the limit by in-flight creates,
+         never undershoot. *)
+      Alcotest.(check bool) "limit reached" true (k >= 100)
+  | _ -> Alcotest.fail "state limit must yield Ws_state_limit"
+
+let test_ws_violation_mid_steal () =
+  (* A planted violation with 4 domains on one core: the first worker to
+     see it (owner or thief) publishes through the violation cell, the
+     stop cell short-circuits the pool, and the parent-chain trace
+     replays to a state the invariant rejects. *)
+  let cfg = Snap.standard ~n:2 in
+  let wiring = Anonmem.Wiring.identity ~n:2 ~m:2 in
+  let inputs = [| 1; 2 |] in
+  let module W = SnapDiff.Ws in
+  let invariant = no_output_invariant cfg in
+  match W.explore ~invariant ~domains:4 ~cfg ~wiring ~inputs () with
+  | W.Ws_invariant_failed { trace; message; _ } ->
+      Alcotest.(check bool) "planted message" true
+        (String.length message > 0);
+      let final =
+        SnapDiff.Replay.final ~cfg ~wiring ~inputs (List.map fst trace)
+      in
+      (match invariant final with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "ws trace replays to a non-violating state")
+  | _ -> Alcotest.fail "4-domain pool missed the planted violation"
+
+(* ------------------------------------------------------------------ *)
 (* Canon soundness properties (QCheck).                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -672,13 +920,19 @@ let test_processor_limits_structured () =
 (* --- Core-level engine switching ------------------------------------ *)
 
 let test_core_engine_parity () =
-  let run ?(reduction = false) ?(domains = 1) () =
-    match Core.verify_snapshot_model ~n:2 ~reduction ~domains () with
+  let run ?(reduction = false) ?(domains = 1) ?(ws = false) () =
+    match Core.verify_snapshot_model ~n:2 ~reduction ~domains ~ws () with
     | Ok s -> s
     | Error e -> Alcotest.fail e
   in
   let seq = run () in
   let par = run ~domains:2 () in
+  let wse = run ~domains:2 ~ws:true () in
+  Alcotest.(check int) "ws engine total states"
+    seq.Modelcheck.Explorer.total_states wse.Modelcheck.Explorer.total_states;
+  Alcotest.(check int) "ws engine total transitions"
+    seq.Modelcheck.Explorer.total_transitions
+    wse.Modelcheck.Explorer.total_transitions;
   Alcotest.(check int) "total states" seq.Modelcheck.Explorer.total_states
     par.Modelcheck.Explorer.total_states;
   Alcotest.(check int) "total transitions"
@@ -730,6 +984,20 @@ let () =
             test_fault_explorer_reduced_witness;
           Alcotest.test_case "snapshot3 ND search" `Quick
             test_snapshot3_nd_planted_search;
+        ] );
+      ( "work-stealing",
+        [
+          QCheck_alcotest.to_alcotest prop_deque_sequential_model;
+          Alcotest.test_case "deque steal stress, 4 domains" `Quick
+            test_ws_deque_steal_stress;
+          Alcotest.test_case "single-state space terminates" `Quick
+            test_ws_single_state_space;
+          Alcotest.test_case "governor quota trip mid-steal" `Quick
+            test_ws_governor_trip_mid_steal;
+          Alcotest.test_case "state limit mid-steal" `Quick
+            test_ws_state_limit_mid_steal;
+          Alcotest.test_case "violation mid-steal" `Quick
+            test_ws_violation_mid_steal;
         ] );
       ( "canon",
         [
