@@ -1,10 +1,16 @@
-.PHONY: build test bench bench-mc bench-fuzz bench-portfolio mc-smoke mc-long fuzz-smoke fuzz-long fault-smoke faults-long portfolio-smoke portfolio-long feasibility resume-smoke coverage clean
+.PHONY: build test bench experiments bench-mc bench-fuzz bench-portfolio mc-smoke mc-long fuzz-smoke fuzz-long fault-smoke faults-long portfolio-smoke portfolio-long feasibility resume-smoke coverage clean
 
 build:
 	dune build @all
 
 test:
 	dune runtest
+
+# Full reproduction report (EXPERIMENTS.md's tables).  The output file
+# is regenerated, not committed (.gitignore'd).
+experiments:
+	dune build bin/experiments.exe
+	cd $(CURDIR) && ./_build/default/bin/experiments.exe | tee experiments_output.txt
 
 bench:
 	dune exec bench/main.exe
@@ -23,10 +29,11 @@ bench-mc:
 
 # Fuzzing-throughput benchmark: cases/s, steps/s and allocated words per
 # step for the legacy (list-view, traced) execution core vs the bitset
-# views traced and on the zero-observer fast path, plus campaign
-# wall-clock at 1 vs N domains.  Writes BENCH_fuzz.json; the
-# EXPERIMENTS.md fuzzing table comes from this output.  Pass
-# BENCH_FUZZ_FLAGS=--quick for the CI-sized run.
+# views traced, boxed-fast, and on the flat int-machine fast path, plus
+# campaign wall-clock at 1 vs N domains.  Writes BENCH_fuzz.json; the
+# EXPERIMENTS.md fuzzing tables (X8, X13) come from this output.  Pass
+# BENCH_FUZZ_FLAGS=--quick for the CI-sized run (which doubles as the
+# perf gate: <8 alloc words/step and >=3M steps/s on the flat row).
 bench-fuzz:
 	dune build bench/bench_fuzz.exe
 	cd $(CURDIR) && ./_build/default/bench/bench_fuzz.exe $(BENCH_FUZZ_FLAGS)

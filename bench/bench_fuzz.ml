@@ -46,6 +46,7 @@ module Legacy_snapshot : Fuzzing.Target.S = struct
     let next c l = if terminated c l then None else Some (LCore.next c l)
     let apply_read = LCore.apply_read
     let apply_write = LCore.apply_write
+    let flat _ ~phys:_ ~inputs:_ ~registers:_ ~locals:_ = None
     let output c (l : local) = if terminated c l then Some l.LCore.view else None
     let pp_value _ = LCore.pp_velt Fmt.int
     let pp_local _ = LCore.pp_local Fmt.int
@@ -149,9 +150,9 @@ let run_legacy_traced i =
   | Error _ -> failwith "legacy snapshot: unexpected counterexample");
   run.H_leg.steps
 
-let run_new ~record i =
+let run_new ?flat ~record i =
   let case = case_of i in
-  let run = H_new.run_case ~record case in
+  let run = H_new.run_case ?flat ~record case in
   (match H_new.verdict ~n:case.n ~m:case.m ~inputs:case.inputs run with
   | Ok () -> ()
   | Error _ -> failwith "snapshot: unexpected counterexample");
@@ -159,17 +160,28 @@ let run_new ~record i =
 
 (* Campaign wall-clock through the public entry point, as fuzz.exe runs
    it.  Alloc words are per-domain in OCaml 5, so parallel rows report
-   throughput only. *)
-let campaign_row ~label ~domains ~iterations =
-  let t0 = Unix.gettimeofday () in
-  let r =
-    H_new.campaign ~now:Unix.gettimeofday ~domains ~n_range ~max_steps ~seed
-      ~iterations ()
+   throughput only.  Best wall-clock of [repeats] runs: a campaign is a
+   single ~10s measurement, so one scheduler hiccup on a shared host
+   otherwise lands whole in the row. *)
+let campaign_row ?(repeats = 2) ~label ~domains ~iterations () =
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      H_new.campaign ~now:Unix.gettimeofday ~domains ~n_range ~max_steps ~seed
+        ~iterations ()
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (match r.Fuzzing.Harness.counterexample with
+    | None -> ()
+    | Some _ -> failwith "campaign: unexpected counterexample");
+    (r, wall_s)
   in
-  let wall_s = Unix.gettimeofday () -. t0 in
-  (match r.Fuzzing.Harness.counterexample with
-  | None -> ()
-  | Some _ -> failwith "campaign: unexpected counterexample");
+  let best = ref (once ()) in
+  for _ = 2 to repeats do
+    let run = once () in
+    if snd run < snd !best then best := run
+  done;
+  let r, wall_s = !best in
   let row =
     {
       label;
@@ -184,7 +196,8 @@ let campaign_row ~label ~domains ~iterations =
   print_row row;
   row
 
-let json_of ~host_domains ~speedup ~rep_speedup ~par_speedup rows =
+let json_of ~host_domains ~speedup ~rep_speedup ~par_speedup ~two_dom_speedup
+    rows =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"bench\": \"fuzz\",\n";
@@ -197,6 +210,8 @@ let json_of ~host_domains ~speedup ~rep_speedup ~par_speedup rows =
        rep_speedup);
   Buffer.add_string b
     (Printf.sprintf "  \"campaign_parallel_speedup\": %.2f,\n" par_speedup);
+  Buffer.add_string b
+    (Printf.sprintf "  \"campaign_2_domain_speedup\": %.2f,\n" two_dom_speedup);
   Buffer.add_string b "  \"rows\": [\n";
   List.iteri
     (fun i r ->
@@ -215,6 +230,13 @@ let json_of ~host_domains ~speedup ~rep_speedup ~par_speedup rows =
   Buffer.contents b
 
 let () =
+  (* Minor collections are stop-the-world across all domains in OCaml 5;
+     at the default 256k-word minor heap a campaign triggers ~500 of
+     them, and on few-core hosts each one costs a cross-domain scheduler
+     round-trip that swamps the parallel rows.  A large minor heap makes
+     the campaign rows measure the harness, not the collector's barrier.
+     Pool workers inherit this size (see {!Fuzzing.Domain_pool}). *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8_000_000 };
   let quick = Array.mem "--quick" Sys.argv in
   let exec_iters = if quick then 1_500 else 10_000 in
   let campaign_iters = if quick then 6_000 else 40_000 in
@@ -222,27 +244,74 @@ let () =
   let par_domains = max 2 (min 4 host_domains) in
   let legacy = exec_row ~label:"legacy: list views, traced" ~iterations:exec_iters run_legacy_traced in
   let traced = exec_row ~label:"bitset views, traced" ~iterations:exec_iters (run_new ~record:true) in
-  let fast = exec_row ~label:"bitset views, fast path" ~iterations:exec_iters (run_new ~record:false) in
-  (* Identical cases and representation-independent transitions: all
-     three rows must have simulated exactly the same executions. *)
-  assert (legacy.steps = traced.steps && traced.steps = fast.steps);
-  let c1 = campaign_row ~label:"campaign, 1 domain" ~domains:1 ~iterations:campaign_iters in
-  let cn =
-    campaign_row
-      ~label:(Printf.sprintf "campaign, %d domains" par_domains)
-      ~domains:par_domains ~iterations:campaign_iters
+  let boxed =
+    exec_row ~label:"bitset views, boxed fast path" ~iterations:exec_iters
+      (run_new ~flat:false ~record:false)
   in
+  let fast =
+    exec_row ~label:"flat int-machine, fast path" ~iterations:exec_iters
+      (run_new ~record:false)
+  in
+  (* Identical cases and representation-independent transitions: all
+     four rows must have simulated exactly the same executions. *)
+  assert (
+    legacy.steps = traced.steps && traced.steps = boxed.steps
+    && boxed.steps = fast.steps);
+  (* CI perf gate on the flat row.  The ceilings are deliberately
+     generous relative to the measured numbers (< 8 w/step and >= 10M
+     steps/s on an unloaded host) so only a real regression — the flat
+     path silently falling back to the boxed interpreter, or a new
+     allocation on the hot path — trips them, not scheduler noise. *)
+  let w = words_per_step fast and sps = steps_per_s fast in
+  if w >= 8.0 then (
+    Printf.eprintf "PERF GATE: flat fast path allocates %.1f w/step (>= 8)\n" w;
+    exit 1);
+  if sps < 3e6 then (
+    Printf.eprintf "PERF GATE: flat fast path at %.0f steps/s (< 3M)\n" sps;
+    exit 1);
+  let c1 =
+    campaign_row ~label:"campaign, 1 domain" ~domains:1
+      ~iterations:campaign_iters ()
+  in
+  let c2 =
+    campaign_row ~label:"campaign, 2 domains" ~domains:2
+      ~iterations:campaign_iters ()
+  in
+  let cn =
+    if par_domains = 2 then c2
+    else
+      campaign_row
+        ~label:(Printf.sprintf "campaign, %d domains" par_domains)
+        ~domains:par_domains ~iterations:campaign_iters ()
+  in
+  assert (c1.cases = c2.cases && c1.steps = c2.steps);
   assert (c1.cases = cn.cases && c1.steps = cn.steps);
+  (* The campaign summary must not depend on the domain count at all —
+     same verdict, same counterexample, same totals, byte for byte. *)
+  let summary_at domains =
+    H_new.deterministic_summary ~key:"snapshot"
+      (H_new.campaign ~domains ~n_range ~max_steps ~seed
+         ~iterations:(min campaign_iters 2_000) ())
+  in
+  let s1 = summary_at 1 in
+  if not (String.equal s1 (summary_at 2) && String.equal s1 (summary_at 4))
+  then (
+    prerr_endline "PERF GATE: deterministic_summary differs across domains";
+    exit 1);
   let speedup = steps_per_s fast /. steps_per_s legacy in
   let rep_speedup = steps_per_s traced /. steps_per_s legacy in
   let par_speedup = cases_per_s cn /. cases_per_s c1 in
+  let two_dom_speedup = cases_per_s c2 /. cases_per_s c1 in
   let oc = open_out "BENCH_fuzz.json" in
   output_string oc
-    (json_of ~host_domains ~speedup ~rep_speedup ~par_speedup (List.rev !rows));
+    (json_of ~host_domains ~speedup ~rep_speedup ~par_speedup ~two_dom_speedup
+       (List.rev !rows));
   close_out oc;
   Printf.printf
     "\n\
      steps/s speedup vs legacy representation: %.2fx (%.2fx from the \
-     bitset views alone); campaign at %d domains: %.2fx; wrote \
+     bitset views alone); campaign at 2 domains: %.2fx%s; wrote \
      BENCH_fuzz.json\n"
-    speedup rep_speedup par_domains par_speedup
+    speedup rep_speedup two_dom_speedup
+    (if par_domains = 2 then ""
+     else Printf.sprintf ", at %d domains: %.2fx" par_domains par_speedup)

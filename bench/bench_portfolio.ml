@@ -147,7 +147,10 @@ let () =
     [ "full"; "reduced"; "classes"; "packed"; "packed-ckpt" ];
   (* JSON dump, newline-separated objects like the other benchmarks. *)
   let oc = open_out "BENCH_portfolio.json" in
-  output_string oc "{\n  \"portfolio\": [\n";
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"host_domains\": %d,\n"
+    (Domain.recommended_domain_count ());
+  output_string oc "  \"portfolio\": [\n";
   List.iteri
     (fun i r ->
       if i > 0 then output_string oc ",\n";

@@ -607,7 +607,7 @@ let faults_cmd =
             let run =
               H.exec ~record:true ~cfg ~wiring ~inputs
                 ~sched:(Anonmem.Scheduler.random (Repro_util.Rng.split rng))
-                ~faults ~max_steps
+                ~faults ~max_steps ()
             in
             Fmt.pr "%s under plan [%a]: seed %d, n=%d m=%d, wiring %a@." key
               Anonmem.Fault.pp faults seed n m Anonmem.Wiring.pp wiring;

@@ -68,6 +68,14 @@ val apply_read : cfg -> local -> reg:int -> value -> local
 val apply_write : cfg -> local -> local
 val output : cfg -> local -> output option
 
+val flat :
+  cfg ->
+  phys:int array ->
+  inputs:input array ->
+  registers:value array ->
+  locals:local array ->
+  value Anonmem.Protocol.flat option
+
 val leaders : Pset.t -> (int * int) list
 (** Highest timestamp carried by each value in a snapshot. *)
 

@@ -87,6 +87,114 @@ let apply_read c l ~reg v =
         }
 
 let output _ l = if terminated l then Some l.view else None
+
+(* Flat twin: views as bitset words; phase in the scan position ([-1] =
+   Writing), [all_own] and the streak in parallel int arrays.  Total. *)
+let flat (c : cfg) ~(phys : int array) ~(inputs : int array)
+    ~(registers : value array) ~(locals : local array) :
+    value Anonmem.Protocol.flat option =
+  let n = c.n and m = c.m in
+  let in_window i = 0 <= i && i < Bits.max_width in
+  if n > Bits.max_width || m > Bits.max_width
+     || not (Array.for_all in_window inputs)
+  then None
+  else
+    match
+      ( Array.map Iset.to_bits registers,
+        Array.map (fun l -> Iset.to_bits l.view) locals )
+    with
+    | exception Invalid_argument _ -> None
+    | rview, lview ->
+        let lnext = Array.map (fun l -> l.next_write) locals in
+        let lstreak = Array.map (fun l -> l.streak) locals in
+        let lpos = Array.make n (-1) in
+        let lall = Array.make n 0 in
+        Array.iteri
+          (fun p l ->
+            match l.phase with
+            | Writing -> lpos.(p) <- -1
+            | Scanning { pos; all_own } ->
+                lpos.(p) <- pos;
+                lall.(p) <- (if all_own then 1 else 0))
+          locals;
+        let pview = Array.copy rview in
+        let dirty = ref 0 in
+        let halted p = lstreak.(p) >= 2 && lpos.(p) < 0 in
+        let peek p =
+          let pos = lpos.(p) in
+          if pos < 0 then
+            if lstreak.(p) >= 2 then -1
+            else (phys.((p * m) + lnext.(p)) lsl 1) lor 1
+          else phys.((p * m) + pos) lsl 1
+        in
+        let do_read p vview =
+          let all = lall.(p) = 1 && vview = lview.(p) in
+          if not all then begin
+            lall.(p) <- 0;
+            lview.(p) <- lview.(p) lor vview
+          end;
+          let pos = lpos.(p) + 1 in
+          if pos < m then lpos.(p) <- pos
+          else begin
+            lstreak.(p) <- (if all then lstreak.(p) + 1 else 0);
+            lpos.(p) <- -1
+          end
+        in
+        let advance_write p =
+          lnext.(p) <- (lnext.(p) + 1) mod m;
+          lpos.(p) <- 0;
+          lall.(p) <- 1
+        in
+        let step p =
+          let pos = lpos.(p) in
+          if pos < 0 then begin
+            let r = phys.((p * m) + lnext.(p)) in
+            pview.(r) <- rview.(r);
+            rview.(r) <- lview.(p);
+            dirty := !dirty lor (1 lsl r);
+            advance_write p
+          end
+          else do_read p rview.(phys.((p * m) + pos))
+        in
+        let step_stale p = do_read p pview.(phys.((p * m) + lpos.(p))) in
+        let reset p =
+          lview.(p) <- 1 lsl inputs.(p);
+          lnext.(p) <- 0;
+          lstreak.(p) <- 0;
+          lpos.(p) <- -1
+        in
+        let value r =
+          if !dirty land (1 lsl r) <> 0 then Iset.of_bits rview.(r)
+          else registers.(r)
+        in
+        let sync () =
+          List.iter
+            (fun r -> registers.(r) <- Iset.of_bits rview.(r))
+            (Bits.to_list !dirty);
+          for p = 0 to n - 1 do
+            locals.(p) <-
+              {
+                view = Iset.of_bits lview.(p);
+                next_write = lnext.(p);
+                streak = lstreak.(p);
+                phase =
+                  (if lpos.(p) < 0 then Writing
+                   else Scanning { pos = lpos.(p); all_own = lall.(p) = 1 });
+              }
+          done
+        in
+        Some
+          {
+            Anonmem.Protocol.total = true;
+            peek;
+            step;
+            step_omit = advance_write;
+            step_stale;
+            reset;
+            halted;
+            value;
+            sync;
+          }
 let view_of_local l = l.view
 let pp_value _ = Iset.pp_set
 

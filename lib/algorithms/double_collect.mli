@@ -42,6 +42,14 @@ val next : cfg -> local -> value Anonmem.Protocol.operation option
 val apply_read : cfg -> local -> reg:int -> value -> local
 val apply_write : cfg -> local -> local
 val output : cfg -> local -> output option
+
+val flat :
+  cfg ->
+  phys:int array ->
+  inputs:input array ->
+  registers:value array ->
+  locals:local array ->
+  value Anonmem.Protocol.flat option
 val view_of_local : local -> Iset.t
 val pp_value : cfg -> value Fmt.t
 val pp_local : cfg -> local Fmt.t

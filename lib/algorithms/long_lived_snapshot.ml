@@ -52,6 +52,9 @@ struct
   let output c (l : local) = if ready c l then Some l.Core.view else None
   let output_view (l : local) = l.Core.view
 
+  (* No flat machine yet: the boxed paths run this protocol. *)
+  let flat _ ~phys:_ ~inputs:_ ~registers:_ ~locals:_ = None
+
   let invoke c (l : local) input =
     if not (ready c l) then
       invalid_arg "Long_lived_snapshot.invoke: previous invocation still running";

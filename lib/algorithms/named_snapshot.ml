@@ -98,6 +98,9 @@ let apply_read c l ~reg v =
 
 let output _ l = l.result
 
+(* No flat machine yet: the boxed paths run this protocol. *)
+let flat _ ~phys:_ ~inputs:_ ~registers:_ ~locals:_ = None
+
 let pp_value _ ppf = function
   | None -> Fmt.string ppf "-"
   | Some { id; seq } -> Fmt.pf ppf "%d#%d" id seq

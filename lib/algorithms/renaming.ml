@@ -47,6 +47,14 @@ let next c l =
 let apply_read c l ~reg v = { l with core = Snapshot.apply_read c l.core ~reg v }
 let apply_write c l = { l with core = Snapshot.apply_write c l.core }
 
+(* Renaming is the snapshot engine verbatim at execution time — [group]
+   is pinned at init and only read when the output is materialized — so
+   its flat machine is the shared engine over the [core] component. *)
+let flat c ~phys ~inputs ~registers ~locals =
+  Snapshot.flat_core c ~phys ~registers ~core_inputs:inputs
+    ~get:(fun p -> locals.(p).core)
+    ~set:(fun p core -> locals.(p) <- { (locals.(p)) with core })
+
 let name_of_snapshot ~group snapshot =
   match Iset.rank group snapshot with
   | None ->

@@ -40,6 +40,14 @@ val apply_read : cfg -> local -> reg:int -> value -> local
 val apply_write : cfg -> local -> local
 val output : cfg -> local -> output option
 
+val flat :
+  cfg ->
+  phys:int array ->
+  inputs:input array ->
+  registers:value array ->
+  locals:local array ->
+  value Anonmem.Protocol.flat option
+
 val name_of_snapshot : group:int -> Iset.t -> output
 (** The Bar-Noy–Dolev rank rule in isolation; raises [Invalid_argument]
     when [group] is not in the snapshot. *)

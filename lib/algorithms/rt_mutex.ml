@@ -190,6 +190,255 @@ let apply_write c l =
 
 let output _ l = match l.phase with Done o -> Some o | _ -> None
 
+(* Flat twin.  Register values are ints: [Free] is [-1], [Claim id] is
+   [2*id], [Seal id] is [2*id + 1] — owner is [v asr 1], the seal bit is
+   [v land 1].  The collect summary lives in per-processor scratch: [mine]
+   and [first_free] as in the boxed phase, the rival counts as a row of
+   per-identity counters (identities are required to sit below
+   {!Bits.max_width}, so a touched-identity bitmask bounds the clearing
+   cost of a fresh collect) plus a running maximum, which is all {!decide}
+   reads of [others].  Phase is a state int (0 collect, 1 claim,
+   2 release, 3 seal, 4 audit, 5 unlock, 6 done) with a position/target
+   argument; the release worklist is the [mine] bitmask itself, popped in
+   ascending order exactly like the boxed index list.  Total. *)
+let flat (c : cfg) ~(phys : int array) ~(inputs : int array)
+    ~(registers : value array) ~(locals : local array) :
+    value Anonmem.Protocol.flat option =
+  let n = c.n and m = c.m in
+  let module Bits = Repro_util.Bits in
+  let cap = Bits.max_width in
+  let id_ok id = 0 <= id && id < cap in
+  let value_ok = function Free -> true | Claim id | Seal id -> id_ok id in
+  let phase_ok = function
+    | Collecting { others; _ } -> List.for_all (fun (q, _) -> id_ok q) others
+    | Releasing { mine } -> mine <> []
+    | _ -> true
+  in
+  if n > Bits.max_width || m > Bits.max_width
+     || not (Array.for_all id_ok inputs)
+     || not (Array.for_all value_ok registers)
+     || not (Array.for_all (fun l -> id_ok l.id && phase_ok l.phase) locals)
+  then None
+  else begin
+    let enc = function
+      | Free -> -1
+      | Claim id -> id * 2
+      | Seal id -> (id * 2) + 1
+    in
+    let dec v =
+      if v < 0 then Free
+      else if v land 1 = 0 then Claim (v asr 1)
+      else Seal (v asr 1)
+    in
+    let rv = Array.map enc registers in
+    let pv = Array.copy rv in
+    let dirty = ref 0 in
+    let lid = Array.map (fun l -> l.id) locals in
+    let lstate = Array.make n 0 in
+    let larg = Array.make n 0 in
+    let lmine = Array.make n 0 in
+    let lff = Array.make n (-1) in
+    let ldirty = Array.make n 0 in
+    let cnt = Array.make (n * cap) 0 in
+    let ltouch = Array.make n 0 in
+    let lmaxr = Array.make n 0 in
+    Array.iteri
+      (fun p l ->
+        match l.phase with
+        | Collecting { pos; mine; others; first_free } ->
+            lstate.(p) <- 0;
+            larg.(p) <- pos;
+            lmine.(p) <- mine;
+            lff.(p) <- first_free;
+            List.iter
+              (fun (q, k) ->
+                cnt.((p * cap) + q) <- k;
+                ltouch.(p) <- ltouch.(p) lor (1 lsl q);
+                if k > lmaxr.(p) then lmaxr.(p) <- k)
+              others
+        | Claiming { target } ->
+            lstate.(p) <- 1;
+            larg.(p) <- target
+        | Releasing { mine } ->
+            lstate.(p) <- 2;
+            lmine.(p) <-
+              List.fold_left (fun acc i -> acc lor (1 lsl i)) 0 mine
+        | Sealing { pos } ->
+            lstate.(p) <- 3;
+            larg.(p) <- pos
+        | Auditing { pos; dirty } ->
+            lstate.(p) <- 4;
+            larg.(p) <- pos;
+            ldirty.(p) <- (if dirty then 1 else 0)
+        | Unlocking { pos; dirty } ->
+            lstate.(p) <- 5;
+            larg.(p) <- pos;
+            ldirty.(p) <- (if dirty then 1 else 0)
+        | Done o ->
+            lstate.(p) <- 6;
+            larg.(p) <- (match o with Cs_clean -> 0 | Cs_intruded -> 1))
+      locals;
+    let fresh p =
+      let rec clear mask =
+        if mask <> 0 then begin
+          cnt.((p * cap) + Bits.ctz mask) <- 0;
+          clear (mask land (mask - 1))
+        end
+      in
+      clear ltouch.(p);
+      ltouch.(p) <- 0;
+      lmaxr.(p) <- 0;
+      lmine.(p) <- 0;
+      lff.(p) <- -1;
+      lstate.(p) <- 0;
+      larg.(p) <- 0
+    in
+    let halted p = lstate.(p) = 6 in
+    let peek p =
+      match lstate.(p) with
+      | 0 -> phys.((p * m) + larg.(p)) lsl 1
+      | 1 -> (phys.((p * m) + larg.(p)) lsl 1) lor 1
+      | 2 -> (phys.((p * m) + Bits.ctz lmine.(p)) lsl 1) lor 1
+      | 3 | 5 -> (phys.((p * m) + larg.(p)) lsl 1) lor 1
+      | 4 -> phys.((p * m) + larg.(p)) lsl 1
+      | _ -> -1
+    in
+    let decide p =
+      let mine_count = Bits.popcount lmine.(p) in
+      let threshold = if c.eager_entry then m - 1 else m in
+      if mine_count >= threshold && mine_count >= 1 then begin
+        lstate.(p) <- 3;
+        larg.(p) <- 0
+      end
+      else if lmaxr.(p) > mine_count then begin
+        if lmine.(p) = 0 then fresh p
+        else lstate.(p) <- 2 (* release worklist: the [lmine] mask *)
+      end
+      else if lff.(p) >= 0 then begin
+        let target = lff.(p) in
+        fresh p;
+        lstate.(p) <- 1;
+        larg.(p) <- target
+      end
+      else fresh p
+    in
+    let do_read p v =
+      let pos = larg.(p) in
+      (if v < 0 then begin
+         if lff.(p) < 0 then lff.(p) <- pos
+       end
+       else
+         let q = v asr 1 in
+         if q = lid.(p) then lmine.(p) <- lmine.(p) lor (1 lsl pos)
+         else begin
+           let idx = (p * cap) + q in
+           let k = cnt.(idx) + 1 in
+           cnt.(idx) <- k;
+           ltouch.(p) <- ltouch.(p) lor (1 lsl q);
+           if k > lmaxr.(p) then lmaxr.(p) <- k
+         end);
+      if pos + 1 < m then larg.(p) <- pos + 1 else decide p
+    in
+    let audit_read p v =
+      let pos = larg.(p) in
+      if v >= 0 && v land 1 = 1 && v asr 1 <> lid.(p) then ldirty.(p) <- 1;
+      if pos + 1 < m then larg.(p) <- pos + 1
+      else begin
+        lstate.(p) <- 5;
+        larg.(p) <- 0
+      end
+    in
+    (* The local transition of a write — shared by [step] (which also
+       lands the value) and [step_omit] (which doesn't). *)
+    let advance_write p =
+      match lstate.(p) with
+      | 1 -> fresh p
+      | 2 ->
+          lmine.(p) <- lmine.(p) land (lmine.(p) - 1);
+          if lmine.(p) = 0 then fresh p
+      | 3 ->
+          if larg.(p) + 1 < m then larg.(p) <- larg.(p) + 1
+          else begin
+            lstate.(p) <- 4;
+            larg.(p) <- 0;
+            ldirty.(p) <- 0
+          end
+      | 5 ->
+          if larg.(p) + 1 < m then larg.(p) <- larg.(p) + 1
+          else begin
+            lstate.(p) <- 6;
+            larg.(p) <- ldirty.(p)
+          end
+      | _ -> invalid_arg "Rt_mutex.flat: not writing"
+    in
+    let step p =
+      match lstate.(p) with
+      | 0 -> do_read p rv.(phys.((p * m) + larg.(p)))
+      | 4 -> audit_read p rv.(phys.((p * m) + larg.(p)))
+      | s ->
+          let i = if s = 2 then Bits.ctz lmine.(p) else larg.(p) in
+          let r = phys.((p * m) + i) in
+          pv.(r) <- rv.(r);
+          rv.(r) <-
+            (match s with
+            | 1 -> lid.(p) * 2
+            | 3 -> (lid.(p) * 2) + 1
+            | _ -> -1);
+          dirty := !dirty lor (1 lsl r);
+          advance_write p
+    in
+    let step_stale p =
+      match lstate.(p) with
+      | 0 -> do_read p pv.(phys.((p * m) + larg.(p)))
+      | 4 -> audit_read p pv.(phys.((p * m) + larg.(p)))
+      | _ -> invalid_arg "Rt_mutex.flat: not reading"
+    in
+    let reset p =
+      fresh p;
+      lid.(p) <- inputs.(p)
+    in
+    let value r =
+      if !dirty land (1 lsl r) <> 0 then dec rv.(r) else registers.(r)
+    in
+    let sync () =
+      List.iter
+        (fun r -> registers.(r) <- dec rv.(r))
+        (Bits.to_list !dirty);
+      for p = 0 to n - 1 do
+        let phase =
+          match lstate.(p) with
+          | 0 ->
+              let others =
+                List.rev_map
+                  (fun q -> (q, cnt.((p * cap) + q)))
+                  (List.rev (Bits.to_list ltouch.(p)))
+              in
+              Collecting
+                { pos = larg.(p); mine = lmine.(p); others; first_free = lff.(p) }
+          | 1 -> Claiming { target = larg.(p) }
+          | 2 -> Releasing { mine = Bits.to_list lmine.(p) }
+          | 3 -> Sealing { pos = larg.(p) }
+          | 4 -> Auditing { pos = larg.(p); dirty = ldirty.(p) = 1 }
+          | 5 -> Unlocking { pos = larg.(p); dirty = ldirty.(p) = 1 }
+          | _ -> Done (if larg.(p) = 1 then Cs_intruded else Cs_clean)
+        in
+        locals.(p) <- { id = lid.(p); phase }
+      done
+    in
+    Some
+      {
+        Anonmem.Protocol.total = true;
+        peek;
+        step;
+        step_omit = advance_write;
+        step_stale;
+        reset;
+        halted;
+        value;
+        sync;
+      }
+  end
+
 let pp_value _ ppf = function
   | Free -> Fmt.string ppf "-"
   | Claim id -> Fmt.pf ppf "%d" id

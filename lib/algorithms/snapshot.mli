@@ -54,6 +54,29 @@ val apply_read : cfg -> local -> reg:int -> value -> local
 val apply_write : cfg -> local -> local
 val output : cfg -> local -> output option
 
+val flat :
+  cfg ->
+  phys:int array ->
+  inputs:input array ->
+  registers:value array ->
+  locals:local array ->
+  value Anonmem.Protocol.flat option
+(** The int-machine twin of the engine (see {!Anonmem.Protocol.flat}):
+    views as bitset words, total (never falls back).  [None] when the
+    instance or a view exceeds the 62-bit window. *)
+
+val flat_core :
+  cfg ->
+  phys:int array ->
+  registers:value array ->
+  core_inputs:int array ->
+  get:(int -> local) ->
+  set:(int -> local -> unit) ->
+  value Anonmem.Protocol.flat option
+(** The engine behind {!flat}, shared with {!Renaming}: the client's
+    local state embeds a [local] reached through [get]/[set];
+    [core_inputs] are the engine inputs used on crash-recovery reset. *)
+
 val level_of_local : local -> int
 (** The current level, in [0..n]; used by the analyses and tests. *)
 

@@ -95,6 +95,154 @@ let apply_write _ l =
 
 let output _ l = match l.phase with Done o -> Some o | _ -> None
 
+(* Flat twin.  Register values are ints ([-1] = free, [id >= 0] = claimed
+   by [id] — injective because identifiers are non-negative); the collect
+   accumulator lives in a preallocated per-processor scratch row of the
+   values read so far, indexed by collect position.  Phase is a pair of
+   ints: state (0 = collecting, 1 = claiming, 2 = done) and its argument
+   (position / target / 0-Follower 1-Leader).  Total. *)
+let flat (c : cfg) ~(phys : int array) ~(inputs : int array)
+    ~(registers : value array) ~(locals : local array) :
+    value Anonmem.Protocol.flat option =
+  let n = c.n and m = c.m in
+  let module Bits = Repro_util.Bits in
+  let enc = function None -> -1 | Some id -> id in
+  let ok_value = function None -> true | Some id -> id >= 0 in
+  if n > Bits.max_width || m > Bits.max_width
+     || not (Array.for_all (fun i -> i >= 0) inputs)
+     || not (Array.for_all ok_value registers)
+     || not (Array.for_all (fun l -> l.id >= 0) locals)
+     || not
+          (Array.for_all
+             (fun l ->
+               match l.phase with
+               | Collecting { acc; _ } -> List.for_all ok_value acc
+               | _ -> true)
+             locals)
+  then None
+  else begin
+    let rv = Array.map enc registers in
+    let pv = Array.copy rv in
+    let dirty = ref 0 in
+    let lid = Array.map (fun l -> l.id) locals in
+    let lstate = Array.make n 0 in
+    let larg = Array.make n 0 in
+    let racc = Array.make (n * m) (-1) in
+    Array.iteri
+      (fun p l ->
+        match l.phase with
+        | Collecting { pos; acc } ->
+            lstate.(p) <- 0;
+            larg.(p) <- pos;
+            (* [acc] is most-recent-first: position [pos-1] at the head. *)
+            List.iteri
+              (fun k v -> racc.((p * m) + (pos - 1 - k)) <- enc v)
+              acc
+        | Claiming { target } ->
+            lstate.(p) <- 1;
+            larg.(p) <- target
+        | Done o ->
+            lstate.(p) <- 2;
+            larg.(p) <- (match o with Follower -> 0 | Leader -> 1))
+      locals;
+    let halted p = lstate.(p) = 2 in
+    let peek p =
+      match lstate.(p) with
+      | 0 -> phys.((p * m) + larg.(p)) lsl 1
+      | 1 -> (phys.((p * m) + larg.(p)) lsl 1) lor 1
+      | _ -> -1
+    in
+    let decide p =
+      (* First free register in the collected row, else count own ids —
+         [decide] over the reversed accumulator, position order. *)
+      let base = p * m in
+      let target = ref (-1) in
+      (try
+         for i = 0 to m - 1 do
+           if racc.(base + i) = -1 then begin
+             target := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !target >= 0 then begin
+        lstate.(p) <- 1;
+        larg.(p) <- !target
+      end
+      else begin
+        let mine = ref 0 in
+        for i = 0 to m - 1 do
+          if racc.(base + i) = lid.(p) then incr mine
+        done;
+        let wins = if c.majority_entry then 2 * !mine > m else !mine = m in
+        lstate.(p) <- 2;
+        larg.(p) <- (if wins then 1 else 0)
+      end
+    in
+    let do_read p v =
+      let pos = larg.(p) in
+      racc.((p * m) + pos) <- v;
+      if pos + 1 < m then larg.(p) <- pos + 1 else decide p
+    in
+    let step p =
+      if lstate.(p) = 0 then do_read p rv.(phys.((p * m) + larg.(p)))
+      else begin
+        let r = phys.((p * m) + larg.(p)) in
+        pv.(r) <- rv.(r);
+        rv.(r) <- lid.(p);
+        dirty := !dirty lor (1 lsl r);
+        lstate.(p) <- 0;
+        larg.(p) <- 0
+      end
+    in
+    let step_omit p =
+      lstate.(p) <- 0;
+      larg.(p) <- 0
+    in
+    let step_stale p = do_read p pv.(phys.((p * m) + larg.(p))) in
+    let reset p =
+      lid.(p) <- inputs.(p);
+      lstate.(p) <- 0;
+      larg.(p) <- 0
+    in
+    let dec v = if v < 0 then None else Some v in
+    let value r =
+      if !dirty land (1 lsl r) <> 0 then dec rv.(r) else registers.(r)
+    in
+    let sync () =
+      List.iter
+        (fun r -> registers.(r) <- dec rv.(r))
+        (Bits.to_list !dirty);
+      for p = 0 to n - 1 do
+        let phase =
+          match lstate.(p) with
+          | 0 ->
+              let pos = larg.(p) in
+              let acc = ref [] in
+              for i = 0 to pos - 1 do
+                acc := dec racc.((p * m) + i) :: !acc
+              done;
+              Collecting { pos; acc = !acc }
+          | 1 -> Claiming { target = larg.(p) }
+          | _ -> Done (if larg.(p) = 1 then Leader else Follower)
+        in
+        locals.(p) <- { id = lid.(p); phase }
+      done
+    in
+    Some
+      {
+        Anonmem.Protocol.total = true;
+        peek;
+        step;
+        step_omit;
+        step_stale;
+        reset;
+        halted;
+        value;
+        sync;
+      }
+  end
+
 let pp_value _ ppf = function
   | None -> Fmt.string ppf "-"
   | Some id -> Fmt.pf ppf "%d" id

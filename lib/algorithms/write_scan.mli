@@ -37,6 +37,14 @@ val apply_read : cfg -> local -> reg:int -> value -> local
 val apply_write : cfg -> local -> local
 val output : cfg -> local -> output option
 
+val flat :
+  cfg ->
+  phys:int array ->
+  inputs:input array ->
+  registers:value array ->
+  locals:local array ->
+  value Anonmem.Protocol.flat option
+
 val view_of_local : local -> Iset.t
 val at_round_boundary : local -> bool
 (** Between rounds: the processor's next operation is a write. *)

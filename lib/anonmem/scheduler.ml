@@ -1,9 +1,25 @@
 open Repro_util
 
-type t = { name : string; pick : time:int -> enabled:int list -> int option }
+(* Every scheduler carries two views of the same decision procedure: the
+   list-based [pick] (the original interface, kept as the specification
+   and the fallback for protocols without a flat machine) and an optional
+   [mask_pick] over enabled-set bitmasks — the int-machine hot path: no
+   list construction, no option allocation ([-1] means "no pick").  Both
+   closures share their mutable state (cursor, rng, script position), so
+   a run may switch between the two mid-flight (the Fallback shim does)
+   without perturbing the decision stream.  A [mask_pick] must choose
+   exactly the processor its list twin would choose on the sorted list of
+   the mask's bits, drawing from the rng exactly as often — the byte-
+   identical-schedule contract the differential suite pins down. *)
+type t = {
+  name : string;
+  pick : time:int -> enabled:int list -> int option;
+  mask_pick : (time:int -> mask:int -> int) option;
+}
 
 let name t = t.name
 let pick t ~time ~enabled = t.pick ~time ~enabled
+let mask_pick t = t.mask_pick
 
 let round_robin () =
   let cursor = ref 0 in
@@ -20,41 +36,64 @@ let round_robin () =
         cursor := chosen + 1;
         Some chosen
   in
-  { name = "round-robin"; pick }
+  let mask_pick ~time:_ ~mask =
+    let after =
+      if !cursor >= Bits.max_width then 0 else mask land (-1 lsl !cursor)
+    in
+    let chosen = Bits.ctz (if after <> 0 then after else mask) in
+    cursor := chosen + 1;
+    chosen
+  in
+  { name = "round-robin"; pick; mask_pick = Some mask_pick }
 
 let random rng =
   let pick ~time:_ ~enabled =
     match enabled with [] -> None | l -> Some (Rng.pick rng l)
   in
-  { name = "random"; pick }
+  (* Rng.pick draws once via [Rng.int (length l)] and takes the k-th
+     element of the sorted list; the k-th set bit is the same pid. *)
+  let mask_pick ~time:_ ~mask =
+    Bits.nth_set mask (Rng.int rng (Bits.popcount mask))
+  in
+  { name = "random"; pick; mask_pick = Some mask_pick }
 
 let solo p =
   let pick ~time:_ ~enabled = if List.mem p enabled then Some p else None in
-  { name = Printf.sprintf "solo(%d)" p; pick }
+  let mask_pick ~time:_ ~mask =
+    if p < Bits.max_width && mask land (1 lsl p) <> 0 then p else -1
+  in
+  { name = Printf.sprintf "solo(%d)" p; pick; mask_pick = Some mask_pick }
 
 let script ?(cycle = false) pids =
   let len = List.length pids in
   let remaining = ref pids in
-  let pick ~time:_ ~enabled =
-    (* Bound the scan so a cyclic script whose processors have all halted
-       terminates the run instead of spinning. *)
-    let rec go scanned =
-      if scanned > len then None
-      else
-        match !remaining with
-        | [] ->
-            if cycle && pids <> [] then begin
-              remaining := pids;
-              go scanned
-            end
-            else None
-        | p :: rest ->
-            remaining := rest;
-            if List.mem p enabled then Some p else go (scanned + 1)
-    in
-    go 0
+  (* The list and mask pickers share [remaining]; [member] abstracts the
+     only difference (how enabledness is tested). *)
+  let rec go member scanned =
+    if scanned > len then -1
+    else
+      match !remaining with
+      | [] ->
+          if cycle && pids <> [] then begin
+            remaining := pids;
+            go member scanned
+          end
+          else -1
+      | p :: rest ->
+          remaining := rest;
+          if member p then p else go member (scanned + 1)
   in
-  { name = (if cycle then "script(cyclic)" else "script"); pick }
+  let pick ~time:_ ~enabled =
+    match go (fun p -> List.mem p enabled) 0 with -1 -> None | p -> Some p
+  in
+  let mask_pick ~time:_ ~mask =
+    go (fun p -> p < Bits.max_width && mask land (1 lsl p) <> 0) 0
+  in
+  {
+    name = (if cycle then "script(cyclic)" else "script");
+    pick;
+    mask_pick = Some mask_pick;
+  }
 
 let script_then_cycle ~prefix ~cycle =
   let head = script prefix in
@@ -69,7 +108,21 @@ let script_then_cycle ~prefix ~cycle =
           tail.pick ~time ~enabled
     else tail.pick ~time ~enabled
   in
-  { name = "script-then-cycle"; pick }
+  let mask_pick =
+    match (head.mask_pick, tail.mask_pick) with
+    | Some hm, Some tm ->
+        Some
+          (fun ~time ~mask ->
+            if !in_prefix then
+              match hm ~time ~mask with
+              | -1 ->
+                  in_prefix := false;
+                  tm ~time ~mask
+              | p -> p
+            else tm ~time ~mask)
+    | _ -> None
+  in
+  { name = "script-then-cycle"; pick; mask_pick }
 
 let recorded t =
   let picks = ref [] in
@@ -80,7 +133,18 @@ let recorded t =
         Some p
     | None -> None
   in
-  ({ name = t.name ^ "+recorded"; pick }, fun () -> List.rev !picks)
+  let mask_pick =
+    Option.map
+      (fun mp ~time ~mask ->
+        match mp ~time ~mask with
+        | -1 -> -1
+        | p ->
+            picks := p :: !picks;
+            p)
+      t.mask_pick
+  in
+  ( { name = t.name ^ "+recorded"; pick; mask_pick },
+    fun () -> List.rev !picks )
 
 let crash ~crash_at t =
   let alive_at time p =
@@ -102,8 +166,36 @@ let crash ~crash_at t =
       | [] -> None
       | alive -> t.pick ~time ~enabled:alive
   in
-  { name = t.name ^ "+crashes"; pick }
+  let mask_pick =
+    Option.map
+      (fun mp ->
+        (* The dead mask only ever grows, and time only moves forward:
+           advance through the crash times sorted once, clearing bits. *)
+        let events =
+          Array.to_list crash_at
+          |> List.mapi (fun p c -> Option.map (fun c -> (c, p)) c)
+          |> List.filter_map Fun.id |> List.sort compare |> Array.of_list
+        in
+        let dead = ref 0 and idx = ref 0 in
+        fun ~time ~mask ->
+          if time < first_crash then mp ~time ~mask
+          else begin
+            while
+              !idx < Array.length events && fst events.(!idx) <= time
+            do
+              let p = snd events.(!idx) in
+              if p < Bits.max_width then dead := !dead lor (1 lsl p);
+              incr idx
+            done;
+            let alive = mask land lnot !dead in
+            if alive = 0 then -1 else mp ~time ~mask:alive
+          end)
+      t.mask_pick
+  in
+  { name = t.name ^ "+crashes"; pick; mask_pick }
 
 let crash_faults ~plan t = crash ~crash_at:(Fault.crash_stops plan) t
 
-let fn ~name pick = { name; pick }
+let fn ~name pick = { name; pick; mask_pick = None }
+
+let fn_mask ~name ~pick ~mask_pick = { name; pick; mask_pick = Some mask_pick }

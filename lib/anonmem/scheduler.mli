@@ -16,6 +16,15 @@ val pick : t -> time:int -> enabled:int list -> int option
 (** The processor to step next.  Must be a member of [enabled] (checked by
     the runner).  [enabled] is non-empty and sorted. *)
 
+val mask_pick : t -> (time:int -> mask:int -> int) option
+(** The int-machine twin of {!pick} for the flat execution core: the
+    enabled set is a bitmask (bit [p] = processor [p], non-zero), and the
+    result is the chosen processor or [-1] for "no pick" — no list, no
+    option allocated per step.  Both closures share the scheduler's
+    mutable state and draw from its rng identically, so a run may switch
+    between them mid-flight without changing the schedule.  [None] for
+    custom {!fn} schedulers (the flat drivers then decline). *)
+
 val round_robin : unit -> t
 (** Fair cyclic order over enabled processors.  Guarantees every live
     processor takes infinitely many steps. *)
@@ -59,4 +68,12 @@ val crash_faults : plan:Fault.plan -> t -> t
 
 val fn : name:string -> (time:int -> enabled:int list -> int option) -> t
 (** Custom (possibly protocol-aware) scheduler; used by the covering
-    adversary of {!Analysis.Lower_bound}. *)
+    adversary of {!Analysis.Lower_bound}.  Has no {!mask_pick}. *)
+
+val fn_mask :
+  name:string ->
+  pick:(time:int -> enabled:int list -> int option) ->
+  mask_pick:(time:int -> mask:int -> int) ->
+  t
+(** Custom scheduler providing both views.  The two closures must encode
+    the same decision procedure over shared state (see {!mask_pick}). *)

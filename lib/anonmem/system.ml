@@ -265,7 +265,7 @@ module Make (P : Protocol.S) = struct
      recomputed from scratch it would hold exactly the same pids in the
      same increasing order, which keeps scheduler decisions identical to
      the observed path). *)
-  let run_fast ~max_steps ~sched ?step_counts state =
+  let run_fast ?(from_time = 0) ~max_steps ~sched ?step_counts state =
     let count =
       match step_counts with
       | None -> fun _ -> ()
@@ -291,7 +291,163 @@ module Make (P : Protocol.S) = struct
                 in
                 go (time + 1) en)
     in
-    go 0 (enabled state)
+    go from_time (enabled state)
+
+  (* The flat register file behind the boxed state, if the protocol and
+     instance fit the packed representation: wiring flattened into one
+     int array so the machine never chases a permutation object. *)
+  let flat_machine state =
+    let n = processors state and m = Array.length state.registers in
+    if n > Repro_util.Bits.max_width then None
+    else
+      let phys =
+        Array.init (n * m) (fun k -> Wiring.phys state.wiring ~p:(k / m) (k mod m))
+      in
+      P.flat state.cfg ~phys ~inputs:state.inputs ~registers:state.registers
+        ~locals:state.locals
+
+  (* The hardware-floor fault-free loop: the enabled set is a bitmask,
+     the scheduler runs its int twin, and every transition lands in the
+     machine's preallocated buffers — no allocation per step.  When the
+     machine refuses a transition ([Protocol.Fallback], raised before any
+     mutation) we sync the boxed state, replay the refused step through
+     the boxed functions on the {e already picked} processor — the
+     scheduler has advanced past this pick, so re-picking would desync
+     its rng — and finish on the boxed fast path. *)
+  let run_flat ~machine ~mask_pick ~max_steps ~sched ?step_counts state =
+    let count =
+      match step_counts with
+      | None -> fun _ -> ()
+      | Some c -> fun p -> c.(p) <- c.(p) + 1
+    in
+    let mask0 = ref 0 in
+    for p = processors state - 1 downto 0 do
+      if not (machine.Protocol.halted p) then mask0 := !mask0 lor (1 lsl p)
+    done;
+    let finish reason time =
+      machine.Protocol.sync ();
+      (reason, time)
+    in
+    let rec go time mask =
+      if time >= max_steps then finish Max_steps time
+      else if mask = 0 then finish All_halted time
+      else
+        let p = mask_pick ~time ~mask in
+        if p = -1 then finish Scheduler_done time
+        else if mask land (1 lsl p) = 0 then
+          invalid_arg "System.run: scheduler picked a halted processor"
+        else
+          match machine.Protocol.step p with
+          | () ->
+              count p;
+              let mask =
+                if machine.Protocol.halted p then mask land lnot (1 lsl p)
+                else mask
+              in
+              go (time + 1) mask
+          | exception Protocol.Fallback ->
+              machine.Protocol.sync ();
+              step_silent state p;
+              count p;
+              run_fast ~from_time:(time + 1) ~max_steps ~sched ?step_counts
+                state
+    in
+    go 0 !mask0
+
+  (* The flat faulty interpreter: [run_faulty]'s semantics step for step
+     (same compiled plan views, same pop/short-circuit order, recoveries
+     consume no step and may un-halt), minus the note/event plumbing —
+     it only runs when there are no observers.  Restricted to [total]
+     machines, so no [Fallback] can escape mid-plan. *)
+  let run_faulty_flat ~machine ~mask_pick ~max_steps ~plan ?step_counts state =
+    let n = processors state and m = Array.length state.registers in
+    let count =
+      match step_counts with
+      | None -> fun _ -> ()
+      | Some c -> fun p -> c.(p) <- c.(p) + 1
+    in
+    let crash_at = Fault.crash_stops ~n plan in
+    let recoveries = ref (Fault.recoveries plan) in
+    let omits = Fault.omit_arms ~n plan in
+    let stales = Fault.stale_arms ~n plan in
+    let stuck_at = Fault.stuck_times ~m plan in
+    let pop_due arr p time =
+      match arr.(p) with
+      | at :: rest when at <= time ->
+          arr.(p) <- rest;
+          true
+      | _ -> false
+    in
+    (* Alive processors as a shrinking mask, advanced through the crash
+       times in order (mirrors [run_faulty]'s [alive]: dead at [t >= c]). *)
+    let crashes =
+      Array.to_list crash_at
+      |> List.mapi (fun p c -> Option.map (fun c -> (c, p)) c)
+      |> List.filter_map Fun.id |> List.sort compare |> Array.of_list
+    in
+    let alive = ref (Repro_util.Bits.full n) and next_crash = ref 0 in
+    let emask = ref 0 in
+    for p = n - 1 downto 0 do
+      if not (machine.Protocol.halted p) then emask := !emask lor (1 lsl p)
+    done;
+    let set_enabled p =
+      if machine.Protocol.halted p then emask := !emask land lnot (1 lsl p)
+      else emask := !emask lor (1 lsl p)
+    in
+    let finish reason time =
+      machine.Protocol.sync ();
+      (reason, time)
+    in
+    let rec go time =
+      if time >= max_steps then finish Max_steps time
+      else
+        match !recoveries with
+        | (at, p) :: rest when at <= time ->
+            (* Restart consumes no step: amnesiac rebirth on the original
+               input.  May un-halt [p]. *)
+            recoveries := rest;
+            machine.Protocol.reset p;
+            set_enabled p;
+            go time
+        | _ ->
+            while
+              !next_crash < Array.length crashes
+              && fst crashes.(!next_crash) <= time
+            do
+              alive := !alive land lnot (1 lsl snd crashes.(!next_crash));
+              incr next_crash
+            done;
+            let avail = !emask land !alive in
+            if avail = 0 then
+              finish (if !emask = 0 then All_halted else Scheduler_done) time
+            else
+              let p = mask_pick ~time ~mask:avail in
+              if p = -1 then finish Scheduler_done time
+              else if avail land (1 lsl p) = 0 then
+                invalid_arg
+                  "System.run: scheduler picked an unavailable processor"
+              else begin
+                (let op = machine.Protocol.peek p in
+                 if op land 1 = 1 then
+                   (* Pending write.  Stuck-register short-circuits the
+                      omission arm: the arm is {e not} consumed. *)
+                   let stuck =
+                     match stuck_at.(op lsr 1) with
+                     | Some t -> time >= t
+                     | None -> false
+                   in
+                   if stuck || pop_due omits p time then
+                     machine.Protocol.step_omit p
+                   else machine.Protocol.step p
+                 else if pop_due stales p time then
+                   machine.Protocol.step_stale p
+                 else machine.Protocol.step p);
+                count p;
+                set_enabled p;
+                go (time + 1)
+              end
+    in
+    go 0
 
   (** Drive [state] under [sched] for at most [max_steps] steps, mutating it
       in place.  [on_event] observes each step (time is the 0-based step
@@ -313,13 +469,43 @@ module Make (P : Protocol.S) = struct
       transitions, outputs or stop reasons — it is only reported through
       events and renderings, which the fast path by definition has none
       of — so verdicts computed from a fast run agree with the observed
-      path (test/test_fuzz.ml checks this differentially). *)
-  let run ?(max_steps = 100_000) ?faults ?step_counts ~sched ?on_event ?on_fault
-      state =
+      path (test/test_fuzz.ml checks this differentially).
+
+      On the observer-free paths, when the protocol provides a flat
+      machine ({!Protocol.S.flat}), the instance fits a word mask and the
+      scheduler has an int twin, the run executes on the flat register
+      file instead — same transitions into preallocated buffers, synced
+      back into [state] before returning, byte-for-byte what the boxed
+      path would have produced.  [~flat:false] forces the boxed paths
+      (the differential tests and the before-rows of the benchmark).
+      Fault plans additionally require a [total] machine (one that never
+      falls back mid-plan); otherwise the boxed interpreter runs. *)
+  let run ?(max_steps = 100_000) ?faults ?step_counts ?(flat = true) ~sched
+      ?on_event ?on_fault state =
     let count p =
       match step_counts with None -> () | Some c -> c.(p) <- c.(p) + 1
     in
+    let flat_machine () =
+      if not flat then None
+      else
+        match Scheduler.mask_pick sched with
+        | None -> None
+        | Some mask_pick ->
+            Option.map (fun m -> (m, mask_pick)) (flat_machine state)
+    in
     match (faults, on_event, on_fault) with
+    | Some plan, None, None -> (
+        match flat_machine () with
+        | Some (machine, mask_pick) when machine.Protocol.total ->
+            run_faulty_flat ~machine ~mask_pick ~max_steps ~plan ?step_counts
+              state
+        | _ ->
+            run_faulty ~max_steps ~plan ~sched
+              ~on_event:(fun ~time:_ ev ->
+                match ev with Read_ev { p; _ } | Write_ev { p; _ } -> count p)
+              ~on_fault:(fun ~time:_ nt ->
+                match nt with Dropped_write { p; _ } -> count p | _ -> ())
+              state)
     | Some plan, _, _ ->
         let on_fault_count ~time nt =
           (match nt with Dropped_write { p; _ } -> count p | _ -> ());
@@ -331,7 +517,11 @@ module Make (P : Protocol.S) = struct
         in
         run_faulty ~max_steps ~plan ~sched ~on_event:on_event_count
           ~on_fault:on_fault_count state
-    | None, None, None -> run_fast ~max_steps ~sched ?step_counts state
+    | None, None, None -> (
+        match flat_machine () with
+        | Some (machine, mask_pick) ->
+            run_flat ~machine ~mask_pick ~max_steps ~sched ?step_counts state
+        | None -> run_fast ~max_steps ~sched ?step_counts state)
     | None, _, _ ->
         let rec go time =
           if time >= max_steps then (Max_steps, time)

@@ -80,8 +80,12 @@ module Make (T : Target.S) = struct
      {!Sys.run}'s zero-observer fast path — no event records, no trace
      conses, no ghost bookkeeping.  Step counts come from [Sys.run]'s own
      counter either way (it sees dropped writes, which emit no event), so
-     verdicts agree between the two modes; only [trace] differs. *)
-  let exec ~record ~cfg ~wiring ~inputs ~sched ~faults ~max_steps =
+     verdicts agree between the two modes; only [trace] differs.
+     [flat = false] additionally forces the boxed interpreter even when
+     the protocol ships a flat machine — the benchmark's before-rows and
+     the flat/boxed differential tests. *)
+  let exec ?(flat = true) ~record ~cfg ~wiring ~inputs ~sched ~faults
+      ~max_steps () =
     let state = Sys.init ~cfg ~wiring ~inputs in
     let trace = Tr.create () in
     let step_counts = Array.make (T.P.processors cfg) 0 in
@@ -89,16 +93,17 @@ module Make (T : Target.S) = struct
     let on_fault = if record then Some (Tr.on_fault trace) else None in
     let faults = match faults with [] -> None | plan -> Some plan in
     let stop, steps =
-      Sys.run ~max_steps ?faults ~step_counts ~sched ?on_event ?on_fault state
+      Sys.run ~max_steps ?faults ~step_counts ~flat ~sched ?on_event ?on_fault
+        state
     in
     { stop; steps; outputs = Sys.outputs state; step_counts; trace }
 
-  let run_case ?(record = true) (c : Gen.case) =
-    exec ~record
+  let run_case ?(record = true) ?flat (c : Gen.case) =
+    exec ?flat ~record
       ~cfg:(T.cfg ~n:c.n ~m:c.m)
       ~wiring:(Gen.wiring c) ~inputs:c.inputs
       ~sched:(Schedule.scheduler (Gen.schedule_rng c) c.shape)
-      ~faults:c.faults ~max_steps:c.max_steps
+      ~faults:c.faults ~max_steps:c.max_steps ()
 
   let run_instance ?(record = true) inst =
     exec ~record
@@ -108,6 +113,7 @@ module Make (T : Target.S) = struct
       ~sched:(Anonmem.Scheduler.script inst.script)
       ~faults:inst.faults
       ~max_steps:(List.length inst.script + 1)
+      ()
 
   let participated run = Array.map (fun c -> c > 0) run.step_counts
 
@@ -291,69 +297,104 @@ module Make (T : Target.S) = struct
 
   (* ---- campaigns ------------------------------------------------------- *)
 
-  let case_seed ~seed i = (seed * 1_000_003) + i
+  (** Cases are claimed in contiguous chunks of this many iterations;
+      each chunk's case seeds come from its own splitmix stream, derived
+      from [(campaign seed, chunk index)] alone — any domain can
+      (re)derive any case, so how chunks land on workers cannot perturb
+      what runs. *)
+  let chunk_size = 64
 
-  (** Run a campaign of [iterations] cases, sharded round-robin across
-      [domains] OCaml 5 domains (default 1: everything runs inline in the
-      caller's domain).  Every case derives its seed from
-      [(seed, iteration)] alone, and the reported counterexample is the
-      one with the {e smallest iteration index} that failed — a worker
-      only retires once no assigned index below the current minimum
-      failing index remains — so without a [time_budget] the report's
-      deterministic fields (iterations, total steps, counterexample,
-      shrunk instance) are identical for every domain count.  With a
-      [time_budget] the cutoff is wall-clock and the executed prefix
-      becomes timing-dependent. *)
+  let chunk_stream ~seed c =
+    Repro_util.Rng.create ~seed:((seed * 1_000_003) + c)
+
+  (** The seed of case [i]: draw [i mod chunk_size] of chunk
+      [i / chunk_size]'s stream.  Workers consume the stream
+      sequentially; this standalone form re-derives a single case for
+      the shrinking tail and the replay artifacts. *)
+  let case_seed ~seed i =
+    let rng = chunk_stream ~seed (i / chunk_size) in
+    let s = ref 0 in
+    for _ = 0 to i mod chunk_size do
+      s := Repro_util.Rng.int rng max_int
+    done;
+    !s
+
+  (** Run a campaign of [iterations] cases across [domains] OCaml 5
+      domains (default 1: everything runs inline in the caller's
+      domain).  Parallel campaigns fan out over the persistent
+      {!Domain_pool} — no domain is spawned per campaign — and workers
+      claim chunks of {!chunk_size} cases from a shared atomic counter.
+      Every case derives its seed from [(seed, iteration)] alone, and
+      the reported counterexample is the one with the {e smallest
+      iteration index} that failed — a worker only retires once every
+      unclaimed chunk lies wholly above the current minimum failing
+      index — so without a [time_budget] the report's deterministic
+      fields (iterations, total steps, counterexample, shrunk instance)
+      are identical for every domain count.  With a [time_budget] the
+      cutoff is wall-clock and the executed prefix becomes
+      timing-dependent. *)
   let campaign ?(now = Stdlib.Sys.time) ?time_budget ?(domains = 1) ?m
       ?(n_range = (2, 5)) ?(max_steps = 5_000) ?fault_profile ~seed ~iterations
       () =
     let t0 = now () in
     let nd = max 1 (min domains (max 1 iterations)) in
-    let case_of i =
-      Gen.case ~seed:(case_seed ~seed i) ~n_range ?m ~m_range:T.m_range
-        ?fault_profile ~max_steps ()
+    let case_with s =
+      Gen.case ~seed:s ~n_range ?m ~m_range:T.m_range ?fault_profile
+        ~max_steps ()
     in
-    (* Written at most once per index, each index owned by one worker;
-       read only after every worker has retired. *)
+    let case_of i = case_with (case_seed ~seed i) in
+    (* Written at most once per index (by its chunk's claimer); read
+       only after every worker has retired. *)
     let steps_of = Array.make (max 1 iterations) 0 in
     let executed = Array.make nd 0 in
     (* Smallest failing iteration index found so far. *)
     let first_fail = Atomic.make max_int in
     let fail_time = Atomic.make infinity in
+    let next_chunk = Atomic.make 0 in
+    let nchunks = (iterations + chunk_size - 1) / chunk_size in
     let out_of_budget () =
       match time_budget with Some b -> now () -. t0 > b | None -> false
     in
     let worker w =
-      let i = ref w in
-      while !i < iterations && !i <= Atomic.get first_fail && not (out_of_budget ())
-      do
-        let case = case_of !i in
-        let run = run_case ~record:false case in
-        steps_of.(!i) <- run.steps;
-        executed.(w) <- executed.(w) + 1;
-        (match verdict ~n:case.n ~m:case.m ~inputs:case.inputs run with
-        | Ok () -> ()
-        | Error _ ->
-            let t = now () -. t0 in
-            let rec lower () =
-              let cur = Atomic.get first_fail in
-              if !i < cur then
-                if Atomic.compare_and_set first_fail cur !i then
-                  (* Benign race: losing an interleaved store here only
-                     perturbs the (timing-only) found_after seconds. *)
-                  Atomic.set fail_time t
-                else lower ()
-            in
-            lower ());
-        i := !i + nd
+      let retired = ref false in
+      while not !retired do
+        let c = Atomic.fetch_and_add next_chunk 1 in
+        if c >= nchunks
+           || c * chunk_size > Atomic.get first_fail
+           || out_of_budget ()
+        then retired := true
+        else begin
+          let rng = chunk_stream ~seed c in
+          let stop_at = min iterations ((c + 1) * chunk_size) in
+          let i = ref (c * chunk_size) in
+          while !i < stop_at
+                && !i <= Atomic.get first_fail
+                && not (out_of_budget ())
+          do
+            let case = case_with (Repro_util.Rng.int rng max_int) in
+            let run = run_case ~record:false case in
+            steps_of.(!i) <- run.steps;
+            executed.(w) <- executed.(w) + 1;
+            (match verdict ~n:case.n ~m:case.m ~inputs:case.inputs run with
+            | Ok () -> ()
+            | Error _ ->
+                let t = now () -. t0 in
+                let rec lower () =
+                  let cur = Atomic.get first_fail in
+                  if !i < cur then
+                    if Atomic.compare_and_set first_fail cur !i then
+                      (* Benign race: losing an interleaved store here only
+                         perturbs the (timing-only) found_after seconds. *)
+                      Atomic.set fail_time t
+                    else lower ()
+                in
+                lower ());
+            i := !i + 1
+          done
+        end
       done
     in
-    if nd = 1 then worker 0
-    else begin
-      let pool = Array.init (nd - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1))) in
-      worker 0;
-      Array.iter Domain.join pool
-    end;
+    Domain_pool.parallel ~domains:nd worker;
     let sum_steps upto =
       let total = ref 0 in
       for i = 0 to upto - 1 do

@@ -62,7 +62,40 @@ let weighted_scheduler rng weights =
         in
         Some (walk 0 enabled)
   in
-  Anonmem.Scheduler.fn ~name:"weighted" pick
+  (* The int twin: same single draw against the summed weights of the
+     enabled set, then the same ascending cumulative walk — draw-for-draw
+     the decision [pick] makes on the sorted enabled list.  The cumulative
+     weights over the set bits are cached packed and rebuilt only when the
+     mask changes, which happens at most once per halting/crash — so the
+     per-step work is one draw and a short array scan. *)
+  let cached_mask = ref (-1) in
+  let pids = ref [||] and cum = ref [||] in
+  let rebuild mask =
+    cached_mask := mask;
+    let k = Repro_util.Bits.popcount mask in
+    let ps = Array.make k 0 and cw = Array.make k 0 in
+    let m = ref mask and acc = ref 0 in
+    for i = 0 to k - 1 do
+      let p = Repro_util.Bits.ctz !m in
+      ps.(i) <- p;
+      acc := !acc + weight p;
+      cw.(i) <- !acc;
+      m := !m land (!m - 1)
+    done;
+    pids := ps;
+    cum := cw
+  in
+  let mask_pick ~time:_ ~mask =
+    if mask <> !cached_mask then rebuild mask;
+    let cw = !cum in
+    let draw = Rng.int rng cw.(Array.length cw - 1) in
+    (* First index whose cumulative weight exceeds the draw — exactly the
+       first [p] with [draw < acc] in [pick]'s walk. *)
+    let i = ref 0 in
+    while cw.(!i) <= draw do incr i done;
+    !pids.(!i)
+  in
+  Anonmem.Scheduler.fn_mask ~name:"weighted" ~pick ~mask_pick
 
 (** Instantiate the shape as a concrete scheduler.  All randomness comes
     from [rng], so equal seeds yield equal schedules. *)

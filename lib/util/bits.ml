@@ -1,0 +1,49 @@
+(* Word-level bit tricks for the int-machine execution core.
+
+   The flat schedulers and drivers represent the enabled/alive processor
+   sets as single-word bitmasks (bit p = processor p), so every helper
+   here must be allocation-free and branch-light: these run once or
+   twice per simulated shared-memory step.  Masks are non-negative and
+   fit in [max_width] bits, which keeps [1 lsl p] well-defined and the
+   SWAR popcount below exact. *)
+
+let max_width = 62
+(* One bit per processor/register in a tagged 63-bit int, sign bit
+   excluded.  The same window as {!Iset}'s bitset representation. *)
+
+(* SWAR popcount over two 32-bit halves: the classic 64-bit constants do
+   not fit OCaml's 63-bit int literals, the 32-bit ones do. *)
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (* In C the uint32 multiply truncates and [>> 24] leaves the top byte;
+     OCaml's native multiply doesn't truncate, so mask the byte out. *)
+  ((x * 0x01010101) lsr 24) land 0xFF
+
+let popcount x = popcount32 (x land 0xFFFFFFFF) + popcount32 (x lsr 32)
+
+let ctz x =
+  (* Index of the lowest set bit: isolate it, then count the ones below
+     it.  Callers guarantee [x <> 0]. *)
+  popcount ((x land -x) - 1)
+
+let nth_set mask k =
+  (* The [k]-th (0-based) set bit of [mask] in increasing bit order —
+     the mask analogue of [List.nth enabled k] on the sorted enabled
+     list.  Callers guarantee [k < popcount mask]. *)
+  let rec drop mask k = if k = 0 then ctz mask else drop (mask land (mask - 1)) (k - 1) in
+  drop mask k
+
+let full n = if n >= max_width then (1 lsl max_width) - 1 else (1 lsl n) - 1
+
+let to_list mask =
+  let rec go mask acc =
+    if mask = 0 then List.rev acc
+    else
+      let b = ctz mask in
+      go (mask land (mask - 1)) (b :: acc)
+  in
+  go mask []
+
+let of_list l = List.fold_left (fun acc b -> acc lor (1 lsl b)) 0 l

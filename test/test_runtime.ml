@@ -128,6 +128,9 @@ module Bomb = struct
 
   let apply_write _ l = l
   let output _ _ = None
+
+  (* No flat machine yet: the boxed paths run this protocol. *)
+  let flat _ ~phys:_ ~inputs:_ ~registers:_ ~locals:_ = None
   let pp_value _ = Fmt.int
   let pp_local _ = Fmt.int
   let pp_output _ = Fmt.int
